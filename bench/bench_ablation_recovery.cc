@@ -1,0 +1,101 @@
+// Ablation: the fault-recovery knobs this implementation adds on top of the
+// paper (which assumes fault-tolerant messaging, cf. ML94).
+//
+//   * update_refresh_period — every k-th local trace resends all outref
+//     distances. Sweep k: smaller k recovers faster from lost updates but
+//     costs more steady-state messages.
+//   * source_lease_ttl — sources not refreshed within the TTL are dropped,
+//     recovering from *lost removal* updates; the sweep shows the recovery
+//     and the steady overhead of keeping leases alive.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+// A cycle ripens while its sites are partitioned from each other (updates
+// lost); after healing, how many rounds until collection? Refresh period is
+// the lever.
+void BM_RefreshPeriod_RecoveryAfterPartition(benchmark::State& state) {
+  const std::uint64_t period = static_cast<std::uint64_t>(state.range(0));
+  std::size_t recovery_rounds = 0;
+  std::uint64_t steady_msgs_per_round = 0;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.update_refresh_period = period;
+    System system(3, config);
+    const auto cycle = workload::BuildCycle(
+        system, {.sites = 3, .objects_per_site = 1});
+    // Live cross-site references so the steady-state refresh cost below has
+    // real outrefs to resend.
+    for (SiteId s = 0; s < 3; ++s) {
+      const ObjectId keeper = system.NewObject(s, 1);
+      system.SetPersistentRoot(keeper);
+      system.Wire(keeper, 0, system.NewObject((s + 1) % 3, 0));
+    }
+    // Partition every cycle link; distances freeze at their initial values
+    // while each site keeps reporting into the void.
+    system.network().SetLinkDown(0, 1, true);
+    system.network().SetLinkDown(1, 2, true);
+    system.network().SetLinkDown(0, 2, true);
+    system.RunRounds(6);
+    system.network().SetLinkDown(0, 1, false);
+    system.network().SetLinkDown(1, 2, false);
+    system.network().SetLinkDown(0, 2, false);
+    recovery_rounds = dgc::bench::RoundsUntilCollected(system, cycle, 80);
+
+    // Steady-state cost: garbage-free world, count update messages/round.
+    system.network().ResetStats();
+    system.RunRounds(8);
+    steady_msgs_per_round =
+        system.network().stats().count_of<UpdateMsg>() / 8;
+  }
+  state.counters["refresh_period"] = static_cast<double>(period);
+  state.counters["recovery_rounds"] = static_cast<double>(recovery_rounds);
+  state.counters["steady_update_msgs_per_round"] =
+      static_cast<double>(steady_msgs_per_round);
+}
+BENCHMARK(BM_RefreshPeriod_RecoveryAfterPartition)
+    ->Arg(0)   // disabled: never recovers (hits the round cap)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16);
+
+// Lost removal: a phantom source keeps an object alive until the lease
+// expires. Sweep the TTL.
+void BM_SourceLease_LostRemovalRecovery(benchmark::State& state) {
+  const SimTime ttl = state.range(0);
+  std::size_t rounds_until_freed = 0;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.source_lease_ttl = ttl;
+    config.update_refresh_period = 0;  // nothing else heals it
+    System system(2, config);
+    const ObjectId orphan = system.NewObject(1, 0);
+    // Phantom source entry, as if the removal update had been lost.
+    system.site(1).tables().AddInrefSource(orphan, 0, 1, /*now=*/0);
+    rounds_until_freed = 100;
+    for (std::size_t round = 1; round <= 100; ++round) {
+      system.AdvanceTime(100);  // one "round" of wall-clock per trace round
+      system.RunRound();
+      if (!system.ObjectExists(orphan)) {
+        rounds_until_freed = round;
+        break;
+      }
+    }
+  }
+  state.counters["lease_ttl"] = static_cast<double>(ttl);
+  state.counters["rounds_until_freed"] =
+      static_cast<double>(rounds_until_freed);
+}
+BENCHMARK(BM_SourceLease_LostRemovalRecovery)
+    ->Arg(0)  // disabled: leaked forever (cap)
+    ->Arg(50)
+    ->Arg(500)
+    ->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

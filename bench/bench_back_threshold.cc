@@ -1,0 +1,91 @@
+// Experiment §4.3: when to start a back trace.
+//
+// The back threshold D2 = D + L trades abortive traces against collection
+// delay. Sweeps L on a world containing a garbage ring plus live decoy
+// suspects (live loops beyond the suspicion threshold):
+//   * small L: traces fire early, hit still-clean iorefs, abort Live;
+//   * adequate L: first trace usually confirms garbage;
+//   * the per-visit threshold increment makes live suspects go quiet.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+void BuildLiveDecoyLoop(System& system, SiteId a, SiteId b, int depth) {
+  // root@a -> (depth remote hops) -> loop {x@a <-> y@b}.
+  const ObjectId root = system.NewObject(a, 1);
+  system.SetPersistentRoot(root);
+  ObjectId previous = root;
+  for (int i = 0; i < depth; ++i) {
+    const ObjectId hop = system.NewObject(i % 2 == 0 ? b : a, 1);
+    system.Wire(previous, 0, hop);
+    previous = hop;
+  }
+  const ObjectId x = system.NewObject(a, 1);
+  const ObjectId y = system.NewObject(b, 1);
+  system.Wire(previous, 0, x);
+  system.Wire(x, 0, y);
+  system.Wire(y, 0, x);
+}
+
+void BM_BackThreshold_Sweep(benchmark::State& state) {
+  const Distance cycle_length_estimate = static_cast<Distance>(state.range(0));
+  std::uint64_t live_aborts = 0;
+  std::uint64_t garbage_confirms = 0;
+  std::uint64_t traces = 0;
+  std::size_t rounds_to_collect = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 2;
+    config.estimated_cycle_length = cycle_length_estimate;  // D2 = 2 + L
+    config.back_threshold_increment = 2;
+    System system(4, config);
+    const auto cycle = workload::BuildCycle(
+        system, {.sites = 4, .objects_per_site = 1});
+    BuildLiveDecoyLoop(system, 0, 1, /*depth=*/4);
+    BuildLiveDecoyLoop(system, 2, 3, /*depth=*/5);
+    rounds_to_collect = dgc::bench::RoundsUntilCollected(system, cycle, 60);
+    system.RunRounds(10);  // let live decoys go quiet
+    const BackTracerStats stats = system.AggregateBackTracerStats();
+    live_aborts = stats.traces_completed_live;
+    garbage_confirms = stats.traces_completed_garbage;
+    traces = stats.traces_started;
+  }
+  state.counters["L_estimate"] = static_cast<double>(cycle_length_estimate);
+  state.counters["D2"] = static_cast<double>(2 + cycle_length_estimate);
+  state.counters["traces_started"] = static_cast<double>(traces);
+  state.counters["aborted_live"] = static_cast<double>(live_aborts);
+  state.counters["confirmed_garbage"] = static_cast<double>(garbage_confirms);
+  state.counters["rounds_to_collect"] =
+      static_cast<double>(rounds_to_collect);
+}
+BENCHMARK(BM_BackThreshold_Sweep)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Live suspects must stop generating traces: total traces started over a
+// long run against purely-live suspects (no garbage at all) stays bounded
+// because every visit bumps the ioref's threshold.
+void BM_LiveSuspectsGoQuiet(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 1;
+    config.estimated_cycle_length = 1;
+    config.back_threshold_increment = 3;
+    System system(4, config);
+    BuildLiveDecoyLoop(system, 0, 1, /*depth=*/3);
+    BuildLiveDecoyLoop(system, 2, 3, /*depth=*/4);
+    system.RunRounds(rounds);
+    traces = system.AggregateBackTracerStats().traces_started;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["traces_started_total"] = static_cast<double>(traces);
+}
+BENCHMARK(BM_LiveSuspectsGoQuiet)->Arg(10)->Arg(40)->Arg(160);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Experiment §5: cost of computing back information.
+//
+// Ablation of §5.1 (independent tracing per suspected inref, O(ni * n)
+// worst case) against §5.2 (single bottom-up Tarjan pass with memoized
+// unions, near-linear): object visits, edges scanned, and wall time on the
+// adversarial shapes the paper discusses — shared chains (every inref
+// reaches the same tail), strongly connected components (back edges), and
+// wide fans.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "backinfo/outset_store.h"
+#include "backinfo/suspect_trace.h"
+#include "store/heap.h"
+
+namespace {
+
+using namespace dgc;
+
+struct BenchEnv {
+  std::set<ObjectId> clean_objects;
+  bool ObjectIsCleanMarked(ObjectId id) const {
+    return clean_objects.contains(id);
+  }
+  bool OutrefIsClean(ObjectId) const { return false; }
+  void OnSuspectMarked(ObjectId) {}
+};
+
+/// ni suspected inrefs all feeding one shared chain of n objects ending in a
+/// remote ref: §5.1 retraces the chain per inref.
+struct SharedChain {
+  Heap heap{0};
+  std::vector<ObjectId> roots;
+
+  SharedChain(std::size_t inrefs, std::size_t chain) {
+    std::vector<ObjectId> tail;
+    for (std::size_t i = 0; i < chain; ++i) tail.push_back(heap.Allocate(1));
+    for (std::size_t i = 0; i + 1 < chain; ++i) {
+      heap.SetSlot(tail[i], 0, tail[i + 1]);
+    }
+    heap.SetSlot(tail.back(), 0, ObjectId{1, 1});  // remote
+    for (std::size_t i = 0; i < inrefs; ++i) {
+      const ObjectId root = heap.Allocate(1);
+      heap.SetSlot(root, 0, tail.front());
+      roots.push_back(root);
+    }
+  }
+};
+
+void BM_BackInfo_BottomUp_SharedChain(benchmark::State& state) {
+  SharedChain world(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  SuspectTraceStats last{};
+  for (auto _ : state) {
+    BenchEnv env;
+    OutsetStore store;
+    BottomUpOutsetComputer<BenchEnv> computer(world.heap, store, env);
+    for (const ObjectId root : world.roots) {
+      benchmark::DoNotOptimize(computer.TraceFrom(root));
+    }
+    last = computer.stats();
+  }
+  state.counters["inrefs"] = static_cast<double>(state.range(0));
+  state.counters["objects"] = static_cast<double>(world.heap.object_count());
+  state.counters["object_visits"] = static_cast<double>(last.object_visits);
+  state.counters["edges"] = static_cast<double>(last.edges_scanned);
+}
+
+void BM_BackInfo_Independent_SharedChain(benchmark::State& state) {
+  SharedChain world(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  SuspectTraceStats last{};
+  for (auto _ : state) {
+    BenchEnv env;
+    IndependentOutsetTracer<BenchEnv> tracer(world.heap, env);
+    for (const ObjectId root : world.roots) {
+      benchmark::DoNotOptimize(tracer.TraceFrom(root));
+    }
+    last = tracer.stats();
+  }
+  state.counters["inrefs"] = static_cast<double>(state.range(0));
+  state.counters["objects"] = static_cast<double>(world.heap.object_count());
+  state.counters["object_visits"] = static_cast<double>(last.object_visits);
+  state.counters["edges"] = static_cast<double>(last.edges_scanned);
+}
+
+#define CHAIN_ARGS \
+  Args({4, 1000})->Args({16, 1000})->Args({64, 1000})->Args({64, 10000})
+BENCHMARK(BM_BackInfo_BottomUp_SharedChain)->CHAIN_ARGS;
+BENCHMARK(BM_BackInfo_Independent_SharedChain)->CHAIN_ARGS;
+
+/// One big strongly connected component of n objects (ring + chords) with k
+/// remote refs sprinkled in, entered from ni inrefs: exercises the Tarjan
+/// leader/outset sharing (Figure 4 generalized).
+struct BigScc {
+  Heap heap{0};
+  std::vector<ObjectId> roots;
+
+  BigScc(std::size_t inrefs, std::size_t n) {
+    std::vector<ObjectId> ring;
+    for (std::size_t i = 0; i < n; ++i) ring.push_back(heap.Allocate(3));
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.SetSlot(ring[i], 0, ring[(i + 1) % n]);
+      heap.SetSlot(ring[i], 1, ring[(i + n / 3) % n]);  // chord
+      if (i % 16 == 0) {
+        heap.SetSlot(ring[i], 2, ObjectId{1, i});  // remote ref
+      }
+    }
+    for (std::size_t i = 0; i < inrefs; ++i) {
+      const ObjectId root = heap.Allocate(1);
+      heap.SetSlot(root, 0, ring[(i * 7) % n]);
+      roots.push_back(root);
+    }
+  }
+};
+
+void BM_BackInfo_BottomUp_Scc(benchmark::State& state) {
+  BigScc world(static_cast<std::size_t>(state.range(0)),
+               static_cast<std::size_t>(state.range(1)));
+  SuspectTraceStats last{};
+  std::size_t distinct = 0;
+  for (auto _ : state) {
+    BenchEnv env;
+    OutsetStore store;
+    BottomUpOutsetComputer<BenchEnv> computer(world.heap, store, env);
+    for (const ObjectId root : world.roots) {
+      benchmark::DoNotOptimize(computer.TraceFrom(root));
+    }
+    last = computer.stats();
+    distinct = store.distinct_outsets();
+  }
+  state.counters["inrefs"] = static_cast<double>(state.range(0));
+  state.counters["objects"] = static_cast<double>(world.heap.object_count());
+  state.counters["object_visits"] = static_cast<double>(last.object_visits);
+  state.counters["distinct_outsets"] = static_cast<double>(distinct);
+}
+
+void BM_BackInfo_Independent_Scc(benchmark::State& state) {
+  BigScc world(static_cast<std::size_t>(state.range(0)),
+               static_cast<std::size_t>(state.range(1)));
+  SuspectTraceStats last{};
+  for (auto _ : state) {
+    BenchEnv env;
+    IndependentOutsetTracer<BenchEnv> tracer(world.heap, env);
+    for (const ObjectId root : world.roots) {
+      benchmark::DoNotOptimize(tracer.TraceFrom(root));
+    }
+    last = tracer.stats();
+  }
+  state.counters["inrefs"] = static_cast<double>(state.range(0));
+  state.counters["objects"] = static_cast<double>(world.heap.object_count());
+  state.counters["object_visits"] = static_cast<double>(last.object_visits);
+}
+
+#define SCC_ARGS Args({4, 2000})->Args({16, 2000})->Args({64, 2000})
+BENCHMARK(BM_BackInfo_BottomUp_Scc)->SCC_ARGS;
+BENCHMARK(BM_BackInfo_Independent_Scc)->SCC_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

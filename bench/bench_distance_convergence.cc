@@ -1,0 +1,138 @@
+// Experiment §3: the distance heuristic.
+//
+//   * Theorem: if every site containing a garbage cycle traces once per
+//     round, then after d rounds every estimated distance in the cycle is at
+//     least d — measured as min-distance-per-round on rings of varying size.
+//   * Threshold tradeoff: higher suspicion thresholds delay detection
+//     (rounds until all cycle iorefs are suspected grows with D) but
+//     suppress false suspects among live objects.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+// Rounds until every ioref on a garbage ring exceeds the suspicion
+// threshold, for ring size x threshold sweeps.
+void BM_RoundsUntilSuspected(benchmark::State& state) {
+  const std::size_t sites = static_cast<std::size_t>(state.range(0));
+  const Distance threshold = static_cast<Distance>(state.range(1));
+  std::size_t rounds_needed = 0;
+  Distance min_distance_after = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = threshold;
+    config.enable_back_tracing = false;
+    System system(sites, config);
+    const auto cycle = workload::BuildCycle(
+        system, {.sites = sites, .objects_per_site = 1});
+    rounds_needed = 0;
+    for (std::size_t round = 1; round <= 200; ++round) {
+      system.RunRound();
+      bool all_suspected = true;
+      Distance minimum = kDistanceInfinity;
+      for (const ObjectId obj : cycle.objects) {
+        const InrefEntry* inref = system.site(obj.site).tables().FindInref(obj);
+        const Distance d = inref->distance();
+        minimum = std::min(minimum, d);
+        if (d <= threshold) all_suspected = false;
+      }
+      min_distance_after = minimum;
+      if (all_suspected) {
+        rounds_needed = round;
+        break;
+      }
+    }
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["threshold_D"] = static_cast<double>(threshold);
+  state.counters["rounds_until_all_suspected"] =
+      static_cast<double>(rounds_needed);
+  state.counters["min_distance_at_detection"] =
+      static_cast<double>(min_distance_after);
+}
+BENCHMARK(BM_RoundsUntilSuspected)
+    ->Args({2, 2})
+    ->Args({2, 8})
+    ->Args({2, 32})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->Args({8, 32})
+    ->Args({16, 8})
+    ->Args({32, 8});
+
+// The theorem itself: after d rounds, min estimated distance >= d.
+void BM_TheoremMinDistancePerRound(benchmark::State& state) {
+  const std::size_t sites = static_cast<std::size_t>(state.range(0));
+  bool theorem_holds = true;
+  Distance final_min = 0;
+  const std::size_t rounds = 24;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 4;
+    config.enable_back_tracing = false;
+    System system(sites, config);
+    const auto cycle = workload::BuildCycle(
+        system, {.sites = sites, .objects_per_site = 2});
+    theorem_holds = true;
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      system.RunRound();
+      Distance minimum = kDistanceInfinity;
+      for (const ObjectId obj : cycle.objects) {
+        if (const InrefEntry* inref =
+                system.site(obj.site).tables().FindInref(obj)) {
+          minimum = std::min(minimum, inref->distance());
+        }
+      }
+      final_min = minimum;
+      if (minimum < round) theorem_holds = false;
+    }
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["final_min_distance"] = static_cast<double>(final_min);
+  state.counters["theorem_holds"] = theorem_holds ? 1.0 : 0.0;
+}
+BENCHMARK(BM_TheoremMinDistancePerRound)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Accuracy: live objects at true distance k are false suspects iff k > D.
+// Sweeps D on a world with live chains of depth 1..8; reports how many live
+// iorefs are suspected (lower is better) — the paper's "accuracy can be
+// controlled arbitrarily".
+void BM_FalseSuspectsVsThreshold(benchmark::State& state) {
+  const Distance threshold = static_cast<Distance>(state.range(0));
+  std::size_t live_suspects = 0;
+  std::size_t live_iorefs = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = threshold;
+    config.enable_back_tracing = false;
+    System system(4, config);
+    // Live chains of depth 1..8 hops from a root.
+    const ObjectId root = system.NewObject(0, 8);
+    system.SetPersistentRoot(root);
+    for (int depth = 1; depth <= 8; ++depth) {
+      workload::AttachChain(system, root, depth - 1, depth);
+    }
+    system.RunRounds(12);
+    live_suspects = 0;
+    live_iorefs = 0;
+    for (SiteId s = 0; s < 4; ++s) {
+      for (const auto& [obj, entry] : system.site(s).tables().inrefs()) {
+        (void)obj;
+        ++live_iorefs;
+        if (!entry.clean(threshold)) ++live_suspects;
+      }
+    }
+  }
+  state.counters["threshold_D"] = static_cast<double>(threshold);
+  state.counters["live_inrefs"] = static_cast<double>(live_iorefs);
+  state.counters["false_suspects"] = static_cast<double>(live_suspects);
+}
+BENCHMARK(BM_FalseSuspectsVsThreshold)->Arg(1)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

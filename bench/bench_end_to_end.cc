@@ -1,0 +1,125 @@
+// End-to-end experiment: the whole system on realistic workloads.
+//
+//   * Hypertext webs (the paper's motivating example: documents form large,
+//     complex inter-site cycles): rounds and messages until the unrooted
+//     half of the web is fully reclaimed, with safety/completeness checks.
+//   * Steady-state overhead: per-round message cost of the scheme on a
+//     purely live world (the price of distances + back thresholds when
+//     there is nothing to collect).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace dgc;
+
+void BM_EndToEnd_HypertextWeb(benchmark::State& state) {
+  const std::size_t documents = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds_needed = 0;
+  std::uint64_t messages = 0;
+  bool safe = false, complete = false;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length =
+        static_cast<Distance>(documents);  // webs have long cycles
+    System system(4, config, NetworkConfig{}, /*seed=*/5);
+    Rng rng(17);
+    workload::HypertextSpec spec;
+    spec.sites = 4;
+    spec.documents = documents;
+    spec.sections_per_document = 3;
+    spec.links_per_document = 3;
+    spec.rooted_fraction = 0.5;
+    workload::BuildHypertextWeb(system, spec, rng);
+    const std::size_t live = system.ComputeLiveSet().size();
+    system.network().ResetStats();
+    rounds_needed = 120;
+    for (std::size_t round = 1; round <= 120; ++round) {
+      system.RunRound();
+      if (system.TotalObjects() == live) {
+        rounds_needed = round;
+        break;
+      }
+    }
+    messages = system.network().stats().inter_site_sent;
+    safe = system.CheckSafety().empty();
+    complete = system.CheckCompleteness().empty();
+  }
+  state.counters["documents"] = static_cast<double>(documents);
+  state.counters["rounds_to_clean"] = static_cast<double>(rounds_needed);
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["safe"] = safe ? 1.0 : 0.0;
+  state.counters["complete"] = complete ? 1.0 : 0.0;
+}
+BENCHMARK(BM_EndToEnd_HypertextWeb)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EndToEnd_SteadyStateOverhead(benchmark::State& state) {
+  const std::size_t sites = static_cast<std::size_t>(state.range(0));
+  std::uint64_t messages_per_round = 0;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    System system(sites, config, NetworkConfig{}, /*seed=*/3);
+    Rng rng(23);
+    workload::RandomGraphSpec spec;
+    spec.sites = sites;
+    spec.objects_per_site = 50;
+    spec.remote_edge_fraction = 0.15;
+    const auto objects = workload::BuildRandomGraph(system, spec, rng);
+    for (std::size_t i = 0; i < objects.size(); i += 10) {
+      system.SetPersistentRoot(objects[i]);
+    }
+    system.RunRounds(12);  // reach steady state (garbage gone, distances set)
+    system.network().ResetStats();
+    system.RunRounds(8);
+    messages_per_round = system.network().stats().inter_site_sent / 8;
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["steady_messages_per_round"] =
+      static_cast<double>(messages_per_round);
+}
+BENCHMARK(BM_EndToEnd_SteadyStateOverhead)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EndToEnd_RandomWorldReclamation(benchmark::State& state) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(state.range(0));
+  std::size_t garbage = 0, rounds_needed = 0;
+  bool safe = false, complete = false;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length = 8;
+    System system(6, config, NetworkConfig{}, seed);
+    Rng rng(seed * 31);
+    workload::RandomGraphSpec spec;
+    spec.sites = 6;
+    spec.objects_per_site = 80;
+    spec.remote_edge_fraction = 0.25;
+    const auto objects = workload::BuildRandomGraph(system, spec, rng);
+    for (const ObjectId id : objects) {
+      if (rng.NextBool(0.04)) system.SetPersistentRoot(id);
+    }
+    const std::size_t live = system.ComputeLiveSet().size();
+    garbage = system.TotalObjects() - live;
+    rounds_needed = 100;
+    for (std::size_t round = 1; round <= 100; ++round) {
+      system.RunRound();
+      if (system.TotalObjects() == live) {
+        rounds_needed = round;
+        break;
+      }
+    }
+    safe = system.CheckSafety().empty();
+    complete = system.CheckCompleteness().empty();
+  }
+  state.counters["garbage_objects"] = static_cast<double>(garbage);
+  state.counters["rounds_to_clean"] = static_cast<double>(rounds_needed);
+  state.counters["safe"] = safe ? 1.0 : 0.0;
+  state.counters["complete"] = complete ? 1.0 : 0.0;
+}
+BENCHMARK(BM_EndToEnd_RandomWorldReclamation)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

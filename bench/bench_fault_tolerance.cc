@@ -1,0 +1,124 @@
+// Experiment §1/§7 (locality under faults): a crashed site must delay only
+// the garbage reachable from its objects.
+//
+// World: two disjoint 2-site garbage rings, A on sites {0,1} and B on sites
+// {2,3}; site 3 is crashed. Back tracing still collects ring A (and ring B
+// after recovery); the global schemes collect NOTHING while any site is
+// down.
+#include <benchmark/benchmark.h>
+
+#include "baselines/global_trace.h"
+#include "baselines/hughes.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+struct TwoRings {
+  workload::CycleHandles a, b;
+};
+
+TwoRings BuildTwoRings(System& system) {
+  TwoRings rings;
+  rings.a = workload::BuildCycle(
+      system, {.sites = 2, .objects_per_site = 1, .first_site = 0});
+  rings.b = workload::BuildCycle(
+      system, {.sites = 2, .objects_per_site = 1, .first_site = 2});
+  return rings;
+}
+
+bool Gone(const System& system, const workload::CycleHandles& cycle) {
+  for (const ObjectId id : cycle.objects) {
+    if (system.ObjectExists(id)) return false;
+  }
+  return true;
+}
+
+void BM_Faults_BackTracing(benchmark::State& state) {
+  bool a_collected = false, b_blocked = false, b_after_recovery = false;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.back_call_timeout = 300;
+    config.report_timeout = 3000;
+    System system(4, config);
+    const TwoRings rings = BuildTwoRings(system);
+    system.network().SetSiteDown(3, true);
+    system.RunRounds(25);
+    a_collected = Gone(system, rings.a);
+    b_blocked = !Gone(system, rings.b);  // delayed, safely
+    system.network().SetSiteDown(3, false);
+    system.RunRounds(30);
+    b_after_recovery = Gone(system, rings.b);
+  }
+  state.counters["ringA_collected_during_crash"] = a_collected ? 1.0 : 0.0;
+  state.counters["ringB_safely_delayed"] = b_blocked ? 1.0 : 0.0;
+  state.counters["ringB_collected_after_recovery"] =
+      b_after_recovery ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Faults_BackTracing);
+
+void BM_Faults_GlobalTrace(benchmark::State& state) {
+  bool anything_collected = true;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.enable_back_tracing = false;
+    System system(4, config);
+    BuildTwoRings(system);
+    system.network().SetSiteDown(3, true);
+    baselines::GlobalTraceCollector collector(system);
+    const auto stats = collector.RunCycle(/*max_wait=*/30'000);
+    anything_collected = stats.completed && stats.objects_swept > 0;
+  }
+  state.counters["anything_collected_during_crash"] =
+      anything_collected ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Faults_GlobalTrace);
+
+void BM_Faults_Hughes(benchmark::State& state) {
+  bool anything_collected = true;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.enable_back_tracing = false;
+    System system(4, config);
+    BuildTwoRings(system);
+    baselines::HughesCollector collector(system, /*lag_rounds=*/4);
+    system.network().SetSiteDown(3, true);
+    for (int round = 0; round < 25; ++round) collector.RunRound();
+    anything_collected = collector.stats().objects_swept > 0;
+  }
+  state.counters["anything_collected_during_crash"] =
+      anything_collected ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Faults_Hughes);
+
+// Message loss: back tracing under a lossy network — collection is delayed
+// (timeouts answer Live) but remains safe, and eventually succeeds thanks to
+// periodic update refresh and trace retries.
+void BM_Faults_BackTracingUnderLoss(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t rounds_needed = 0;
+  bool safe = true;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.back_call_timeout = 200;
+    config.report_timeout = 2000;
+    NetworkConfig net;
+    net.drop_probability = loss;
+    System system(4, config, net, /*seed=*/99);
+    const auto cycle = workload::BuildCycle(
+        system, {.sites = 4, .objects_per_site = 1});
+    const ObjectId live = system.NewObject(0, 0);
+    system.SetPersistentRoot(live);
+    rounds_needed = dgc::bench::RoundsUntilCollected(system, cycle, 120);
+    safe = system.CheckSafety().empty();
+  }
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+  state.counters["rounds_to_collect"] = static_cast<double>(rounds_needed);
+  state.counters["safe"] = safe ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Faults_BackTracingUnderLoss)->Arg(0)->Arg(2)->Arg(10)->Arg(25);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment Fig.3: a branching back trace. From outref d the trace forks at
+// inref c toward sites P and Q; one branch reaches the root path (Live), the
+// other closes on a visited ioref (Garbage). Measures branch counts, message
+// cost of the aborted Live trace, and that nothing is flagged.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/figures.h"
+
+namespace {
+
+using namespace dgc;
+
+void BM_Fig3_BranchingLiveTrace(benchmark::State& state) {
+  std::uint64_t calls = 0, replies = 0;
+  bool live = false;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    // D = 1 so b, c and d are suspected while a (distance 1) stays clean —
+    // the trace must actually branch at inref c instead of stopping at a
+    // clean outref.
+    config.suspicion_threshold = 1;
+    config.enable_back_tracing = false;
+    System system(5, config);
+    const auto w = workload::BuildFigure3(system);
+    system.RunRounds(10);
+    system.network().ResetStats();
+    Site& r = system.site(2);
+    BackResult outcome = BackResult::kGarbage;
+    r.back_tracer().set_outcome_observer(
+        [&](const TraceOutcome& result) { outcome = result.result; });
+    r.back_tracer().StartTrace(w.d);
+    system.SettleNetwork();
+    live = outcome == BackResult::kLive;
+    calls = system.network().stats().count_of<BackLocalCallMsg>();
+    replies = system.network().stats().count_of<BackReplyMsg>();
+    frames = system.AggregateBackTracerStats().frames_created;
+  }
+  state.counters["outcome_live"] = live ? 1.0 : 0.0;
+  state.counters["calls"] = static_cast<double>(calls);
+  state.counters["replies"] = static_cast<double>(replies);
+  state.counters["frames"] = static_cast<double>(frames);
+}
+BENCHMARK(BM_Fig3_BranchingLiveTrace);
+
+// Widening the branch factor: a hub object c on site 0 forms a two-hop
+// garbage cycle with each of k holders on distinct sites (c -> h_i -> c), so
+// inref c has k sources and the trace forks k branches at it. Messages grow
+// with the edges actually traversed (2k inter-site references), not with
+// the system size.
+void BM_Fig3_BranchFactorSweep(benchmark::State& state) {
+  const std::size_t branches = static_cast<std::size_t>(state.range(0));
+  std::uint64_t calls = 0;
+  bool garbage = false;
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    config.estimated_cycle_length = 6;
+    config.enable_back_tracing = false;
+    const std::size_t sites = branches + 2;
+    System system(sites, config);
+    const ObjectId c = system.NewObject(0, branches + 1);
+    const ObjectId d = system.NewObject(1, 0);
+    system.Wire(c, 0, d);
+    for (std::size_t k = 0; k < branches; ++k) {
+      const SiteId hs = static_cast<SiteId>(2 + k);
+      const ObjectId holder = system.NewObject(hs, 1);
+      system.Wire(c, 1 + k, holder);
+      system.Wire(holder, 0, c);
+    }
+    system.RunRounds(12);
+    system.network().ResetStats();
+    Site& site0 = system.site(0);
+    if (site0.tables().FindOutref(d) == nullptr) continue;
+    BackResult outcome = BackResult::kLive;
+    site0.back_tracer().set_outcome_observer(
+        [&](const TraceOutcome& result) { outcome = result.result; });
+    site0.back_tracer().StartTrace(d);
+    system.SettleNetwork();
+    calls = system.network().stats().count_of<BackLocalCallMsg>();
+    garbage = outcome == BackResult::kGarbage;
+  }
+  state.counters["branches"] = static_cast<double>(branches);
+  state.counters["calls"] = static_cast<double>(calls);
+  state.counters["expected_calls_2k"] = static_cast<double>(2 * branches);
+  state.counters["outcome_garbage"] = garbage ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Fig3_BranchFactorSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

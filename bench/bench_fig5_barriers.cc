@@ -1,0 +1,104 @@
+// Experiment Fig.5: the transfer/insert barriers under the figure's mutation
+// (create y->z, delete d->e) across a sweep of mutation timings. Reports
+// barrier hit counts, clean-rule activations, and the end state: live
+// objects survive, the dead tail {e, f, x} is reclaimed.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mutator/session.h"
+#include "workload/figures.h"
+
+namespace {
+
+using namespace dgc;
+
+void BM_Fig5_MutationRaceSweep(benchmark::State& state) {
+  const SimTime mutation_delay = state.range(0);
+  bool safe = false, tail_collected = false;
+  std::uint64_t barrier_hits = 0, clean_rule_hits = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length = 3;
+    NetworkConfig net;
+    net.latency = 30;
+    System system(4, config, net);
+    const auto w = workload::BuildFigure5(system, /*with_second_source=*/false);
+    system.RunRounds(5);
+
+    Session session(system, 1, 1);
+    system.site(1).ApplyTransferBarrier(w.f);  // traversal reached f
+    session.Hold(w.z);
+    system.RunRoundStaggered(15);
+    system.scheduler().RunUntil(system.scheduler().now() + mutation_delay);
+    system.site(1).heap().SetSlot(w.y, 0, w.z);  // y -> z (local copy)
+    system.Unwire(w.d, 0);                       // delete d -> e
+    session.ReleaseAll();
+    system.RunRounds(20);
+
+    safe = system.CheckSafety().empty();
+    tail_collected = !system.ObjectExists(w.e) && !system.ObjectExists(w.f) &&
+                     !system.ObjectExists(w.x) && system.ObjectExists(w.z) &&
+                     system.ObjectExists(w.g);
+    barrier_hits = 0;
+    clean_rule_hits = 0;
+    for (SiteId s = 0; s < 4; ++s) {
+      barrier_hits += system.site(s).stats().transfer_barrier_hits;
+      clean_rule_hits += system.site(s).back_tracer().stats().clean_rule_hits;
+    }
+  }
+  state.counters["mutation_delay"] = static_cast<double>(mutation_delay);
+  state.counters["safe"] = safe ? 1.0 : 0.0;
+  state.counters["dead_tail_collected_live_kept"] =
+      tail_collected ? 1.0 : 0.0;
+  state.counters["transfer_barrier_hits"] =
+      static_cast<double>(barrier_hits);
+  state.counters["clean_rule_hits"] = static_cast<double>(clean_rule_hits);
+}
+BENCHMARK(BM_Fig5_MutationRaceSweep)
+    ->Arg(0)
+    ->Arg(40)
+    ->Arg(80)
+    ->Arg(160)
+    ->Arg(320);
+
+// Barrier overhead on a mutation-heavy live workload: how often the
+// transfer barrier actually fires (it costs nothing unless the inref is
+// suspected — the paper's "inexpensive" claim).
+void BM_Fig5_BarrierOverhead(benchmark::State& state) {
+  std::uint64_t rpcs = 0, barrier_hits = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 4;
+    System system(3, config);
+    std::vector<ObjectId> containers;
+    for (SiteId s = 0; s < 3; ++s) {
+      const ObjectId container = system.NewObject(s, 2);
+      system.SetPersistentRoot(container);
+      containers.push_back(container);
+    }
+    Session session(system, 0, 1);
+    rpcs = 0;
+    for (int i = 0; i < 100; ++i) {
+      const ObjectId container = containers[i % 3];
+      if (!session.Holds(container)) session.LoadRoot(container);
+      const ObjectId fresh = session.Create(1);
+      session.Write(container, i % 2, fresh);
+      session.Release(fresh);
+      rpcs += 2;
+      if (i % 10 == 9) system.RunRound();
+    }
+    barrier_hits = 0;
+    for (SiteId s = 0; s < 3; ++s) {
+      barrier_hits += system.site(s).stats().transfer_barrier_hits;
+    }
+  }
+  state.counters["rpcs"] = static_cast<double>(rpcs);
+  state.counters["suspected_barrier_hits"] =
+      static_cast<double>(barrier_hits);
+}
+BENCHMARK(BM_Fig5_BarrierOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Experiment Fig.6: the hard race — a branching back trace (inref g sourced
+// from both Q and R) versus a concurrent mutation, where one branch might
+// miss the mutator and the other might see the deletion. The paper's §6.4
+// proof says some ioref's clean period must overlap a trace's active period;
+// sweeping interleavings measures how often each safety mechanism fires and
+// that no interleaving kills a live object.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mutator/session.h"
+#include "workload/figures.h"
+
+namespace {
+
+using namespace dgc;
+
+void BM_Fig6_InterleavingSweep(benchmark::State& state) {
+  const SimTime latency = state.range(0);
+  std::size_t interleavings_tested = 0;
+  std::size_t all_safe = 0;
+  std::uint64_t clean_rule_total = 0;
+  std::uint64_t live_aborts_total = 0;
+  for (auto _ : state) {
+    interleavings_tested = 0;
+    all_safe = 0;
+    clean_rule_total = 0;
+    live_aborts_total = 0;
+    for (SimTime delay = 0; delay <= 300; delay += 30) {
+      CollectorConfig config;
+      config.suspicion_threshold = 3;
+      config.estimated_cycle_length = 3;
+      NetworkConfig net;
+      net.latency = latency;
+      System system(4, config, net);
+      const auto w =
+          workload::BuildFigure5(system, /*with_second_source=*/true);
+      system.RunRounds(5);
+
+      Session session(system, 1, 1);
+      system.site(1).ApplyTransferBarrier(w.f);
+      session.Hold(w.z);
+      system.RunRoundStaggered(10);
+      system.scheduler().RunUntil(system.scheduler().now() + delay);
+      system.site(1).heap().SetSlot(w.y, 0, w.z);
+      system.Unwire(w.d, 0);
+      session.ReleaseAll();
+      system.RunRounds(20);
+
+      ++interleavings_tested;
+      const bool ok = system.CheckSafety().empty() &&
+                      system.ObjectExists(w.z) && system.ObjectExists(w.g);
+      if (ok) ++all_safe;
+      for (SiteId s = 0; s < 4; ++s) {
+        clean_rule_total += system.site(s).back_tracer().stats().clean_rule_hits;
+      }
+      live_aborts_total +=
+          system.AggregateBackTracerStats().traces_completed_live;
+    }
+  }
+  state.counters["latency"] = static_cast<double>(latency);
+  state.counters["interleavings"] = static_cast<double>(interleavings_tested);
+  state.counters["safe_interleavings"] = static_cast<double>(all_safe);
+  state.counters["clean_rule_hits"] = static_cast<double>(clean_rule_total);
+  state.counters["live_aborted_traces"] =
+      static_cast<double>(live_aborts_total);
+}
+BENCHMARK(BM_Fig6_InterleavingSweep)->Arg(5)->Arg(20)->Arg(50)->Arg(90);
+
+// The branching structure itself: back trace from outref g at Q forks at
+// inref g to sources {Q, R}; count the branch fan-out frames.
+void BM_Fig6_BranchFanout(benchmark::State& state) {
+  std::uint64_t frames = 0;
+  bool live = false;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length = 3;
+    config.enable_back_tracing = false;
+    System system(4, config);
+    const auto w = workload::BuildFigure5(system, /*with_second_source=*/true);
+    system.RunRounds(6);
+    Site& q = system.site(1);
+    if (q.tables().FindOutref(w.g) == nullptr) continue;
+    BackResult outcome = BackResult::kGarbage;
+    q.back_tracer().set_outcome_observer(
+        [&](const TraceOutcome& result) { outcome = result.result; });
+    q.back_tracer().StartTrace(w.g);
+    system.SettleNetwork();
+    live = outcome == BackResult::kLive;
+    frames = system.AggregateBackTracerStats().frames_created;
+  }
+  state.counters["outcome_live"] = live ? 1.0 : 0.0;  // old path intact
+  state.counters["frames"] = static_cast<double>(frames);
+}
+BENCHMARK(BM_Fig6_BranchFanout);
+
+// The clean rule firing mid-trace: a trace is parked on a slow link while
+// the transfer barrier cleans its starting ioref; the trace must be forced
+// Live (one clean-rule hit) regardless of what its branches report.
+void BM_Fig6_CleanRuleForcedLive(benchmark::State& state) {
+  std::uint64_t hits = 0;
+  bool live = false;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length = 3;
+    config.enable_back_tracing = false;
+    NetworkConfig net;
+    net.latency = 100;
+    System system(4, config, net);
+    const auto w = workload::BuildFigure5(system, /*with_second_source=*/true);
+    system.RunRounds(6);
+    Site& q = system.site(1);
+    if (q.tables().FindOutref(w.g) == nullptr) continue;
+    BackResult outcome = BackResult::kGarbage;
+    q.back_tracer().set_outcome_observer(
+        [&](const TraceOutcome& result) { outcome = result.result; });
+    q.back_tracer().StartTrace(w.g);
+    system.scheduler().RunUntil(system.scheduler().now() + 10);
+    // The mutator traverses the reference to f: the barrier cleans inref f
+    // and the outrefs in its outset (which includes g) while the trace is
+    // active there.
+    q.ApplyTransferBarrier(w.f);
+    system.SettleNetwork();
+    live = outcome == BackResult::kLive;
+    hits = q.back_tracer().stats().clean_rule_hits;
+  }
+  state.counters["outcome_live"] = live ? 1.0 : 0.0;
+  state.counters["clean_rule_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Fig6_CleanRuleForcedLive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

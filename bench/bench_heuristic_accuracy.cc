@@ -1,0 +1,122 @@
+// Experiment §3 (heuristic choice): "Heuristics that suspect the inrefs not
+// accessed recently are not suitable for persistent stores since live
+// objects might not be accessed for long periods."
+//
+// World: per site, a HOT live partition (objects the application touches
+// every round), a COLD live partition (rooted but never accessed — archives,
+// old documents), and inter-site garbage cycles. Two suspicion heuristics
+// judge every inref:
+//   * distance (the paper's): estimated distance > D;
+//   * recency (the rejected alternative): no access within the TTL.
+// Reported: false suspects among live inrefs and missed garbage, per
+// heuristic. Distance stays exact on cold-but-rooted data; recency condemns
+// all of it.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+void BM_Heuristic_DistanceVsRecency(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const SimTime recency_ttl = state.range(1);
+  std::size_t live_inrefs = 0;
+  std::size_t distance_false = 0, recency_false = 0;
+  std::size_t garbage_inrefs = 0;
+  std::size_t distance_found = 0, recency_found = 0;
+  for (auto _ : state) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.enable_back_tracing = false;  // judge the heuristics only
+    System system(4, config);
+
+    // Access log for the recency heuristic.
+    std::map<ObjectId, SimTime> last_access;
+
+    // COLD live: per site, a rooted chain through the next site (so the
+    // remote hop creates a real inref), never accessed again.
+    std::vector<ObjectId> cold;
+    for (SiteId s = 0; s < 4; ++s) {
+      const ObjectId root = system.NewObject(s, 1);
+      system.SetPersistentRoot(root);
+      const ObjectId archived = system.NewObject((s + 1) % 4, 0);
+      system.Wire(root, 0, archived);
+      cold.push_back(archived);
+      last_access[archived] = 0;
+    }
+    // HOT live: same shape, but "touched" every round.
+    std::vector<ObjectId> hot;
+    for (SiteId s = 0; s < 4; ++s) {
+      const ObjectId root = system.NewObject(s, 1);
+      system.SetPersistentRoot(root);
+      const ObjectId touched = system.NewObject((s + 1) % 4, 0);
+      system.Wire(root, 0, touched);
+      hot.push_back(touched);
+      last_access[touched] = 0;
+    }
+    // Garbage: two 2-site cycles.
+    const auto g1 = workload::BuildCycle(
+        system, {.sites = 2, .objects_per_site = 1, .first_site = 0});
+    const auto g2 = workload::BuildCycle(
+        system, {.sites = 2, .objects_per_site = 1, .first_site = 2});
+    for (const ObjectId id : g1.objects) last_access[id] = 0;
+    for (const ObjectId id : g2.objects) last_access[id] = 0;
+
+    for (int round = 0; round < rounds; ++round) {
+      system.AdvanceTime(100);
+      for (const ObjectId id : hot) {
+        last_access[id] = system.scheduler().now();  // application touch
+      }
+      system.RunRound();
+    }
+
+    // Judge every inref against the truth.
+    const auto live = system.ComputeLiveSet();
+    live_inrefs = distance_false = recency_false = 0;
+    garbage_inrefs = distance_found = recency_found = 0;
+    const SimTime now = system.scheduler().now();
+    for (SiteId s = 0; s < 4; ++s) {
+      for (const auto& [obj, entry] : system.site(s).tables().inrefs()) {
+        const bool is_live = live.contains(obj);
+        const bool distance_suspects =
+            !entry.clean(config.suspicion_threshold);
+        const auto access = last_access.find(obj);
+        const SimTime accessed_at =
+            access == last_access.end() ? 0 : access->second;
+        const bool recency_suspects = now - accessed_at > recency_ttl;
+        if (is_live) {
+          ++live_inrefs;
+          if (distance_suspects) ++distance_false;
+          if (recency_suspects) ++recency_false;
+        } else {
+          ++garbage_inrefs;
+          if (distance_suspects) ++distance_found;
+          if (recency_suspects) ++recency_found;
+        }
+      }
+    }
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["recency_ttl"] = static_cast<double>(recency_ttl);
+  state.counters["live_inrefs"] = static_cast<double>(live_inrefs);
+  state.counters["distance_false_suspects"] =
+      static_cast<double>(distance_false);
+  state.counters["recency_false_suspects"] =
+      static_cast<double>(recency_false);
+  state.counters["garbage_inrefs"] = static_cast<double>(garbage_inrefs);
+  state.counters["distance_detected"] = static_cast<double>(distance_found);
+  state.counters["recency_detected"] = static_cast<double>(recency_found);
+}
+BENCHMARK(BM_Heuristic_DistanceVsRecency)
+    ->Args({10, 500})
+    ->Args({20, 500})
+    ->Args({20, 2000})
+    ->Args({40, 2000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

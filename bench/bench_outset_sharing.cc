@@ -1,0 +1,133 @@
+// Experiment §5.2 (storage): canonical outsets + memoized unions.
+//
+// The paper argues that on well-clustered sites there are far fewer distinct
+// outsets than suspected objects (chains and SCCs share one outset), that
+// memoization answers repeated unions in O(1), and that retained back
+// information costs O(ni + no)-flavoured space rather than per-object space.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "backinfo/outset_store.h"
+#include "backinfo/suspect_trace.h"
+#include "common/rng.h"
+#include "store/heap.h"
+
+namespace {
+
+using namespace dgc;
+
+struct BenchEnv {
+  bool ObjectIsCleanMarked(ObjectId) const { return false; }
+  bool OutrefIsClean(ObjectId) const { return false; }
+  void OnSuspectMarked(ObjectId) {}
+  std::size_t marked = 0;
+};
+
+/// Clustered world: `clusters` locally-connected blobs of `objects_per`
+/// objects, each blob holding `outrefs_per` remote refs; `inrefs_per` inrefs
+/// enter each blob. Objects within a blob share outsets.
+struct ClusteredWorld {
+  Heap heap{0};
+  std::vector<ObjectId> roots;
+  std::size_t total_objects = 0;
+
+  ClusteredWorld(std::size_t clusters, std::size_t objects_per,
+                 std::size_t outrefs_per, std::size_t inrefs_per,
+                 std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      std::vector<ObjectId> blob;
+      for (std::size_t i = 0; i < objects_per; ++i) {
+        blob.push_back(heap.Allocate(3));
+      }
+      // Local chain + random local chords: one SCC-ish blob.
+      for (std::size_t i = 0; i < objects_per; ++i) {
+        heap.SetSlot(blob[i], 0, blob[(i + 1) % objects_per]);
+        heap.SetSlot(blob[i], 1, blob[rng.NextBelow(objects_per)]);
+      }
+      for (std::size_t o = 0; o < outrefs_per; ++o) {
+        heap.SetSlot(blob[rng.NextBelow(objects_per)], 2,
+                     ObjectId{static_cast<SiteId>(1 + o % 3), c * 100 + o});
+      }
+      for (std::size_t i = 0; i < inrefs_per; ++i) {
+        const ObjectId root = heap.Allocate(1);
+        heap.SetSlot(root, 0, blob[rng.NextBelow(objects_per)]);
+        roots.push_back(root);
+      }
+      total_objects += objects_per;
+    }
+  }
+};
+
+void BM_OutsetSharing_Clustered(benchmark::State& state) {
+  ClusteredWorld world(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(1)),
+                       /*outrefs_per=*/4, /*inrefs_per=*/4, /*seed=*/7);
+  OutsetStore::Stats stats{};
+  std::size_t distinct = 0;
+  std::size_t suspects = 0;
+  for (auto _ : state) {
+    BenchEnv env;
+    OutsetStore store;
+    BottomUpOutsetComputer<BenchEnv> computer(world.heap, store, env);
+    for (const ObjectId root : world.roots) {
+      benchmark::DoNotOptimize(computer.TraceFrom(root));
+    }
+    stats = store.stats();
+    distinct = store.distinct_outsets();
+    suspects = computer.stats().objects_traced;
+  }
+  state.counters["suspected_objects"] = static_cast<double>(suspects);
+  state.counters["distinct_outsets"] = static_cast<double>(distinct);
+  state.counters["sharing_ratio"] =
+      static_cast<double>(suspects) / static_cast<double>(distinct);
+  state.counters["unions_requested"] =
+      static_cast<double>(stats.unions_requested);
+  state.counters["unions_computed"] =
+      static_cast<double>(stats.unions_computed);
+  state.counters["memo_hit_pct"] =
+      100.0 * static_cast<double>(stats.unions_memo_hits + stats.unions_trivial) /
+      static_cast<double>(stats.unions_requested ? stats.unions_requested : 1);
+  state.counters["stored_elements"] =
+      static_cast<double>(stats.stored_elements);
+}
+BENCHMARK(BM_OutsetSharing_Clustered)
+    ->Args({4, 100})
+    ->Args({16, 100})
+    ->Args({16, 1000})
+    ->Args({64, 1000});
+
+// Space claim: retained back info is O(ni * no) worst case but O(ni + no)
+// in clustered practice. Reports retained elements vs ni, no, and objects.
+void BM_RetainedSpace(benchmark::State& state) {
+  ClusteredWorld world(static_cast<std::size_t>(state.range(0)),
+                       /*objects_per=*/200, /*outrefs_per=*/6,
+                       /*inrefs_per=*/6, /*seed=*/11);
+  std::size_t retained = 0;
+  std::size_t ni = world.roots.size();
+  std::set<ObjectId> outrefs;
+  for (auto _ : state) {
+    BenchEnv env;
+    OutsetStore store;
+    BottomUpOutsetComputer<BenchEnv> computer(world.heap, store, env);
+    retained = 0;
+    outrefs.clear();
+    for (const ObjectId root : world.roots) {
+      const auto& outset = store.Get(computer.TraceFrom(root));
+      retained += outset.size();
+      outrefs.insert(outset.begin(), outset.end());
+    }
+  }
+  state.counters["ni_suspected_inrefs"] = static_cast<double>(ni);
+  state.counters["no_suspected_outrefs"] = static_cast<double>(outrefs.size());
+  state.counters["retained_elements"] = static_cast<double>(retained);
+  state.counters["ni_times_no"] =
+      static_cast<double>(ni) * static_cast<double>(outrefs.size());
+  state.counters["objects"] = static_cast<double>(world.total_objects);
+}
+BENCHMARK(BM_RetainedSpace)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "workload/builders.h"
+
+namespace dgc::bench {
+
+/// Collector tuning used across benches unless a bench sweeps it.
+inline CollectorConfig DefaultConfig() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 4;
+  config.back_threshold_increment = 2;
+  return config;
+}
+
+/// Runs rounds until the ring cycle is fully reclaimed; returns the number
+/// of rounds taken (or max_rounds if it never happened).
+inline std::size_t RoundsUntilCollected(System& system,
+                                        const workload::CycleHandles& cycle,
+                                        std::size_t max_rounds) {
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    system.RunRound();
+    bool any = false;
+    for (const ObjectId id : cycle.objects) {
+      if (system.ObjectExists(id)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return round;
+  }
+  return max_rounds;
+}
+
+}  // namespace dgc::bench

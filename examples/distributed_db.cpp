@@ -1,0 +1,99 @@
+// Distributed object database — a Thor-flavoured scenario (the system the
+// authors designed this collector for, LAC+96).
+//
+// Three sites host a rooted catalog each. Client sessions (mutators) run
+// against their home sites: they create order objects, cross-link them into
+// remote catalogs (every reference transfer goes through the real RPC path,
+// firing the transfer and insert barriers), and later unlink them. Orphaned
+// order chains — including cross-site mutual references — are reclaimed by
+// the collector while clients keep running.
+#include <cstdio>
+
+#include "core/system.h"
+#include "mutator/session.h"
+
+int main() {
+  using namespace dgc;
+
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 4;
+  System system(3, config);
+
+  // One rooted catalog per site, four slots each.
+  ObjectId catalogs[3];
+  for (SiteId s = 0; s < 3; ++s) {
+    catalogs[s] = system.NewObject(s, 4);
+    system.SetPersistentRoot(catalogs[s]);
+  }
+
+  Session alice(system, 0, 1);
+  Session bob(system, 1, 2);
+
+  // Alice creates an order with a line-item and publishes it in her
+  // catalog, then also into Bob's (remote write: insert barrier fires).
+  alice.LoadRoot(catalogs[0]);
+  alice.LoadRoot(catalogs[1]);
+  const ObjectId order = alice.Create(2);
+  const ObjectId item = alice.Create(1);
+  alice.Write(order, 0, item);
+  alice.Write(catalogs[0], 0, order);
+  alice.Write(catalogs[1], 0, order);
+  std::printf("alice published order %llu:%llu to catalogs on sites 0 and 1\n",
+              (unsigned long long)order.site, (unsigned long long)order.index);
+
+  // Bob reads the order from his catalog (remote read: transfer barrier at
+  // the owner, arrival cases at his home site) and links a cross-site
+  // "related order" that points back — an inter-site cycle is born.
+  bob.LoadRoot(catalogs[1]);
+  const ObjectId seen = bob.Read(catalogs[1], 0);
+  const ObjectId related = bob.Create(1);
+  bob.Write(related, 0, seen);
+  bob.Write(seen, 1, related);  // order -> related, related -> order
+  bob.Write(catalogs[1], 1, related);
+  std::printf("bob cross-linked a related order: inter-site cycle created\n");
+
+  system.RunRounds(3);
+  std::printf("while referenced: %zu objects stored, safety %s\n",
+              system.TotalObjects(),
+              system.CheckSafety().empty() ? "OK" : "VIOLATED");
+
+  // Both clients retire their references and the catalogs unlink the
+  // orders. The {order <-> related} cycle spans sites 0 and 1: invisible to
+  // local tracing, food for the back tracer.
+  alice.Write(catalogs[0], 0, kInvalidObject);
+  alice.Write(catalogs[1], 0, kInvalidObject);
+  bob.Write(catalogs[1], 1, kInvalidObject);
+  alice.ReleaseAll();
+  bob.ReleaseAll();
+  std::printf("orders unlinked: the cycle is now distributed garbage\n");
+
+  for (int round = 1; round <= 25; ++round) {
+    system.RunRound();
+    if (!system.ObjectExists(order)) {
+      std::printf("round %d: cycle reclaimed by back tracing\n", round);
+      break;
+    }
+  }
+
+  const BackTracerStats bt = system.AggregateBackTracerStats();
+  std::uint64_t barrier_hits = 0;
+  std::uint64_t inserts = 0;
+  for (SiteId s = 0; s < 3; ++s) {
+    barrier_hits += system.site(s).stats().transfer_barrier_hits;
+    inserts += system.site(s).stats().inserts_handled;
+  }
+  std::printf(
+      "\nstats: %llu inserts handled, %llu suspected-inref barrier hits, "
+      "%llu back traces (%llu garbage / %llu live)\n",
+      (unsigned long long)inserts, (unsigned long long)barrier_hits,
+      (unsigned long long)bt.traces_started,
+      (unsigned long long)bt.traces_completed_garbage,
+      (unsigned long long)bt.traces_completed_live);
+  std::printf("final: %zu objects stored (3 catalogs expected), safety %s, "
+              "completeness %s\n",
+              system.TotalObjects(),
+              system.CheckSafety().empty() ? "OK" : "VIOLATED",
+              system.CheckCompleteness().empty() ? "OK" : "garbage remains");
+  return 0;
+}

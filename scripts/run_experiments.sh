@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: runs the full test suite
+# and all benchmark binaries, teeing results into the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do
+  echo "===== $b"
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,59 @@
+#include "backinfo/outset_store.h"
+
+#include <algorithm>
+
+namespace dgc {
+
+OutsetStore::OutsetId OutsetStore::Singleton(ObjectId ref) {
+  const auto it = singletons_.find(ref);
+  if (it != singletons_.end()) return it->second;
+  const OutsetId id = Intern({ref});
+  singletons_.emplace(ref, id);
+  return id;
+}
+
+OutsetStore::OutsetId OutsetStore::Union(OutsetId a, OutsetId b) {
+  ++stats_.unions_requested;
+  if (a == b || b == kEmpty) {
+    ++stats_.unions_trivial;
+    return a;
+  }
+  if (a == kEmpty) {
+    ++stats_.unions_trivial;
+    return b;
+  }
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  const auto memo = union_memo_.find(key);
+  if (memo != union_memo_.end()) {
+    ++stats_.unions_memo_hits;
+    return memo->second;
+  }
+
+  ++stats_.unions_computed;
+  const std::vector<ObjectId>& va = Get(a);
+  const std::vector<ObjectId>& vb = Get(b);
+  std::vector<ObjectId> merged;
+  merged.reserve(va.size() + vb.size());
+  std::set_union(va.begin(), va.end(), vb.begin(), vb.end(),
+                 std::back_inserter(merged));
+  const OutsetId id = Intern(std::move(merged));
+  union_memo_.emplace(key, id);
+  return id;
+}
+
+OutsetStore::OutsetId OutsetStore::Intern(std::vector<ObjectId> canonical) {
+  DGC_DCHECK(std::is_sorted(canonical.begin(), canonical.end()));
+  const auto it = by_content_.find(canonical);
+  if (it != by_content_.end()) {
+    ++stats_.interned_existing;
+    return it->second;
+  }
+  const OutsetId id = static_cast<OutsetId>(sets_.size());
+  stats_.stored_elements += canonical.size();
+  by_content_.emplace(canonical, id);
+  sets_.push_back(std::move(canonical));
+  return id;
+}
+
+}  // namespace dgc

@@ -1,0 +1,76 @@
+// Canonical storage for outsets (Section 5.2).
+//
+// An outset is a set of suspected outrefs (remote references). The paper's
+// efficiency argument rests on two observations implemented here:
+//   1. suspects with equal outsets share storage — the store interns every
+//      set in canonical (sorted) form and hands out small ids;
+//   2. unions are memoized — a hash table maps pairs of outset ids to the id
+//      of their union, so repeating a union costs O(1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace dgc {
+
+class OutsetStore {
+ public:
+  using OutsetId = std::uint32_t;
+
+  static constexpr OutsetId kEmpty = 0;
+
+  OutsetStore() { sets_.emplace_back(); /* id 0 = empty set */ }
+
+  /// Interns {ref} and returns its id.
+  OutsetId Singleton(ObjectId ref);
+
+  /// Returns the id of a ∪ b, memoized.
+  OutsetId Union(OutsetId a, OutsetId b);
+
+  /// Returns the id of a ∪ {ref}.
+  OutsetId Add(OutsetId a, ObjectId ref) { return Union(a, Singleton(ref)); }
+
+  /// The canonical (sorted, deduplicated) members of an outset.
+  [[nodiscard]] const std::vector<ObjectId>& Get(OutsetId id) const {
+    DGC_CHECK(id < sets_.size());
+    return sets_[id];
+  }
+
+  [[nodiscard]] std::size_t distinct_outsets() const { return sets_.size(); }
+
+  struct Stats {
+    std::uint64_t unions_requested = 0;
+    std::uint64_t unions_memo_hits = 0;   // answered by the pair memo
+    std::uint64_t unions_trivial = 0;     // empty/equal operands
+    std::uint64_t unions_computed = 0;    // actually merged element-wise
+    std::uint64_t interned_existing = 0;  // merge produced an existing set
+    std::uint64_t stored_elements = 0;    // Σ |set| over distinct sets
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const std::vector<ObjectId>& v) const noexcept {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL + v.size();
+      for (const ObjectId& id : v) {
+        h = detail::mix64(h ^ std::hash<ObjectId>{}(id));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Interns a canonical vector, returning its id.
+  OutsetId Intern(std::vector<ObjectId> canonical);
+
+  std::vector<std::vector<ObjectId>> sets_;
+  std::unordered_map<std::vector<ObjectId>, OutsetId, VectorHash> by_content_;
+  std::unordered_map<ObjectId, OutsetId> singletons_;
+  std::unordered_map<std::uint64_t, OutsetId> union_memo_;
+  Stats stats_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,40 @@
+// Materialized back information of one site (Section 5).
+//
+// After a local trace, a site retains the outsets of its suspected inrefs and
+// the inverse view, the insets of its suspected outrefs. Back traces consult
+// insets (local steps); the transfer barrier consults outsets (to clean the
+// outrefs reachable from a cleaned inref). During a non-atomic local trace
+// the site holds two copies — the old one serves back traces while the new
+// one is being prepared (Section 6.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dgc {
+
+struct SiteBackInfo {
+  /// Outset per suspected inref: local object -> sorted suspected outrefs.
+  std::map<ObjectId, std::vector<ObjectId>> inref_outsets;
+
+  /// Inset per suspected outref: remote ref -> sorted local inref objects.
+  /// Always the exact inverse of inref_outsets.
+  std::map<ObjectId, std::vector<ObjectId>> outref_insets;
+
+  /// Rebuilds outref_insets from inref_outsets.
+  void RecomputeInsets();
+
+  /// Σ of stored set elements — the O(ni + no)-style space figure reported
+  /// by bench_outset_sharing (counts both views).
+  [[nodiscard]] std::size_t stored_elements() const;
+
+  void clear() {
+    inref_outsets.clear();
+    outref_insets.clear();
+  }
+};
+
+}  // namespace dgc

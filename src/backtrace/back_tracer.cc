@@ -1,0 +1,333 @@
+#include "backtrace/back_tracer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dgc {
+
+BackTracer::BackTracer(SiteId site, RefTables& tables, Network& network,
+                       Scheduler& scheduler,
+                       std::function<const SiteBackInfo&()> back_info,
+                       std::function<bool(ObjectId)> is_root_object)
+    : site_(site),
+      tables_(tables),
+      network_(network),
+      scheduler_(scheduler),
+      back_info_(std::move(back_info)),
+      is_root_object_(std::move(is_root_object)) {
+  DGC_CHECK(back_info_ != nullptr);
+  DGC_CHECK(is_root_object_ != nullptr);
+}
+
+std::size_t BackTracer::MaybeStartTraces() {
+  if (!tables_.config().enable_back_tracing) return 0;
+  // Collect candidates first: starting a trace touches no table state
+  // synchronously (the first step arrives as a self-message), but iterate
+  // defensively anyway.
+  std::vector<ObjectId> candidates;
+  for (const auto& [ref, entry] : tables_.outrefs()) {
+    if (entry.clean()) continue;
+    if (entry.distance == kDistanceInfinity) continue;
+    if (entry.distance <= entry.back_threshold) continue;
+    // Already being examined (by any trace, ours or a peer's): let that
+    // trace finish rather than piling on (Section 4.7).
+    if (!entry.visited.empty()) continue;
+    candidates.push_back(ref);
+  }
+  // Also skip outrefs with a root frame already open (trace started, first
+  // step not yet delivered).
+  for (const auto& [id, frame] : frames_) {
+    (void)id;
+    if (frame.is_root) {
+      candidates.erase(
+          std::remove(candidates.begin(), candidates.end(), frame.start_outref),
+          candidates.end());
+    }
+  }
+  for (const ObjectId ref : candidates) StartTrace(ref);
+  return candidates.size();
+}
+
+TraceId BackTracer::StartTrace(ObjectId outref_ref) {
+  const TraceId trace{site_, next_trace_seq_++};
+  ++stats_.traces_started;
+  Frame& root = CreateFrame(trace, kNoFrame, IorefKind::kOutref, outref_ref);
+  root.is_root = true;
+  root.start_outref = outref_ref;
+  root.started_at = scheduler_.now();
+  root.pending = 1;
+  DGC_LOG_DEBUG("site " << site_ << ": start " << trace << " from outref "
+                        << outref_ref);
+  network_.Send(site_, site_,
+                BackLocalCallMsg{trace, outref_ref, FrameId{site_, root.id}});
+  ArmTimeout(root.id, trace);
+  return trace;
+}
+
+void BackTracer::HandleLocalCall(const Envelope& envelope,
+                                 const BackLocalCallMsg& msg) {
+  ++stats_.calls_handled;
+  OutrefEntry* entry = tables_.FindOutref(msg.ref);
+  if (entry == nullptr) {
+    // The outref was deleted — the reference no longer exists, so this path
+    // backwards is dead (Section 4.4).
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  if (entry->clean()) {
+    Reply(msg.trace, msg.caller, BackResult::kLive, {site_});
+    return;
+  }
+  if (entry->IsVisitedBy(msg.trace)) {
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  entry->MarkVisited(msg.trace);
+  entry->back_threshold += tables_.config().back_threshold_increment;
+  VisitRecord& record = visit_records_[msg.trace];
+  record.outrefs.push_back(msg.ref);
+  record.last_touched = scheduler_.now();
+
+  const SiteBackInfo& info = back_info_();
+  const auto inset_it = info.outref_insets.find(msg.ref);
+  if (inset_it == info.outref_insets.end() || inset_it->second.empty()) {
+    // No recorded local path from any inref: at the last trace this outref
+    // was reachable from no suspected inref (and from no clean one, or it
+    // would be clean). Backwards, the path ends here.
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  Frame& frame = CreateFrame(msg.trace, msg.caller, IorefKind::kOutref, msg.ref);
+  frame.pending = static_cast<int>(inset_it->second.size());
+  for (const ObjectId inref_obj : inset_it->second) {
+    // Local steps stay on this site; sent as self-messages to keep every
+    // step asynchronous (they are not inter-site traffic).
+    network_.Send(site_, site_,
+                  BackRemoteCallMsg{msg.trace, inref_obj,
+                                    FrameId{site_, frame.id}});
+  }
+  ArmTimeout(frame.id, msg.trace);
+  (void)envelope;
+}
+
+void BackTracer::HandleRemoteCall(const Envelope& envelope,
+                                  const BackRemoteCallMsg& msg) {
+  ++stats_.calls_handled;
+  DGC_CHECK(msg.ref.site == site_);
+  InrefEntry* entry = tables_.FindInref(msg.ref);
+  if (entry == nullptr) {
+    // Deleted inref: defensively treat a persistent-root object as live
+    // (possible only under races; costs nothing).
+    const BackResult result = is_root_object_(msg.ref) ? BackResult::kLive
+                                                       : BackResult::kGarbage;
+    Reply(msg.trace, msg.caller, result, {site_});
+    return;
+  }
+  if (entry->garbage_flagged) {
+    // Already condemned by a completed trace; equivalent to deleted.
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  if (is_root_object_(msg.ref) ||
+      entry->clean(tables_.config().suspicion_threshold)) {
+    Reply(msg.trace, msg.caller, BackResult::kLive, {site_});
+    return;
+  }
+  if (entry->IsVisitedBy(msg.trace)) {
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  entry->MarkVisited(msg.trace);
+  entry->back_threshold += tables_.config().back_threshold_increment;
+  VisitRecord& record = visit_records_[msg.trace];
+  record.inrefs.push_back(msg.ref);
+  record.last_touched = scheduler_.now();
+
+  if (entry->sources.empty()) {
+    Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
+    return;
+  }
+  Frame& frame = CreateFrame(msg.trace, msg.caller, IorefKind::kInref, msg.ref);
+  frame.pending = static_cast<int>(entry->sources.size());
+  for (const auto& [source, info] : entry->sources) {
+    (void)info;
+    // Remote step: one inter-site call per source holding the reference —
+    // the "2" in the 2E + P message bound (Section 4.6).
+    network_.Send(site_, source,
+                  BackLocalCallMsg{msg.trace, msg.ref, FrameId{site_, frame.id}});
+  }
+  ArmTimeout(frame.id, msg.trace);
+  (void)envelope;
+}
+
+void BackTracer::HandleReply(const BackReplyMsg& msg) {
+  const auto it = frames_.find(msg.to.frame);
+  if (it == frames_.end() || it->second.trace != msg.trace) {
+    return;  // frame already completed (timeout) — stale reply
+  }
+  Frame& frame = it->second;
+  frame.participants.insert(msg.participants.begin(), msg.participants.end());
+  if (msg.result == BackResult::kLive) frame.result = BackResult::kLive;
+  DGC_CHECK(frame.pending > 0);
+  --frame.pending;
+  // §4.4's early return: once any branch answers Live the frame's answer is
+  // known; answer the caller now and keep the frame only to absorb the
+  // remaining replies. Participants arriving after this are stranded (their
+  // visited marks expire via report_timeout).
+  if (tables_.config().short_circuit_live_replies &&
+      frame.result == BackResult::kLive && !frame.replied) {
+    FinalizeFrame(frame);
+  }
+  if (frame.pending == 0) CompleteFrame(frame);
+}
+
+void BackTracer::Reply(TraceId trace, FrameId to, BackResult result,
+                       std::vector<SiteId> participants) {
+  network_.Send(site_, to.site,
+                BackReplyMsg{trace, to, result, std::move(participants)});
+}
+
+void BackTracer::CompleteFrame(Frame& frame) {
+  if (!frame.replied) FinalizeFrame(frame);
+  frames_.erase(frame.id);
+}
+
+void BackTracer::FinalizeFrame(Frame& frame) {
+  DGC_CHECK(!frame.replied);
+  frame.replied = true;
+  frame.participants.insert(site_);
+  if (frame.is_root) {
+    const BackResult outcome = frame.result;
+    DGC_LOG_DEBUG("site " << site_ << ": " << frame.trace << " completed "
+                          << (outcome == BackResult::kGarbage ? "Garbage"
+                                                              : "Live")
+                          << " with " << frame.participants.size()
+                          << " participants");
+    if (outcome == BackResult::kGarbage) {
+      ++stats_.traces_completed_garbage;
+    } else {
+      ++stats_.traces_completed_live;
+    }
+    // Report phase (Section 4.5): one message per participant, the P term of
+    // the 2E + P bound. The initiator is a participant too; its report is a
+    // self-delivery.
+    for (const SiteId participant : frame.participants) {
+      network_.Send(site_, participant, BackReportMsg{frame.trace, outcome});
+    }
+    if (outcome_observer_) {
+      outcome_observer_(TraceOutcome{frame.trace, frame.start_outref, outcome,
+                                     frame.started_at, scheduler_.now(),
+                                     frame.participants.size()});
+    }
+  } else {
+    Reply(frame.trace, frame.parent, frame.result,
+          {frame.participants.begin(), frame.participants.end()});
+  }
+}
+
+BackTracer::Frame& BackTracer::CreateFrame(TraceId trace, FrameId parent,
+                                           IorefKind kind, ObjectId ioref) {
+  const std::uint64_t id = next_frame_++;
+  Frame frame;
+  frame.id = id;
+  frame.trace = trace;
+  frame.parent = parent;
+  frame.kind = kind;
+  frame.ioref = ioref;
+  ++stats_.frames_created;
+  return frames_.emplace(id, std::move(frame)).first->second;
+}
+
+void BackTracer::ArmTimeout(std::uint64_t frame_id, TraceId trace) {
+  const SimTime timeout = tables_.config().back_call_timeout;
+  if (timeout <= 0) return;
+  scheduler_.After(timeout, [this, frame_id, trace] {
+    const auto it = frames_.find(frame_id);
+    if (it == frames_.end() || it->second.trace != trace) return;
+    Frame& frame = it->second;
+    if (frame.pending <= 0) return;
+    // A missing reply is safely assumed Live (Section 4.6).
+    ++stats_.timeouts;
+    frame.result = BackResult::kLive;
+    frame.pending = 0;
+    CompleteFrame(frame);
+  });
+}
+
+void BackTracer::OnIorefCleaned(IorefKind kind, ObjectId ref) {
+  for (auto& [id, frame] : frames_) {
+    (void)id;
+    if (frame.kind == kind && frame.ioref == ref &&
+        frame.result != BackResult::kLive) {
+      frame.result = BackResult::kLive;
+      ++stats_.clean_rule_hits;
+      DGC_LOG_DEBUG("site " << site_ << ": clean rule forces " << frame.trace
+                            << " Live at "
+                            << (kind == IorefKind::kInref ? "inref " : "outref ")
+                            << ref);
+      if (tables_.config().short_circuit_live_replies && !frame.replied) {
+        FinalizeFrame(frame);  // answer known; propagate it promptly
+      }
+    }
+  }
+}
+
+void BackTracer::HandleReport(const BackReportMsg& msg) {
+  const auto it = visit_records_.find(msg.trace);
+  if (it == visit_records_.end()) return;
+  const VisitRecord& record = it->second;
+  if (msg.outcome == BackResult::kGarbage) {
+    for (const ObjectId inref_obj : record.inrefs) {
+      if (InrefEntry* entry = tables_.FindInref(inref_obj)) {
+        if (!entry->garbage_flagged) {
+          entry->garbage_flagged = true;
+          ++stats_.inrefs_flagged;
+        }
+      }
+    }
+  }
+  ClearRecordMarks(record, msg.trace);
+  visit_records_.erase(it);
+}
+
+void BackTracer::ExpireStaleRecords() {
+  const SimTime timeout = tables_.config().report_timeout;
+  if (timeout <= 0) return;
+  const SimTime now = scheduler_.now();
+  for (auto it = visit_records_.begin(); it != visit_records_.end();) {
+    if (now - it->second.last_touched >= timeout) {
+      // Assume the outcome was Live (Section 4.6): just clear the marks.
+      ClearRecordMarks(it->second, it->first);
+      ++stats_.records_expired;
+      it = visit_records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BackTracer::DropVolatileState() {
+  frames_.clear();
+  for (const auto& [trace, record] : visit_records_) {
+    ClearRecordMarks(record, trace);
+  }
+  visit_records_.clear();
+}
+
+void BackTracer::ClearRecordMarks(const VisitRecord& record, TraceId trace) {
+  for (const ObjectId inref_obj : record.inrefs) {
+    if (InrefEntry* entry = tables_.FindInref(inref_obj)) {
+      entry->ClearVisited(trace);
+    }
+  }
+  for (const ObjectId outref : record.outrefs) {
+    if (OutrefEntry* entry = tables_.FindOutref(outref)) {
+      entry->ClearVisited(trace);
+    }
+  }
+}
+
+}  // namespace dgc

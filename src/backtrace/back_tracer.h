@@ -1,0 +1,169 @@
+// The back-tracing engine (Section 4) — the paper's primary contribution.
+//
+// A back trace checks whether a suspected object is reachable from any root
+// by tracing the reference graph *backwards*, leaping between iorefs:
+//
+//   * a local step goes from an outref to the inrefs in its inset (computed
+//     by the local trace, Section 5); it stays on one site;
+//   * a remote step goes from an inref to the corresponding outrefs on its
+//     source sites; it crosses sites.
+//
+// Both steps are asynchronous calls carried as messages; an activation frame
+// per call holds the return address, a pending count and the accumulated
+// result, exactly as Section 4.4 describes. Reaching a clean ioref answers
+// Live; a trace that closes over only suspected iorefs answers Garbage, and
+// the report phase (Section 4.5) flags every visited inref so the next local
+// traces reclaim the cycle.
+//
+// One deliberate deviation from the paper's pseudocode: a frame replies only
+// after all its children reply, rather than short-circuiting on the first
+// Live. Short-circuiting with parallel branches can strand participants
+// outside the initiator's participant set, leaking visited marks; waiting
+// costs latency only — the message count (2E + P, Section 4.6) is identical.
+// Stranded marks from lost messages are still reclaimed via report_timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "backinfo/site_back_info.h"
+#include "common/config.h"
+#include "common/ids.h"
+#include "net/network.h"
+#include "refs/tables.h"
+#include "sim/scheduler.h"
+
+namespace dgc {
+
+struct BackTracerStats {
+  std::uint64_t traces_started = 0;
+  std::uint64_t traces_completed_garbage = 0;
+  std::uint64_t traces_completed_live = 0;
+  std::uint64_t frames_created = 0;
+  std::uint64_t calls_handled = 0;
+  std::uint64_t clean_rule_hits = 0;  // frames forced Live by the clean rule
+  std::uint64_t timeouts = 0;
+  std::uint64_t inrefs_flagged = 0;
+  std::uint64_t records_expired = 0;
+};
+
+/// Outcome of a completed back trace, delivered to the initiator's observer.
+struct TraceOutcome {
+  TraceId trace;
+  ObjectId start_outref;
+  BackResult result = BackResult::kGarbage;
+  SimTime started_at = 0;
+  SimTime completed_at = 0;
+  std::size_t participants = 0;
+};
+
+class BackTracer {
+ public:
+  /// `back_info` yields the site's *current* back information (the old copy
+  /// while a local trace is in flight, per Section 6.2). `is_root_object`
+  /// answers whether a local object is a persistent or application root.
+  BackTracer(SiteId site, RefTables& tables, Network& network,
+             Scheduler& scheduler,
+             std::function<const SiteBackInfo&()> back_info,
+             std::function<bool(ObjectId)> is_root_object);
+
+  BackTracer(const BackTracer&) = delete;
+  BackTracer& operator=(const BackTracer&) = delete;
+
+  /// Scans suspected outrefs and starts a back trace from each whose
+  /// estimated distance exceeds its back threshold (Section 4.3). Called by
+  /// the site after applying a local trace. Returns the number started.
+  std::size_t MaybeStartTraces();
+
+  /// Unconditionally starts a back trace from the given suspected outref.
+  TraceId StartTrace(ObjectId outref_ref);
+
+  // Message handlers, dispatched by the owning site.
+  void HandleLocalCall(const Envelope& envelope, const BackLocalCallMsg& msg);
+  void HandleRemoteCall(const Envelope& envelope, const BackRemoteCallMsg& msg);
+  void HandleReply(const BackReplyMsg& msg);
+  void HandleReport(const BackReportMsg& msg);
+
+  /// The clean rule (Section 6.4): an ioref was just cleaned; every trace
+  /// with a call active on it must answer Live.
+  void OnIorefCleaned(IorefKind kind, ObjectId ref);
+
+  /// Expires visit records whose trace outcome never arrived (crashed
+  /// initiator / lost report), assuming Live per Section 4.6.
+  void ExpireStaleRecords();
+
+  /// Models a crash-restart of the hosting site: activation frames and the
+  /// per-trace visit records are volatile and vanish (their visited marks on
+  /// the persistent iorefs are cleared — equivalent to recovery-time
+  /// scrubbing); peers waiting on this site's replies recover via their
+  /// call timeouts, which safely assume Live (Section 4.6).
+  void DropVolatileState();
+
+  /// Observer invoked on completion of traces this site initiated.
+  void set_outcome_observer(std::function<void(const TraceOutcome&)> observer) {
+    outcome_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const BackTracerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_frames() const { return frames_.size(); }
+  [[nodiscard]] bool idle() const { return frames_.empty(); }
+
+ private:
+  struct Frame {
+    std::uint64_t id = 0;
+    TraceId trace;
+    FrameId parent;  // kNoFrame for the trace's root frame
+    IorefKind kind = IorefKind::kOutref;
+    ObjectId ioref;
+    int pending = 0;
+    BackResult result = BackResult::kGarbage;
+    std::set<SiteId> participants;
+    bool is_root = false;
+    /// Set once the frame has answered its caller (short-circuit mode may
+    /// answer before all children do; the frame then lingers only to absorb
+    /// straggler replies).
+    bool replied = false;
+    // Root-frame bookkeeping for the outcome report.
+    ObjectId start_outref;
+    SimTime started_at = 0;
+  };
+
+  /// Per-trace record of the iorefs this site marked visited, so the report
+  /// phase can flag or clear them in O(|visited|).
+  struct VisitRecord {
+    std::vector<ObjectId> inrefs;
+    std::vector<ObjectId> outrefs;
+    SimTime last_touched = 0;
+  };
+
+  Frame& CreateFrame(TraceId trace, FrameId parent, IorefKind kind,
+                     ObjectId ioref);
+  void Reply(TraceId trace, FrameId to, BackResult result,
+             std::vector<SiteId> participants);
+  /// Answers the frame's caller (or finishes the trace for a root frame).
+  void FinalizeFrame(Frame& frame);
+  /// Finalizes if not yet done, then erases the frame.
+  void CompleteFrame(Frame& frame);
+  void ArmTimeout(std::uint64_t frame_id, TraceId trace);
+  void ClearRecordMarks(const VisitRecord& record, TraceId trace);
+
+  SiteId site_;
+  RefTables& tables_;
+  Network& network_;
+  Scheduler& scheduler_;
+  std::function<const SiteBackInfo&()> back_info_;
+  std::function<bool(ObjectId)> is_root_object_;
+  std::function<void(const TraceOutcome&)> outcome_observer_;
+
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::unordered_map<TraceId, VisitRecord> visit_records_;
+  std::uint64_t next_frame_ = 1;
+  std::uint32_t next_trace_seq_ = 1;
+  BackTracerStats stats_;
+};
+
+}  // namespace dgc

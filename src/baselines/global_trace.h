@@ -1,0 +1,68 @@
+// Baseline 1 (Section 7, "Global Tracing"): a coordinated global mark-sweep.
+//
+// A coordinator starts a marking wave at every site; marking crosses sites
+// via gray messages (one per inter-site edge traversed); termination is
+// detected by repeated probe rounds (the coordinator keeps asking every site
+// whether any marking happened since the last probe — 2N messages per
+// round). Only when *all* sites are done may anything be swept: the paper's
+// point that a global trace "requires the cooperation of all sites before it
+// can collect any garbage", and a crashed site stalls collection everywhere.
+//
+// The baseline bypasses the inref/outref machinery entirely (it needs no
+// reference listing to be safe); it maintains its own per-site mark sets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/system.h"
+
+namespace dgc::baselines {
+
+class GlobalTraceCollector {
+ public:
+  struct Stats {
+    std::uint64_t control_messages = 0;
+    std::uint64_t gray_messages = 0;
+    std::uint64_t probe_rounds = 0;
+    std::uint64_t objects_swept = 0;
+    SimTime duration = 0;
+    bool completed = false;  // false if a crashed site stalled the trace
+  };
+
+  explicit GlobalTraceCollector(System& system);
+
+  /// Runs one full global collection and drives the scheduler to completion.
+  /// If a site is down, the trace never finishes; `max_wait` bounds the
+  /// simulated time we wait before giving up (completed=false).
+  Stats RunCycle(SimTime max_wait = 1'000'000);
+
+ private:
+  struct SiteState {
+    std::uint64_t epoch = 0;
+    std::unordered_set<std::uint64_t> marked;
+    std::uint64_t work_since_probe = 0;
+  };
+
+  bool HandleMessage(SiteId self, const Envelope& envelope);
+  void MarkLocal(SiteId self, std::deque<ObjectId> gray);
+  void SendControl(SiteId to, GlobalGcControlMsg::Phase phase,
+                   std::uint64_t value);
+
+  System& system_;
+  std::vector<SiteState> states_;
+  std::uint64_t epoch_ = 0;
+
+  // Coordinator-side (site 0) bookkeeping for the in-progress cycle.
+  std::uint64_t pending_probe_replies_ = 0;
+  std::uint64_t probe_work_total_ = 0;
+  std::uint64_t pending_sweep_acks_ = 0;
+  bool cycle_done_ = false;
+  Stats current_;
+};
+
+}  // namespace dgc::baselines

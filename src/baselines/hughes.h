@@ -1,0 +1,84 @@
+// Baseline 2 (Section 7, "Global Tracing"): Hughes's timestamp algorithm.
+//
+// Local traces propagate *timestamps* instead of mark bits: persistent and
+// application roots always carry the current time; a trace pushes each
+// root/inref timestamp to the outrefs reachable from it (max wins), and
+// update messages push outref timestamps into the target sites' inrefs. An
+// object whose inref timestamp falls below a global threshold is garbage.
+//
+// The threshold is the minimum, over ALL sites, of the site's last completed
+// trace time — computed here by a central service polling every site (the
+// logically-central variant of Ladin & Liskov). The paper's criticism, which
+// bench_vs_baselines demonstrates: a single slow or crashed site holds the
+// threshold down and prohibits collection in the entire system, whereas back
+// tracing's cost and fault exposure stay local to the cycle.
+//
+// This baseline replaces the distance machinery entirely; it shares the
+// Network (so messages are counted) and keeps its own timestamp tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/system.h"
+
+namespace dgc::baselines {
+
+// SIMPLIFICATION (documented in DESIGN.md): real Hughes computes the
+// threshold with a virtual-time termination algorithm so that timestamp
+// waves still in flight are never overtaken. Here the threshold is the
+// minimum trace clock from `lag_rounds` rounds ago — safe whenever the
+// world's inter-site diameter (in hops a timestamp needs to travel) is below
+// the lag, which holds for every bench world. The property under comparison
+// is unaffected: the threshold needs *all* sites, so one slow or crashed
+// site blocks collection everywhere.
+class HughesCollector {
+ public:
+  struct Stats {
+    std::uint64_t update_messages = 0;
+    std::uint64_t control_messages = 0;
+    std::uint64_t objects_swept = 0;
+    std::int64_t threshold = 0;
+  };
+
+  explicit HughesCollector(System& system, std::size_t lag_rounds = 10);
+
+  /// One local trace at `site`: stamps outrefs, sends timestamp updates,
+  /// sweeps objects dead under the current global threshold, records the
+  /// site's trace clock.
+  void RunLocalTrace(SiteId site);
+
+  /// Central threshold service: polls every live site's trace clock (2N
+  /// control messages) and publishes min as the new global threshold.
+  /// A down site simply never answers; the threshold then stays put.
+  void UpdateThreshold();
+
+  /// Convenience: one full round (every site traces) + threshold update.
+  void RunRound();
+
+  [[nodiscard]] std::int64_t threshold() const { return threshold_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct SiteState {
+    /// Timestamp per inref'd local object (max over sources' reports).
+    std::map<ObjectId, std::int64_t> inref_stamps;
+    /// Local-trace clock: the time of this site's last completed trace.
+    std::int64_t trace_clock = 0;
+  };
+
+  bool HandleMessage(SiteId self, const Envelope& envelope);
+
+  System& system_;
+  std::vector<SiteState> states_;
+  std::vector<std::int64_t> probe_replies_;
+  std::uint64_t probe_epoch_ = 0;
+  std::size_t lag_rounds_;
+  std::vector<std::int64_t> min_clock_history_;
+  std::int64_t threshold_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dgc::baselines

@@ -1,0 +1,63 @@
+// Baseline 3 (Section 7, "Schemes with Locality"): migration-based cycle
+// collection — the authors' own prior design (ML95) that this paper's back
+// tracing replaces.
+//
+// Suspects (inrefs whose estimated distance exceeds a migration threshold)
+// are physically moved to a site that references them; a distributed garbage
+// cycle converges onto a single site, where the ordinary local trace
+// reclaims it. The paper's criticisms, which bench_vs_baselines quantifies:
+// migration ships whole objects (payload bytes, not just ids) and every
+// reference to a moved object must be patched.
+//
+// Mechanics in this simulator: the object is re-created at the destination
+// under a new identity (a MigrateMsg carries its slots), and one patch
+// message per holder site rewrites references in place — the eager
+// equivalent of forwarding pointers plus lazy patching, with identical
+// message/byte counts, minus the transient forwarder state. Destination
+// choice is the minimum source-site id, processed one suspect at a time with
+// tables refreshed in between, which makes convergence deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/distance.h"
+#include "common/ids.h"
+#include "core/system.h"
+
+namespace dgc::baselines {
+
+class MigrationCollector {
+ public:
+  struct Stats {
+    std::uint64_t migrations = 0;
+    std::uint64_t migrate_messages = 0;
+    std::uint64_t patch_messages = 0;
+    std::uint64_t bytes_moved = 0;
+  };
+
+  MigrationCollector(System& system, Distance migrate_threshold);
+
+  /// Migrates the first (lowest site, lowest object id) suspect whose inref
+  /// distance exceeds the threshold. Returns the object's new identity, or
+  /// nullopt if there was no suspect to move. Call between rounds of normal
+  /// local traces (run the System with back tracing disabled).
+  std::optional<ObjectId> MigrateOneSuspect();
+
+  /// Runs migration passes interleaved with rounds until no suspect remains
+  /// or `max_migrations` is reached. Returns the number of migrations.
+  std::size_t Converge(std::size_t max_migrations = 1000);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Moves `victim` to `destination`: re-creates it, patches every holder,
+  /// and rebuilds the affected table entries.
+  ObjectId Migrate(ObjectId victim, SiteId destination);
+
+  System& system_;
+  Distance migrate_threshold_;
+  Stats stats_;
+};
+
+}  // namespace dgc::baselines

@@ -1,0 +1,51 @@
+// Internal invariant checking.
+//
+// DGC_CHECK is always on (the simulation is the test vehicle; silently
+// corrupt state would invalidate every experiment). DGC_DCHECK compiles out
+// in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgc {
+
+/// Thrown when an internal invariant is violated. Tests assert on this; the
+/// simulation never catches it.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void FailCheck(const char* expr, const char* file, int line,
+                            const std::string& message);
+}  // namespace detail
+
+}  // namespace dgc
+
+#define DGC_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dgc::detail::FailCheck(#cond, __FILE__, __LINE__, std::string()); \
+    }                                                                     \
+  } while (false)
+
+#define DGC_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream dgc_check_os;                            \
+      dgc_check_os << msg;                                        \
+      ::dgc::detail::FailCheck(#cond, __FILE__, __LINE__,         \
+                               dgc_check_os.str());               \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define DGC_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define DGC_DCHECK(cond) DGC_CHECK(cond)
+#endif

@@ -1,0 +1,34 @@
+#include "common/check.h"
+#include "common/ids.h"
+
+#include <ostream>
+
+namespace dgc {
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id) {
+  if (!id.valid()) return os << "obj(invalid)";
+  return os << "obj(s" << id.site << ":" << id.index << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceId& id) {
+  if (!id.valid()) return os << "trace(invalid)";
+  return os << "trace(s" << id.initiator << "#" << id.seq << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const FrameId& id) {
+  if (!id.valid()) return os << "frame(none)";
+  return os << "frame(s" << id.site << ":" << id.frame << ")";
+}
+
+namespace detail {
+
+void FailCheck(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violation at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace dgc

@@ -1,0 +1,118 @@
+// Tunables for the collector and the simulated environment.
+//
+// Defaults follow the paper's guidance: the back threshold D2 = D + L where
+// L is a conservatively estimated (large) cycle length (Section 4.3), and
+// visiting a back trace bumps an ioref's threshold so live suspects stop
+// generating traces while garbage retries periodically.
+#pragma once
+
+#include <cstdint>
+
+#include "common/distance.h"
+
+namespace dgc {
+
+/// Simulated time, in abstract ticks. One mutator action or message hop costs
+/// a few ticks; local traces are minutes apart in the paper, here hundreds of
+/// ticks.
+using SimTime = std::int64_t;
+
+/// How insert messages are delivered (Section 2: "There are various
+/// protocols for sending, deferring, or avoiding insert messages while
+/// ensuring safety").
+enum class InsertMode : std::uint8_t {
+  /// Every operation that created a new outref completes only after the
+  /// reference's owner acknowledges the insert (ML94's synchronous
+  /// inserts). Simplest reasoning, highest latency.
+  kSynchronous,
+  /// Opportunistic deferral of the ack wait, applied only when it is
+  /// provably safe: when the reference's owner IS the site that sent it
+  /// (the common ship-my-own-object case), the insert is sent ahead of the
+  /// operation's reply on the same FIFO channel — the owner registers the
+  /// new source before the sender's operation completes, so no protection
+  /// gap can open. References owned by third parties keep the synchronous
+  /// ack wait (the sender's pinned outref is the retention that makes that
+  /// case sound, and it is only guaranteed to be held while the operation
+  /// is outstanding).
+  kDeferred,
+};
+
+struct CollectorConfig {
+  /// Suspicion threshold D (Section 3): iorefs with estimated distance > D
+  /// are suspected; distance <= D is clean.
+  Distance suspicion_threshold = 4;
+
+  /// Conservative estimate L of the largest cycle length, in inter-site
+  /// references. The initial back threshold is D2 = D + L.
+  Distance estimated_cycle_length = 8;
+
+  /// Increment applied to an ioref's back threshold each time a back trace
+  /// visits it (Section 4.3), so live suspects eventually stop triggering.
+  Distance back_threshold_increment = 4;
+
+  /// Initial back threshold D2 = suspicion_threshold + estimated_cycle_length.
+  [[nodiscard]] Distance initial_back_threshold() const {
+    return suspicion_threshold + estimated_cycle_length;
+  }
+
+  /// Simulated duration of a local trace. Zero models an atomic trace
+  /// (Section 6.1); a positive value exercises the double-buffered back
+  /// information of Section 6.2.
+  SimTime local_trace_duration = 0;
+
+  /// Timeout for a pending back-step call; on expiry the waiting frame
+  /// assumes the answer is Live (Section 4.6). Zero disables timeouts.
+  SimTime back_call_timeout = 0;
+
+  /// How long a participant waits for a trace's final outcome before
+  /// assuming Live and clearing its visited marks (Section 4.6). Checked
+  /// lazily at each local trace. Zero disables expiry.
+  SimTime report_timeout = 0;
+
+  /// Every this-many local traces, a site resends ALL outref distances in
+  /// its update messages instead of only changed ones, so distance
+  /// information lost to dropped messages or crashed sites recovers
+  /// (Section 2 assumes fault-tolerant update messaging, cf. ML94).
+  /// Zero disables refresh (changes only).
+  std::uint64_t update_refresh_period = 4;
+
+  /// Optional source leases: an inref source not refreshed by an update or
+  /// insert within this long is dropped at the next local trace, recovering
+  /// from *lost removal* updates. UNSAFE if set below the sender's refresh
+  /// cadence — a live source could be dropped. Zero (default) disables
+  /// expiry.
+  SimTime source_lease_ttl = 0;
+
+  /// When false, only local tracing runs (the baseline that leaks cycles,
+  /// as in Figure 1 where f and g are never collected).
+  bool enable_back_tracing = true;
+
+  /// Insert protocol variant (see InsertMode).
+  InsertMode insert_mode = InsertMode::kSynchronous;
+
+  /// The paper's pseudocode returns Live as soon as any branch answers Live
+  /// (§4.4). With parallel branches that can strand late-reporting
+  /// participants outside the initiator's report set, leaking their visited
+  /// marks until report_timeout expires them — so it is an opt-in latency
+  /// optimization here (set report_timeout > 0 with it). When false
+  /// (default), a frame replies only after all children answer; the message
+  /// count 2E + P is identical either way.
+  bool short_circuit_live_replies = false;
+};
+
+struct NetworkConfig {
+  /// Fixed transit latency plus uniform jitter in [0, latency_jitter].
+  SimTime latency = 5;
+  SimTime latency_jitter = 0;
+
+  /// Probability that a message is dropped in transit (timeouts recover).
+  double drop_probability = 0.0;
+
+  /// Piggybacking (Section 4.6: protocol messages "are small and can be
+  /// piggybacked"): when positive, messages on a channel are held up to this
+  /// long and flushed together as one wire message. Zero disables batching
+  /// (every payload is its own wire message).
+  SimTime batch_window = 0;
+};
+
+}  // namespace dgc

@@ -1,0 +1,104 @@
+// Strong identifier types shared by every subsystem.
+//
+// The simulated world is a set of sites; each site owns objects. An object is
+// globally named by (owning site, local index). Back traces are globally
+// named by (initiating site, per-site sequence number), and activation frames
+// by (hosting site, per-site frame counter).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace dgc {
+
+/// Identifies a site (a node that stores objects and runs a local collector).
+using SiteId = std::uint32_t;
+
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+
+/// Globally unique name of an object: the owning site plus a site-local index.
+/// Objects never migrate in the core scheme, so the owner is fixed. (The
+/// migration baseline models moved objects with forwarding entries instead of
+/// renaming, matching how migration-based collectors patch references.)
+struct ObjectId {
+  SiteId site = kInvalidSite;
+  std::uint64_t index = 0;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+
+  [[nodiscard]] bool valid() const { return site != kInvalidSite; }
+};
+
+inline constexpr ObjectId kInvalidObject{};
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id);
+
+/// Globally unique back-trace identifier: initiator site in the high bits,
+/// a per-initiator sequence number in the low bits (Section 4.7 of the paper:
+/// "The site starting a trace assigns it a unique id").
+struct TraceId {
+  SiteId initiator = kInvalidSite;
+  std::uint32_t seq = 0;
+
+  friend bool operator==(const TraceId&, const TraceId&) = default;
+  friend auto operator<=>(const TraceId&, const TraceId&) = default;
+
+  [[nodiscard]] bool valid() const { return initiator != kInvalidSite; }
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceId& id);
+
+/// Names an activation frame of a back trace: the site hosting the frame plus
+/// a site-local counter. Replies to back-step calls are addressed to frames.
+struct FrameId {
+  SiteId site = kInvalidSite;
+  std::uint64_t frame = 0;
+
+  friend bool operator==(const FrameId&, const FrameId&) = default;
+  friend auto operator<=>(const FrameId&, const FrameId&) = default;
+
+  [[nodiscard]] bool valid() const { return site != kInvalidSite; }
+};
+
+inline constexpr FrameId kNoFrame{};
+
+std::ostream& operator<<(std::ostream& os, const FrameId& id);
+
+namespace detail {
+// 64-bit mix (splitmix64 finalizer) used to combine id fields into hashes.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+}  // namespace dgc
+
+template <>
+struct std::hash<dgc::ObjectId> {
+  std::size_t operator()(const dgc::ObjectId& id) const noexcept {
+    return static_cast<std::size_t>(
+        dgc::detail::mix64((static_cast<std::uint64_t>(id.site) << 40) ^ id.index));
+  }
+};
+
+template <>
+struct std::hash<dgc::TraceId> {
+  std::size_t operator()(const dgc::TraceId& id) const noexcept {
+    return static_cast<std::size_t>(dgc::detail::mix64(
+        (static_cast<std::uint64_t>(id.initiator) << 32) | id.seq));
+  }
+};
+
+template <>
+struct std::hash<dgc::FrameId> {
+  std::size_t operator()(const dgc::FrameId& id) const noexcept {
+    return static_cast<std::size_t>(
+        dgc::detail::mix64((static_cast<std::uint64_t>(id.site) << 40) ^ id.frame));
+  }
+};

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <utility>
+
+namespace dgc {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, const std::string& message) {
+        const char* tag = "?";
+        switch (level) {
+          case LogLevel::kError: tag = "E"; break;
+          case LogLevel::kInfo: tag = "I"; break;
+          case LogLevel::kDebug: tag = "D"; break;
+          case LogLevel::kTrace: tag = "T"; break;
+          case LogLevel::kOff: tag = "-"; break;
+        }
+        std::cerr << "[dgc:" << tag << "] " << message << '\n';
+      }) {}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace dgc

@@ -1,0 +1,51 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded by construction (a discrete-event loop),
+// so the logger keeps no locks. Logging defaults to off; tests and examples
+// raise the level when diagnosing a scenario.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dgc {
+
+enum class LogLevel { kOff = 0, kError, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level <= level_ && level_ != LogLevel::kOff; }
+
+  /// Replaces the output sink (default: stderr). Tests install a capture sink.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace dgc
+
+#define DGC_LOG(level, expr)                                        \
+  do {                                                              \
+    if (::dgc::Logger::Instance().enabled(level)) {                 \
+      std::ostringstream dgc_log_os;                                \
+      dgc_log_os << expr;                                           \
+      ::dgc::Logger::Instance().Write(level, dgc_log_os.str());     \
+    }                                                               \
+  } while (false)
+
+#define DGC_LOG_INFO(expr) DGC_LOG(::dgc::LogLevel::kInfo, expr)
+#define DGC_LOG_DEBUG(expr) DGC_LOG(::dgc::LogLevel::kDebug, expr)
+#define DGC_LOG_TRACE(expr) DGC_LOG(::dgc::LogLevel::kTrace, expr)
+#define DGC_LOG_ERROR(expr) DGC_LOG(::dgc::LogLevel::kError, expr)

@@ -1,0 +1,25 @@
+// Human-readable views of collector state, for debugging and the examples:
+// per-site table dumps, a whole-system summary, and a Graphviz export of the
+// distributed object graph with the ioref overlay.
+#pragma once
+
+#include <string>
+
+#include "core/site.h"
+#include "core/system.h"
+
+namespace dgc {
+
+/// Multi-line description of one site: heap, roots, inref/outref tables
+/// (distances, cleanliness, flags, pins), back information, tracer state.
+std::string DescribeSite(const Site& site);
+
+/// One line per site plus aggregate network/tracer statistics.
+std::string DescribeSystem(const System& system);
+
+/// Graphviz DOT: sites as clusters, objects as nodes (roots emphasized,
+/// garbage-flagged inref targets marked), references as edges (inter-site
+/// edges labeled with the outref's distance). Paste into `dot -Tsvg`.
+std::string ToDot(const System& system);
+
+}  // namespace dgc

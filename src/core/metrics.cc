@@ -1,0 +1,58 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace dgc {
+
+void MetricsRecorder::Capture(const System& system) {
+  MetricsSample sample;
+  sample.round = system.rounds_run();
+  sample.time = system.scheduler().now();
+  sample.objects_stored = system.TotalObjects();
+  sample.objects_reclaimed = system.TotalObjectsReclaimed();
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    const Site& site = system.site(s);
+    const Distance threshold = site.config().suspicion_threshold;
+    for (const auto& [obj, entry] : site.tables().inrefs()) {
+      (void)obj;
+      if (entry.garbage_flagged) ++sample.garbage_flagged_inrefs;
+      if (!entry.clean(threshold)) ++sample.suspected_inrefs;
+    }
+    for (const auto& [ref, entry] : site.tables().outrefs()) {
+      (void)ref;
+      if (!entry.clean()) ++sample.suspected_outrefs;
+    }
+  }
+  sample.messages_sent = system.network().stats().inter_site_sent;
+  sample.wire_messages = system.network().stats().wire_messages;
+  const BackTracerStats bt = system.AggregateBackTracerStats();
+  sample.traces_started = bt.traces_started;
+  sample.traces_garbage = bt.traces_completed_garbage;
+  sample.traces_live = bt.traces_completed_live;
+  samples_.push_back(sample);
+}
+
+void MetricsRecorder::CaptureRounds(System& system, std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) {
+    system.RunRound();
+    Capture(system);
+  }
+}
+
+std::string MetricsRecorder::ToCsv() const {
+  std::ostringstream os;
+  os << "round,time,objects_stored,objects_reclaimed,suspected_inrefs,"
+        "suspected_outrefs,garbage_flagged_inrefs,messages_sent,"
+        "wire_messages,traces_started,traces_garbage,traces_live\n";
+  for (const MetricsSample& s : samples_) {
+    os << s.round << ',' << s.time << ',' << s.objects_stored << ','
+       << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
+       << s.suspected_outrefs << ',' << s.garbage_flagged_inrefs << ','
+       << s.messages_sent << ',' << s.wire_messages << ','
+       << s.traces_started << ',' << s.traces_garbage << ',' << s.traces_live
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dgc

@@ -1,0 +1,51 @@
+// Time-series metrics: per-round snapshots of the collector's global state,
+// exportable as CSV — the raw material for the paper-style series plots
+// (objects over rounds, suspicion ripening, message traffic, trace outcomes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/system.h"
+
+namespace dgc {
+
+struct MetricsSample {
+  std::size_t round = 0;
+  SimTime time = 0;
+  std::size_t objects_stored = 0;
+  std::uint64_t objects_reclaimed = 0;
+  std::size_t suspected_inrefs = 0;
+  std::size_t suspected_outrefs = 0;
+  std::size_t garbage_flagged_inrefs = 0;
+  std::uint64_t messages_sent = 0;   // cumulative logical
+  std::uint64_t wire_messages = 0;   // cumulative physical
+  std::uint64_t traces_started = 0;  // cumulative
+  std::uint64_t traces_garbage = 0;
+  std::uint64_t traces_live = 0;
+};
+
+class MetricsRecorder {
+ public:
+  /// Takes one snapshot of the system's current state.
+  void Capture(const System& system);
+
+  /// Convenience: runs `rounds` rounds, capturing after each.
+  void CaptureRounds(System& system, std::size_t rounds);
+
+  [[nodiscard]] const std::vector<MetricsSample>& samples() const {
+    return samples_;
+  }
+
+  /// CSV with a header row; one line per sample.
+  [[nodiscard]] std::string ToCsv() const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<MetricsSample> samples_;
+};
+
+}  // namespace dgc

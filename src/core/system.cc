@@ -1,0 +1,272 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dgc {
+
+System::System(std::size_t site_count, const CollectorConfig& collector_config,
+               const NetworkConfig& network_config, std::uint64_t seed)
+    : collector_config_(collector_config),
+      rng_(seed),
+      network_(scheduler_, network_config, rng_.Fork()) {
+  DGC_CHECK(site_count >= 1);
+  sites_.reserve(site_count);
+  for (std::size_t i = 0; i < site_count; ++i) {
+    sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), network_,
+                                            scheduler_, collector_config_));
+  }
+}
+
+ObjectId System::NewObject(SiteId site_id, std::size_t slots) {
+  return site(site_id).heap().Allocate(slots);
+}
+
+void System::SetPersistentRoot(ObjectId obj) {
+  site(obj.site).heap().AddPersistentRoot(obj);
+}
+
+void System::Wire(ObjectId source, std::size_t slot, ObjectId target) {
+  Site& source_site = site(source.site);
+  if (target.valid() && target.site != source.site) {
+    source_site.WireSlotTo(source, slot, target, site(target.site));
+  } else {
+    source_site.WireSlotTo(source, slot, target, source_site);
+  }
+}
+
+void System::Unwire(ObjectId source, std::size_t slot) {
+  site(source.site).heap().SetSlot(source, slot, kInvalidObject);
+}
+
+void System::RunRound() {
+  for (auto& s : sites_) {
+    if (!s->trace_in_flight()) s->StartLocalTrace();
+    SettleNetwork();
+  }
+  ++rounds_;
+}
+
+void System::RunRoundStaggered(SimTime stagger) {
+  SimTime offset = 0;
+  for (auto& s : sites_) {
+    Site* raw = s.get();
+    scheduler_.After(offset, [raw] {
+      if (!raw->trace_in_flight()) raw->StartLocalTrace();
+    });
+    offset += stagger;
+  }
+  SettleNetwork();
+  ++rounds_;
+}
+
+void System::RunRounds(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) RunRound();
+}
+
+void System::SettleNetwork() { scheduler_.RunUntilIdle(); }
+
+std::set<ObjectId> System::ComputeLiveSet() const {
+  std::vector<ObjectId> stack;
+  std::set<ObjectId> live;
+  const auto push = [&](ObjectId id) {
+    if (!id.valid()) return;
+    if (!ObjectExists(id)) return;  // dangling root/pin: ignore here,
+                                    // CheckSafety reports real violations
+    if (live.insert(id).second) stack.push_back(id);
+  };
+  for (const auto& s : sites_) {
+    for (const ObjectId root : s->heap().persistent_roots()) push(root);
+    for (const ObjectId root : s->AppRootObjects()) push(root);
+    for (const ObjectId pinned : s->PinnedRemoteRefs()) push(pinned);
+  }
+  while (!stack.empty()) {
+    const ObjectId current = stack.back();
+    stack.pop_back();
+    for (const ObjectId target : site(current.site).heap().Get(current).slots) {
+      push(target);
+    }
+  }
+  return live;
+}
+
+std::size_t System::TotalObjects() const {
+  std::size_t total = 0;
+  for (const auto& s : sites_) total += s->heap().object_count();
+  return total;
+}
+
+bool System::ObjectExists(ObjectId id) const {
+  if (!id.valid() || id.site >= sites_.size()) return false;
+  return sites_[id.site]->heap().Exists(id);
+}
+
+std::string System::CheckSafety() const {
+  // A live object that was reclaimed would be unreachable via existing
+  // objects, so walk roots without the existence filter and report any edge
+  // into a missing object.
+  std::vector<ObjectId> stack;
+  std::set<ObjectId> seen;
+  std::ostringstream violation;
+  const auto push = [&](ObjectId id, const char* why,
+                        ObjectId holder) -> bool {
+    if (!id.valid()) return true;
+    if (!ObjectExists(id)) {
+      violation << "live object " << id << " (" << why << " of " << holder
+                << ") was reclaimed";
+      return false;
+    }
+    if (seen.insert(id).second) stack.push_back(id);
+    return true;
+  };
+  for (const auto& s : sites_) {
+    for (const ObjectId root : s->heap().persistent_roots()) {
+      if (!push(root, "persistent root", root)) return violation.str();
+    }
+    for (const ObjectId root : s->AppRootObjects()) {
+      if (!push(root, "app root", root)) return violation.str();
+    }
+    for (const ObjectId pinned : s->PinnedRemoteRefs()) {
+      if (!push(pinned, "pinned ref", pinned)) return violation.str();
+    }
+  }
+  while (!stack.empty()) {
+    const ObjectId current = stack.back();
+    stack.pop_back();
+    for (const ObjectId target : site(current.site).heap().Get(current).slots) {
+      if (!push(target, "slot", current)) return violation.str();
+    }
+  }
+  return {};
+}
+
+std::string System::CheckCompleteness() const {
+  const std::set<ObjectId> live = ComputeLiveSet();
+  std::ostringstream violation;
+  for (const auto& s : sites_) {
+    std::string found;
+    s->heap().ForEach([&](ObjectId id, const Object&) {
+      if (found.empty() && !live.contains(id)) {
+        std::ostringstream os;
+        os << "garbage object " << id << " still stored";
+        found = os.str();
+      }
+    });
+    if (!found.empty()) return found;
+  }
+  return {};
+}
+
+std::string System::CheckReferentialIntegrity() const {
+  std::ostringstream violation;
+  const std::set<ObjectId> live = ComputeLiveSet();
+  // Every cross-site reference held by a live object must be covered by an
+  // outref at the holder's site, and every outref by an inref source entry.
+  for (const auto& s : sites_) {
+    for (const ObjectId id : live) {
+      if (id.site != s->id()) continue;
+      for (const ObjectId target : s->heap().Get(id).slots) {
+        if (!target.valid() || target.site == s->id()) continue;
+        if (s->tables().FindOutref(target) == nullptr) {
+          violation << "live object " << id << " holds " << target
+                    << " with no outref at site " << s->id();
+          return violation.str();
+        }
+      }
+    }
+    for (const auto& [ref, entry] : s->tables().outrefs()) {
+      (void)entry;
+      const Site& owner = site(ref.site);
+      const InrefEntry* inref = owner.tables().FindInref(ref);
+      if (inref == nullptr || !inref->sources.contains(s->id())) {
+        violation << "outref " << ref << " at site " << s->id()
+                  << " missing from owner's inref sources";
+        return violation.str();
+      }
+      if (!owner.heap().Exists(ref)) {
+        violation << "outref " << ref << " at site " << s->id()
+                  << " names a reclaimed object";
+        return violation.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string System::CheckLocalSafetyInvariant() const {
+  std::ostringstream violation;
+  for (const auto& s : sites_) {
+    // True local reachability: from each live inref's object, which remote
+    // references (outrefs) does the local heap reach?
+    for (const auto& [inref_obj, inref_entry] : s->tables().inrefs()) {
+      if (inref_entry.garbage_flagged) continue;
+      if (!s->heap().Exists(inref_obj)) continue;
+      // BFS over local objects from inref_obj.
+      std::set<std::uint64_t> seen{inref_obj.index};
+      std::vector<ObjectId> stack{inref_obj};
+      std::set<ObjectId> reached_remote;
+      while (!stack.empty()) {
+        const ObjectId current = stack.back();
+        stack.pop_back();
+        for (const ObjectId target : s->heap().Get(current).slots) {
+          if (!target.valid()) continue;
+          if (target.site != s->id()) {
+            reached_remote.insert(target);
+            continue;
+          }
+          if (!s->heap().Exists(target)) continue;  // racing sweep
+          if (seen.insert(target.index).second) stack.push_back(target);
+        }
+      }
+      for (const ObjectId outref : reached_remote) {
+        const OutrefEntry* entry = s->tables().FindOutref(outref);
+        if (entry == nullptr || entry->clean()) continue;  // clean: exempt
+        const auto inset = s->back_info().outref_insets.find(outref);
+        const bool listed =
+            inset != s->back_info().outref_insets.end() &&
+            std::binary_search(inset->second.begin(), inset->second.end(),
+                               inref_obj);
+        if (!listed) {
+          violation << "site " << s->id() << ": suspected outref " << outref
+                    << " is locally reachable from inref " << inref_obj
+                    << " but its inset omits it";
+          return violation.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string System::CheckAllInvariants() const {
+  if (std::string v = CheckSafety(); !v.empty()) return "safety: " + v;
+  if (std::string v = CheckReferentialIntegrity(); !v.empty()) {
+    return "integrity: " + v;
+  }
+  return {};
+}
+
+BackTracerStats System::AggregateBackTracerStats() const {
+  BackTracerStats total;
+  for (const auto& s : sites_) {
+    const BackTracerStats& stats = s->back_tracer().stats();
+    total.traces_started += stats.traces_started;
+    total.traces_completed_garbage += stats.traces_completed_garbage;
+    total.traces_completed_live += stats.traces_completed_live;
+    total.frames_created += stats.frames_created;
+    total.calls_handled += stats.calls_handled;
+    total.clean_rule_hits += stats.clean_rule_hits;
+    total.timeouts += stats.timeouts;
+    total.inrefs_flagged += stats.inrefs_flagged;
+    total.records_expired += stats.records_expired;
+  }
+  return total;
+}
+
+std::uint64_t System::TotalObjectsReclaimed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sites_) total += s->heap().stats().reclaimed;
+  return total;
+}
+
+}  // namespace dgc

@@ -1,0 +1,180 @@
+#include "localgc/local_collector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "backinfo/suspect_trace.h"
+#include "common/logging.h"
+
+namespace dgc {
+
+namespace {
+
+/// Policy the suspect tracer uses to see this trace's clean results and to
+/// mark suspect objects live for the sweep.
+class SuspectEnv {
+ public:
+  SuspectEnv(Heap& heap, const RefTables& tables, std::uint64_t epoch,
+             const TraceResult& result)
+      : heap_(heap), tables_(tables), epoch_(epoch), result_(result) {}
+
+  [[nodiscard]] bool ObjectIsCleanMarked(ObjectId id) const {
+    return heap_.Get(id).clean_epoch == epoch_;
+  }
+
+  /// Clean for the purposes of outset membership: reached by this trace's
+  /// clean phase, or pinned (insert barrier / mutator variable), which makes
+  /// it forcibly clean until released.
+  [[nodiscard]] bool OutrefIsClean(ObjectId remote_ref) const {
+    if (result_.outrefs_clean.contains(remote_ref)) return true;
+    const OutrefEntry* entry = tables_.FindOutref(remote_ref);
+    DGC_CHECK_MSG(entry != nullptr,
+                  "object holds remote ref " << remote_ref
+                                             << " with no outref");
+    return entry->pin_count > 0;
+  }
+
+  void OnSuspectMarked(ObjectId id) { heap_.Get(id).mark_epoch = epoch_; }
+
+ private:
+  Heap& heap_;
+  const RefTables& tables_;
+  std::uint64_t epoch_;
+  const TraceResult& result_;
+};
+
+}  // namespace
+
+void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
+                                   TraceResult& result) {
+  if (!heap_.Exists(root)) return;  // stale app root; defensive
+  std::vector<ObjectId> stack;
+  Object& root_object = heap_.Get(root);
+  if (root_object.clean_epoch == epoch_) return;
+  root_object.mark_epoch = epoch_;
+  root_object.clean_epoch = epoch_;
+  ++result.stats.objects_marked_clean;
+  stack.push_back(root);
+  const Distance outref_distance = NextDistance(distance);
+  while (!stack.empty()) {
+    const ObjectId current = stack.back();
+    stack.pop_back();
+    for (const ObjectId target : heap_.Get(current).slots) {
+      if (!target.valid()) continue;
+      ++result.stats.edges_scanned_clean;
+      if (target.site != heap_.site()) {
+        // First touch wins the minimum distance because roots are processed
+        // in increasing distance order.
+        auto [it, inserted] =
+            result.outref_distances.emplace(target, outref_distance);
+        if (!inserted) it->second = std::min(it->second, outref_distance);
+        result.outrefs_clean.insert(target);
+        continue;
+      }
+      Object& object = heap_.Get(target);
+      if (object.clean_epoch == epoch_) continue;
+      object.mark_epoch = epoch_;
+      object.clean_epoch = epoch_;
+      ++result.stats.objects_marked_clean;
+      stack.push_back(target);
+    }
+  }
+}
+
+TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
+  const CollectorConfig& config = tables_.config();
+  TraceResult result;
+  result.epoch = ++epoch_;
+
+  for (const auto& [ref, entry] : tables_.outrefs()) {
+    result.snapshot_outrefs.insert(ref);
+    // A pinned outref is an application root / insert-barrier retention:
+    // clean, distance 1, regardless of whether the heap reaches it.
+    if (entry.pin_count > 0) {
+      result.outref_distances.emplace(ref, 1);
+      result.outrefs_clean.insert(ref);
+    }
+  }
+  for (const auto& [obj, entry] : tables_.inrefs()) {
+    (void)entry;
+    result.snapshot_inrefs.insert(obj);
+  }
+
+  // ---- Phase 1: clean marking, roots in increasing distance order. ----
+  for (const ObjectId root : heap_.persistent_roots()) {
+    MarkCleanFrom(root, 0, result);
+  }
+  for (const ObjectId root : app_roots) {
+    MarkCleanFrom(root, 0, result);
+  }
+
+  std::vector<std::pair<Distance, ObjectId>> ordered_inrefs;
+  for (const auto& [obj, entry] : tables_.inrefs()) {
+    if (entry.garbage_flagged) continue;  // confirmed garbage: not a root
+    ordered_inrefs.emplace_back(entry.distance(), obj);
+  }
+  std::sort(ordered_inrefs.begin(), ordered_inrefs.end());
+
+  auto clean_limit = std::partition_point(
+      ordered_inrefs.begin(), ordered_inrefs.end(), [&](const auto& pair) {
+        return pair.first <= config.suspicion_threshold;
+      });
+  for (auto it = ordered_inrefs.begin(); it != clean_limit; ++it) {
+    MarkCleanFrom(it->second, it->first, result);
+  }
+
+  // ---- Phase 2: suspected inrefs — bottom-up outset computation (§5.2).
+  OutsetStore store;
+  SuspectEnv env(heap_, tables_, epoch_, result);
+  BottomUpOutsetComputer<SuspectEnv> computer(heap_, store, env);
+  for (auto it = clean_limit; it != ordered_inrefs.end(); ++it) {
+    const auto [distance, obj] = *it;
+    ++result.stats.suspected_inrefs;
+    DGC_CHECK_MSG(heap_.Exists(obj), "inref names a swept object " << obj);
+    const OutsetStore::OutsetId outset_id = computer.TraceFrom(obj);
+    const std::vector<ObjectId>& outset = store.Get(outset_id);
+    // An inref whose object was reached by the clean phase contributes an
+    // empty outset and is dropped from the back information: it can never
+    // appear in a suspected outref's inset (auxiliary invariant of §6.1.1).
+    if (heap_.Get(obj).clean_epoch == epoch_) continue;
+    const Distance outref_distance = NextDistance(distance);
+    for (const ObjectId outref : outset) {
+      auto [dit, inserted] =
+          result.outref_distances.emplace(outref, outref_distance);
+      if (!inserted) dit->second = std::min(dit->second, outref_distance);
+    }
+    if (!outset.empty()) {
+      result.back_info.inref_outsets.emplace(obj, outset);
+    }
+  }
+  result.back_info.RecomputeInsets();
+  result.stats.suspect_objects_traced = computer.stats().objects_traced;
+  result.stats.suspect_edges_scanned = computer.stats().edges_scanned;
+  result.stats.objects_marked_suspect = computer.stats().objects_traced;
+  result.stats.outset_stats = store.stats();
+  result.stats.distinct_outsets = store.distinct_outsets();
+  result.stats.back_info_elements = result.back_info.stored_elements();
+  result.stats.suspected_outrefs = result.back_info.outref_insets.size();
+
+  // ---- Phase 3: sweep list and untraced outrefs. ----
+  heap_.ForEach([&](ObjectId id, const Object& object) {
+    if (object.mark_epoch != epoch_) result.objects_to_free.push_back(id);
+  });
+  result.stats.objects_swept = result.objects_to_free.size();
+  for (const ObjectId ref : result.snapshot_outrefs) {
+    if (!result.outref_distances.contains(ref)) {
+      result.outrefs_untraced.insert(ref);
+    }
+  }
+
+  DGC_LOG_DEBUG("site " << heap_.site() << " trace " << epoch_ << ": "
+                        << result.stats.objects_marked_clean << " clean, "
+                        << result.stats.objects_marked_suspect << " suspect, "
+                        << result.stats.objects_swept << " swept, "
+                        << result.stats.suspected_inrefs << " suspected inrefs, "
+                        << result.stats.suspected_outrefs
+                        << " suspected outrefs");
+  return result;
+}
+
+}  // namespace dgc

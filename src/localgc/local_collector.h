@@ -1,0 +1,55 @@
+// The local tracing collector (Sections 2, 3 and 5).
+//
+// Each site traces independently, treating persistent roots, application
+// roots and incoming inter-site references (inrefs) as roots. The trace:
+//
+//   1. marks objects reachable from roots and *clean* inrefs (estimated
+//      distance <= the suspicion threshold), processing inrefs in increasing
+//      distance order so that the first touch of an outref yields its minimum
+//      distance (Section 3's distance propagation);
+//   2. traces the remaining, *suspected* inrefs with the SCC-aware bottom-up
+//      outset computation of Section 5.2, producing the back information used
+//      by back traces;
+//   3. records the objects and outrefs reached by neither phase for sweeping
+//      and trimming.
+//
+// Garbage-flagged inrefs (confirmed by a completed back trace) are not roots,
+// which is how a confirmed cycle actually dies (Section 4.5).
+#pragma once
+
+#include <vector>
+
+#include "localgc/trace_result.h"
+#include "refs/tables.h"
+#include "store/heap.h"
+
+namespace dgc {
+
+class LocalCollector {
+ public:
+  LocalCollector(Heap& heap, RefTables& tables)
+      : heap_(heap), tables_(tables) {}
+
+  LocalCollector(const LocalCollector&) = delete;
+  LocalCollector& operator=(const LocalCollector&) = delete;
+
+  /// Computes one local trace against the current heap. `app_roots` are the
+  /// local objects held in mutator variables (Section 6.3); remote references
+  /// held in variables are covered by their pinned outrefs. Pure computation:
+  /// mutates only per-object mark stamps, never tables or heap membership.
+  TraceResult Run(const std::vector<ObjectId>& app_roots);
+
+  /// Epoch of the most recent trace (0 before the first).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  /// Marks everything reachable from `root` as clean, recording first-touch
+  /// distances of outrefs. `distance` is the root's estimated distance.
+  void MarkCleanFrom(ObjectId root, Distance distance, TraceResult& result);
+
+  Heap& heap_;
+  RefTables& tables_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dgc

@@ -1,0 +1,91 @@
+// Client-caching transactional mutator — the Thor model the paper was
+// designed for (LAC+96), per §6.1.1's closing remark: "In client-caching
+// systems where objects from multiple servers may be fetched into a client
+// cache, the barrier may be implemented by checking the transaction's
+// read-write log at commit time."
+//
+// A TransactionClient runs at a home site. It *fetches* objects (the fetch
+// transfers the reference to the owner — transfer barrier — and pins it at
+// the client), reads and writes the cached copies locally (writes buffer in
+// a write log and never touch the owners), and *commits* by shipping the
+// per-owner slices of the write log; each owner runs the barrier checks over
+// the slice's references and applies the writes atomically with respect to
+// its own message handling.
+//
+// Cache coherence is out of scope (as in the paper): a cached slot read is
+// valid only while no other client has overwritten that slot since the
+// fetch. Refetch after conflicting commits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/system.h"
+
+namespace dgc {
+
+class TransactionClient {
+ public:
+  TransactionClient(System& system, SiteId home, std::uint64_t id);
+  ~TransactionClient();
+
+  TransactionClient(const TransactionClient&) = delete;
+  TransactionClient& operator=(const TransactionClient&) = delete;
+
+  [[nodiscard]] SiteId home() const { return home_; }
+
+  /// Fetches an object into the cache (pinning it). Blocking-style: drives
+  /// the scheduler until the copy arrives. Idempotent per object.
+  void Fetch(ObjectId obj);
+
+  [[nodiscard]] bool IsCached(ObjectId obj) const {
+    return cache_.contains(obj);
+  }
+
+  /// Reads a slot from the cached copy (write-log overlay applied). A valid
+  /// result is pinned so it stays collectable-proof until EndTransaction.
+  ObjectId ReadCached(ObjectId obj, std::size_t slot);
+
+  /// Buffers a write in the transaction log; visible to subsequent
+  /// ReadCached calls, invisible to everyone else until Commit. `value`
+  /// must be fetched/created/read by this client (or invalid to clear).
+  void Write(ObjectId obj, std::size_t slot, ObjectId value);
+
+  /// Creates a fresh object at the home site, cached and pinned.
+  ObjectId Create(std::size_t slots);
+
+  /// Ships the write log to the owning sites; blocks until every owner has
+  /// acknowledged (which includes any insert barriers the new references
+  /// required). The log clears; the cache and pins remain.
+  void Commit();
+
+  /// Discards buffered writes (cached copies revert to fetched state).
+  void Abort();
+
+  /// Drops every pin and the cache (end of the client's session).
+  void EndTransaction();
+
+  [[nodiscard]] std::size_t pending_writes() const { return log_.size(); }
+
+ private:
+  void Hold(ObjectId ref);  // pin/app-root, blocking for remote case 4
+
+  System& system_;
+  SiteId home_;
+  std::uint64_t id_;
+
+  /// Fetched copies: object -> slots as of fetch time.
+  std::map<ObjectId, std::vector<ObjectId>> cache_;
+  /// Sender-retention pins the serving sites hold on our behalf: fetched
+  /// object -> the remote references in its served copy. Released (one
+  /// message per reference) at EndTransaction.
+  std::map<ObjectId, std::vector<ObjectId>> fetch_pins_;
+  /// Buffered writes, in program order.
+  std::vector<CommitWrite> log_;
+  /// Pin/app-root counts per held reference.
+  std::map<ObjectId, int> holds_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,132 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dgc {
+
+Network::Network(Scheduler& scheduler, NetworkConfig config, Rng rng)
+    : scheduler_(scheduler), config_(config), rng_(rng) {
+  DGC_CHECK(config_.latency >= 0);
+  DGC_CHECK(config_.latency_jitter >= 0);
+  DGC_CHECK(config_.drop_probability >= 0.0 && config_.drop_probability <= 1.0);
+}
+
+void Network::RegisterSite(SiteId site, Handler handler) {
+  DGC_CHECK(handler != nullptr);
+  const bool inserted = handlers_.emplace(site, std::move(handler)).second;
+  DGC_CHECK_MSG(inserted, "site " << site << " registered twice");
+}
+
+void Network::Send(SiteId from, SiteId to, Payload payload) {
+  DGC_CHECK_MSG(handlers_.contains(to), "send to unregistered site " << to);
+
+  Envelope envelope{from, to, std::move(payload)};
+
+  if (from == to) {
+    // Intra-site asynchrony: delivered on the next tick, immune to faults,
+    // not counted as network traffic.
+    ++stats_.self_deliveries;
+    ++in_flight_;
+    scheduler_.After(0, [this, envelope = std::move(envelope)]() mutable {
+      Deliver(std::move(envelope));
+    });
+    return;
+  }
+
+  ++stats_.inter_site_sent;
+  ++stats_.per_kind[envelope.payload.index()];
+  stats_.approx_bytes += ApproxWireSize(envelope.payload);
+  ++in_flight_;  // until delivered or dropped (including while batched)
+
+  if (config_.batch_window > 0) {
+    // Piggybacking: hold the payload briefly; everything queued on this
+    // channel ships as one wire message when the window closes.
+    PendingBatch& batch = pending_batches_[ChannelKey(from, to)];
+    batch.envelopes.push_back(std::move(envelope));
+    if (batch.envelopes.size() == 1) {
+      scheduler_.After(config_.batch_window,
+                       [this, from, to] { FlushChannel(from, to); });
+    }
+    return;
+  }
+  ShipBatch(from, to, {std::move(envelope)});
+}
+
+void Network::FlushChannel(SiteId from, SiteId to) {
+  const auto it = pending_batches_.find(ChannelKey(from, to));
+  if (it == pending_batches_.end() || it->second.envelopes.empty()) return;
+  std::vector<Envelope> batch = std::move(it->second.envelopes);
+  it->second.envelopes.clear();
+  ShipBatch(from, to, std::move(batch));
+}
+
+void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
+  DGC_CHECK(!batch.empty());
+  ++stats_.wire_messages;
+  std::size_t payload_bytes = 0;
+  for (const Envelope& envelope : batch) {
+    payload_bytes += ApproxWireSize(envelope.payload) - kEnvelopeHeaderBytes;
+  }
+  stats_.wire_bytes += kEnvelopeHeaderBytes + payload_bytes;
+
+  // Faults and loss hit the wire message as a whole.
+  const bool faulted = IsSiteDown(from) || IsSiteDown(to) ||
+                       link_down_[LinkKey(from, to)];
+  if (faulted || (config_.drop_probability > 0.0 &&
+                  rng_.NextBool(config_.drop_probability))) {
+    stats_.dropped += batch.size();
+    DGC_CHECK(in_flight_ >= batch.size());
+    in_flight_ -= batch.size();
+    DGC_LOG_TRACE("net: drop batch of " << batch.size() << " s" << from
+                                        << "->s" << to);
+    return;
+  }
+
+  SimTime latency = config_.latency;
+  if (config_.latency_jitter > 0) {
+    latency += static_cast<SimTime>(
+        rng_.NextBelow(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
+  }
+  // Clamp to preserve per-channel FIFO order (assumption R1 of Section 6.4).
+  SimTime& last = channel_last_delivery_[ChannelKey(from, to)];
+  const SimTime deliver_at = std::max(scheduler_.now() + latency, last);
+  last = deliver_at;
+
+  scheduler_.At(deliver_at, [this, batch = std::move(batch)]() mutable {
+    for (Envelope& envelope : batch) {
+      Deliver(std::move(envelope));
+    }
+  });
+}
+
+void Network::SetSiteDown(SiteId site, bool down) { site_down_[site] = down; }
+
+bool Network::IsSiteDown(SiteId site) const {
+  const auto it = site_down_.find(site);
+  return it != site_down_.end() && it->second;
+}
+
+void Network::SetLinkDown(SiteId a, SiteId b, bool down) {
+  link_down_[LinkKey(a, b)] = down;
+}
+
+void Network::Deliver(Envelope envelope) {
+  DGC_CHECK(in_flight_ > 0);
+  --in_flight_;
+  // A site that crashed after the message was scheduled still loses it.
+  if (envelope.from != envelope.to && IsSiteDown(envelope.to)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (envelope.from != envelope.to) ++stats_.inter_site_delivered;
+  DGC_LOG_TRACE("net: deliver " << PayloadKindName(envelope.payload.index())
+                                << " s" << envelope.from << "->s"
+                                << envelope.to);
+  handlers_.at(envelope.to)(envelope);
+}
+
+}  // namespace dgc

@@ -1,0 +1,128 @@
+// Simulated network connecting the sites.
+//
+// Guarantees the paper's delivery assumption R1 — in-order delivery between
+// any pair of sites — by clamping each channel's delivery times to be
+// monotone, even under latency jitter. Supports the fault injection the
+// paper's locality argument needs (crashed sites, severed links, message
+// drops) and keeps per-payload-type counters so benches can report message
+// complexity (e.g. the 2E + P bound of Section 4.6).
+//
+// Self-addressed messages model intra-site asynchrony (e.g. the local steps
+// of a back trace); they are delivered on the next scheduler tick and are
+// *not* counted as inter-site traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "net/messages.h"
+#include "sim/scheduler.h"
+
+namespace dgc {
+
+namespace detail {
+template <typename T, typename Variant>
+struct VariantIndex;
+
+template <typename T, typename... Ts>
+struct VariantIndex<T, std::variant<Ts...>> {
+  static constexpr std::size_t value = [] {
+    constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+    for (std::size_t i = 0; i < sizeof...(Ts); ++i) {
+      if (matches[i]) return i;
+    }
+    return sizeof...(Ts);
+  }();
+  static_assert(value < sizeof...(Ts), "type not in variant");
+};
+}  // namespace detail
+
+struct NetworkStats {
+  /// Logical messages (protocol payloads), independent of batching.
+  std::uint64_t inter_site_sent = 0;
+  std::uint64_t inter_site_delivered = 0;
+  std::uint64_t dropped = 0;          // by loss injection or faults
+  std::uint64_t self_deliveries = 0;  // intra-site, not counted as traffic
+  std::uint64_t approx_bytes = 0;     // logical bytes (header per payload)
+  /// Physical messages on the wire: equals inter_site_sent without batching;
+  /// with piggybacking, several payloads share one wire message.
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
+  std::array<std::uint64_t, kPayloadKinds> per_kind{};
+
+  /// Count of inter-site messages of payload type T, e.g.
+  /// stats.count_of<BackLocalCallMsg>().
+  template <typename T>
+  [[nodiscard]] std::uint64_t count_of() const {
+    return per_kind[detail::VariantIndex<T, Payload>::value];
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Network(Scheduler& scheduler, NetworkConfig config, Rng rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the message handler for a site. Must be called once per site
+  /// before any message addressed to it is delivered.
+  void RegisterSite(SiteId site, Handler handler);
+
+  /// Sends a message. Delivery is asynchronous; per-channel FIFO order is
+  /// preserved. Messages to or from a down site, or across a severed link,
+  /// are silently dropped (the protocols recover via timeouts).
+  void Send(SiteId from, SiteId to, Payload payload);
+
+  /// Crashes or restores a site: while down, all its traffic is dropped.
+  void SetSiteDown(SiteId site, bool down);
+  [[nodiscard]] bool IsSiteDown(SiteId site) const;
+
+  /// Severs or restores the (bidirectional) link between two sites.
+  void SetLinkDown(SiteId a, SiteId b, bool down);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  /// Number of messages handed to the scheduler but not yet delivered.
+  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  [[nodiscard]] std::uint64_t ChannelKey(SiteId from, SiteId to) const {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  [[nodiscard]] std::uint64_t LinkKey(SiteId a, SiteId b) const {
+    return a < b ? ChannelKey(a, b) : ChannelKey(b, a);
+  }
+
+  void Deliver(Envelope envelope);
+
+  /// Ships one wire message (a batch of >= 1 payloads) on a channel:
+  /// applies faults/loss once, schedules in-order delivery of the contents.
+  void ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch);
+  void FlushChannel(SiteId from, SiteId to);
+
+  struct PendingBatch {
+    std::vector<Envelope> envelopes;
+  };
+  std::unordered_map<std::uint64_t, PendingBatch> pending_batches_;
+
+  Scheduler& scheduler_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<SiteId, Handler> handlers_;
+  std::unordered_map<SiteId, bool> site_down_;
+  std::unordered_map<std::uint64_t, bool> link_down_;
+  std::unordered_map<std::uint64_t, SimTime> channel_last_delivery_;
+  NetworkStats stats_;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace dgc

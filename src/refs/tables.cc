@@ -1,0 +1,75 @@
+#include "refs/tables.h"
+
+namespace dgc {
+
+InrefEntry* RefTables::FindInref(ObjectId local_ref) {
+  const auto it = inrefs_.find(local_ref);
+  return it == inrefs_.end() ? nullptr : &it->second;
+}
+
+const InrefEntry* RefTables::FindInref(ObjectId local_ref) const {
+  const auto it = inrefs_.find(local_ref);
+  return it == inrefs_.end() ? nullptr : &it->second;
+}
+
+InrefEntry& RefTables::EnsureInref(ObjectId local_ref) {
+  DGC_CHECK_MSG(local_ref.site == site_,
+                "inref must name a local object: " << local_ref << " on site "
+                                                   << site_);
+  auto [it, created] = inrefs_.try_emplace(local_ref);
+  if (created) {
+    it->second.back_threshold = config_.initial_back_threshold();
+  }
+  return it->second;
+}
+
+InrefEntry& RefTables::AddInrefSource(ObjectId local_ref, SiteId source,
+                                      Distance distance, SimTime now) {
+  DGC_CHECK_MSG(source != site_, "a site cannot be its own inref source");
+  InrefEntry& entry = EnsureInref(local_ref);
+  entry.sources[source] = SourceInfo{distance, now};
+  return entry;
+}
+
+bool RefTables::RemoveInrefSource(ObjectId local_ref, SiteId source) {
+  InrefEntry* entry = FindInref(local_ref);
+  if (entry == nullptr) return false;
+  entry->sources.erase(source);
+  if (entry->sources.empty()) {
+    inrefs_.erase(local_ref);
+    return true;
+  }
+  return false;
+}
+
+void RefTables::RemoveInref(ObjectId local_ref) { inrefs_.erase(local_ref); }
+
+OutrefEntry* RefTables::FindOutref(ObjectId remote_ref) {
+  const auto it = outrefs_.find(remote_ref);
+  return it == outrefs_.end() ? nullptr : &it->second;
+}
+
+const OutrefEntry* RefTables::FindOutref(ObjectId remote_ref) const {
+  const auto it = outrefs_.find(remote_ref);
+  return it == outrefs_.end() ? nullptr : &it->second;
+}
+
+std::pair<OutrefEntry*, bool> RefTables::EnsureOutref(ObjectId remote_ref) {
+  DGC_CHECK_MSG(remote_ref.site != site_,
+                "outref must name a remote object: " << remote_ref);
+  auto [it, created] = outrefs_.try_emplace(remote_ref);
+  if (created) {
+    it->second.back_threshold = config_.initial_back_threshold();
+  }
+  return {&it->second, created};
+}
+
+void RefTables::RemoveOutref(ObjectId remote_ref) {
+  const auto it = outrefs_.find(remote_ref);
+  DGC_CHECK_MSG(it != outrefs_.end(), "no outref " << remote_ref);
+  DGC_CHECK_MSG(it->second.pin_count == 0,
+                "removing pinned outref " << remote_ref);
+  outrefs_.erase(it);
+}
+
+}  // namespace dgc

@@ -1,0 +1,191 @@
+// Inref/outref tables: the inter-site reference-listing substrate (Section 2)
+// extended with the per-ioref state the paper's cycle collector needs —
+// per-source distance estimates (Section 3), visited marks and back
+// thresholds (Section 4), and the clean overrides applied by the transfer and
+// insert barriers (Section 6).
+//
+// The tables are passive data plus pure operations; protocol logic (insert /
+// update messages, barriers) lives in core::Site, and the trace that fills in
+// distances lives in localgc.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/config.h"
+#include "common/distance.h"
+#include "common/ids.h"
+
+namespace dgc {
+
+enum class IorefKind : std::uint8_t { kInref, kOutref };
+
+/// What an inref knows about one source site holding the reference.
+struct SourceInfo {
+  /// Distance last reported by this source's update messages (Section 3).
+  Distance distance = 1;
+  /// When this source last confirmed it still holds the reference (insert
+  /// or update message); drives the optional source-lease expiry.
+  SimTime refreshed_at = 0;
+};
+
+/// An entry in the table of incoming inter-site references. Keyed by the
+/// local object it designates. Persistent and application roots are *not*
+/// inref entries; they enter the local trace directly as distance-0 roots
+/// (the paper models them as permanent inrefs — same semantics).
+struct InrefEntry {
+  /// Source sites known to contain the reference. Ordered map for
+  /// deterministic iteration.
+  std::map<SiteId, SourceInfo> sources;
+
+  /// Set when a back trace confirmed this inref garbage (Section 4.5). A
+  /// flagged inref is no longer used as a root by the local trace; the entry
+  /// itself is removed later by regular update messages, preserving
+  /// referential integrity.
+  bool garbage_flagged = false;
+
+  /// Set by the transfer barrier (Section 6.1.1); cleared when the next
+  /// local trace's results are applied.
+  bool clean_override = false;
+
+  /// Back traces that have visited this inref and not yet reported.
+  std::vector<TraceId> visited;
+
+  /// Distance that must be exceeded before a back trace may start here;
+  /// bumped on every back-trace visit (Section 4.3).
+  Distance back_threshold = 0;
+
+  /// Estimated distance: minimum over sources, infinity if none.
+  [[nodiscard]] Distance distance() const {
+    Distance d = kDistanceInfinity;
+    for (const auto& [site, info] : sources) d = std::min(d, info.distance);
+    return d;
+  }
+
+  /// Clean iorefs terminate back traces with Live (Section 4.2).
+  [[nodiscard]] bool clean(Distance suspicion_threshold) const {
+    if (garbage_flagged) return false;
+    return clean_override || distance() <= suspicion_threshold;
+  }
+
+  [[nodiscard]] bool IsVisitedBy(TraceId trace) const {
+    return std::find(visited.begin(), visited.end(), trace) != visited.end();
+  }
+  void MarkVisited(TraceId trace) {
+    DGC_DCHECK(!IsVisitedBy(trace));
+    visited.push_back(trace);
+  }
+  void ClearVisited(TraceId trace) {
+    visited.erase(std::remove(visited.begin(), visited.end(), trace),
+                  visited.end());
+  }
+};
+
+/// An entry in the table of outgoing inter-site references. Keyed by the
+/// remote object it designates.
+struct OutrefEntry {
+  /// Estimated distance: one plus the distance of the cleanest inref (or
+  /// root) it was traced from at the last local trace (Section 3).
+  Distance distance = kDistanceInfinity;
+
+  /// True when the last local trace reached this outref from a persistent /
+  /// application root or a clean inref ("objects and outrefs traced from
+  /// them are said to be clean").
+  bool traced_clean = false;
+
+  /// Set by the transfer barrier or on fresh creation by a reference
+  /// transfer (Section 6.1); cleared when the next trace's results apply.
+  bool clean_override = false;
+
+  /// Insert-barrier and application-root pins: while positive, the outref is
+  /// forcibly clean and may not be trimmed (Section 6.1.2).
+  int pin_count = 0;
+
+  /// Distance last reported to the target site in an update message, used to
+  /// decide whether a new update is owed.
+  Distance last_reported = kDistanceInfinity;
+
+  std::vector<TraceId> visited;
+  Distance back_threshold = 0;
+
+  [[nodiscard]] bool clean() const {
+    return pin_count > 0 || clean_override || traced_clean;
+  }
+
+  [[nodiscard]] bool IsVisitedBy(TraceId trace) const {
+    return std::find(visited.begin(), visited.end(), trace) != visited.end();
+  }
+  void MarkVisited(TraceId trace) {
+    DGC_DCHECK(!IsVisitedBy(trace));
+    visited.push_back(trace);
+  }
+  void ClearVisited(TraceId trace) {
+    visited.erase(std::remove(visited.begin(), visited.end(), trace),
+                  visited.end());
+  }
+};
+
+/// Both tables of one site. Ordered maps keep every iteration deterministic.
+class RefTables {
+ public:
+  explicit RefTables(SiteId site, const CollectorConfig& config)
+      : site_(site), config_(config) {}
+
+  RefTables(const RefTables&) = delete;
+  RefTables& operator=(const RefTables&) = delete;
+
+  [[nodiscard]] SiteId site() const { return site_; }
+
+  // --- inrefs ---------------------------------------------------------
+
+  /// Finds the inref for a local object, or nullptr.
+  [[nodiscard]] InrefEntry* FindInref(ObjectId local_ref);
+  [[nodiscard]] const InrefEntry* FindInref(ObjectId local_ref) const;
+
+  /// Creates the inref if absent (with the configured initial back
+  /// threshold) and returns it.
+  InrefEntry& EnsureInref(ObjectId local_ref);
+
+  /// Adds/updates a source site's distance (refreshing its lease). Creates
+  /// the inref if needed.
+  InrefEntry& AddInrefSource(ObjectId local_ref, SiteId source,
+                             Distance distance, SimTime now = 0);
+
+  /// Removes a source; removes the whole entry when the source list empties.
+  /// Returns true if the entry was removed.
+  bool RemoveInrefSource(ObjectId local_ref, SiteId source);
+
+  void RemoveInref(ObjectId local_ref);
+
+  [[nodiscard]] const std::map<ObjectId, InrefEntry>& inrefs() const {
+    return inrefs_;
+  }
+  [[nodiscard]] std::map<ObjectId, InrefEntry>& inrefs() { return inrefs_; }
+
+  // --- outrefs --------------------------------------------------------
+
+  [[nodiscard]] OutrefEntry* FindOutref(ObjectId remote_ref);
+  [[nodiscard]] const OutrefEntry* FindOutref(ObjectId remote_ref) const;
+
+  /// Creates the outref if absent and returns (entry, created).
+  std::pair<OutrefEntry*, bool> EnsureOutref(ObjectId remote_ref);
+
+  void RemoveOutref(ObjectId remote_ref);
+
+  [[nodiscard]] const std::map<ObjectId, OutrefEntry>& outrefs() const {
+    return outrefs_;
+  }
+  [[nodiscard]] std::map<ObjectId, OutrefEntry>& outrefs() { return outrefs_; }
+
+  [[nodiscard]] const CollectorConfig& config() const { return config_; }
+
+ private:
+  SiteId site_;
+  const CollectorConfig& config_;
+  std::map<ObjectId, InrefEntry> inrefs_;
+  std::map<ObjectId, OutrefEntry> outrefs_;
+};
+
+}  // namespace dgc

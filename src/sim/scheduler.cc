@@ -1,0 +1,46 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace dgc {
+
+void Scheduler::At(SimTime t, Action action) {
+  DGC_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
+                                                             << " now=" << now_);
+  DGC_CHECK(action != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+bool Scheduler::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out, so copy
+  // the event before popping. Actions are small closures; this is cheap
+  // relative to what they do.
+  Event event = queue_.top();
+  queue_.pop();
+  DGC_CHECK(event.time >= now_);
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+bool Scheduler::RunUntilIdle(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!RunOne()) return true;
+  }
+  DGC_CHECK_MSG(queue_.empty(),
+                "event budget exhausted with " << queue_.size()
+                                               << " events pending");
+  return true;
+}
+
+void Scheduler::RunUntil(SimTime t) {
+  DGC_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+  }
+  now_ = t;
+}
+
+}  // namespace dgc

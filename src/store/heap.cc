@@ -1,0 +1,53 @@
+#include "store/heap.h"
+
+#include <algorithm>
+
+namespace dgc {
+
+ObjectId Heap::Allocate(std::size_t slot_count) {
+  const ObjectId id{site_, next_index_++};
+  Object object;
+  object.slots.assign(slot_count, kInvalidObject);
+  objects_.emplace(id.index, std::move(object));
+  ++stats_.allocated;
+  return id;
+}
+
+void Heap::SetSlot(ObjectId id, std::size_t slot, ObjectId target) {
+  Object& object = Get(id);
+  DGC_CHECK_MSG(slot < object.slots.size(),
+                "slot " << slot << " out of range for " << id);
+  object.slots[slot] = target;
+}
+
+ObjectId Heap::GetSlot(ObjectId id, std::size_t slot) const {
+  const Object& object = Get(id);
+  DGC_CHECK_MSG(slot < object.slots.size(),
+                "slot " << slot << " out of range for " << id);
+  return object.slots[slot];
+}
+
+void Heap::Free(ObjectId id) {
+  DGC_CHECK_MSG(Exists(id), "freeing nonexistent object " << id);
+  DGC_CHECK_MSG(std::find(persistent_roots_.begin(), persistent_roots_.end(),
+                          id) == persistent_roots_.end(),
+                "freeing persistent root " << id);
+  objects_.erase(id.index);
+  ++stats_.reclaimed;
+}
+
+void Heap::AddPersistentRoot(ObjectId id) {
+  DGC_CHECK_MSG(Exists(id), "persistent root must be local: " << id);
+  DGC_CHECK(std::find(persistent_roots_.begin(), persistent_roots_.end(),
+                      id) == persistent_roots_.end());
+  persistent_roots_.push_back(id);
+}
+
+void Heap::RemovePersistentRoot(ObjectId id) {
+  const auto it =
+      std::find(persistent_roots_.begin(), persistent_roots_.end(), id);
+  DGC_CHECK_MSG(it != persistent_roots_.end(), id << " is not a root");
+  persistent_roots_.erase(it);
+}
+
+}  // namespace dgc

@@ -1,0 +1,104 @@
+// Per-site object store.
+//
+// Objects are clustered within sites (Section 2): each site owns a heap of
+// objects whose slots hold references to local or remote objects. Certain
+// objects are persistent roots (entry points such as name servers). The heap
+// knows nothing about garbage collection beyond an epoch-stamped mark bit
+// that the local tracer uses to avoid a clearing pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace dgc {
+
+struct Object {
+  /// Reference slots; kInvalidObject means null.
+  std::vector<ObjectId> slots;
+
+  /// Epoch of the last local trace that marked this object reachable
+  /// (0 = never). Owned by the local collector; stored here to avoid a side
+  /// table on the hot marking path.
+  std::uint64_t mark_epoch = 0;
+
+  /// Epoch of the last local trace that marked this object *clean*, i.e.
+  /// reached it from a persistent/application root or a clean inref. An
+  /// object with mark_epoch == E but clean_epoch != E was reached only from
+  /// suspected inrefs in trace E.
+  std::uint64_t clean_epoch = 0;
+};
+
+struct HeapStats {
+  std::uint64_t allocated = 0;
+  std::uint64_t reclaimed = 0;
+};
+
+class Heap {
+ public:
+  explicit Heap(SiteId site) : site_(site) {}
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  [[nodiscard]] SiteId site() const { return site_; }
+
+  /// Allocates an object with `slot_count` null reference slots.
+  ObjectId Allocate(std::size_t slot_count);
+
+  [[nodiscard]] bool Exists(ObjectId id) const {
+    return id.site == site_ && objects_.contains(id.index);
+  }
+
+  [[nodiscard]] Object& Get(ObjectId id) {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    return objects_.find(id.index)->second;
+  }
+  [[nodiscard]] const Object& Get(ObjectId id) const {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    return objects_.find(id.index)->second;
+  }
+
+  /// Stores `target` (or null) into a slot. Purely mechanical; reference-
+  /// tracking bookkeeping is the caller's job.
+  void SetSlot(ObjectId id, std::size_t slot, ObjectId target);
+
+  [[nodiscard]] ObjectId GetSlot(ObjectId id, std::size_t slot) const;
+
+  /// Reclaims an object's storage. The caller guarantees unreachability.
+  void Free(ObjectId id);
+
+  /// Marks/queries membership in the persistent-root set. Roots must be
+  /// local live objects.
+  void AddPersistentRoot(ObjectId id);
+  void RemovePersistentRoot(ObjectId id);
+  [[nodiscard]] const std::vector<ObjectId>& persistent_roots() const {
+    return persistent_roots_;
+  }
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] const HeapStats& stats() const { return stats_; }
+
+  /// Visits every (ObjectId, Object) pair. `fn` must not mutate the heap.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [index, object] : objects_) {
+      fn(ObjectId{site_, index}, object);
+    }
+  }
+
+ private:
+  SiteId site_;
+  // Ordered map: iteration order (and thus sweep order, update batching and
+  // message order everywhere downstream) is deterministic across standard
+  // library implementations, not just within one run.
+  std::map<std::uint64_t, Object> objects_;
+  std::vector<ObjectId> persistent_roots_;
+  std::uint64_t next_index_ = 1;
+  HeapStats stats_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,145 @@
+#include "workload/builders.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dgc::workload {
+
+CycleHandles BuildCycle(System& system, const CycleSpec& spec) {
+  DGC_CHECK(spec.sites >= 1);
+  DGC_CHECK(spec.objects_per_site >= 1);
+  DGC_CHECK(spec.first_site + spec.sites <= system.site_count());
+  CycleHandles handles;
+  for (std::size_t s = 0; s < spec.sites; ++s) {
+    const SiteId site = static_cast<SiteId>(spec.first_site + s);
+    for (std::size_t i = 0; i < spec.objects_per_site; ++i) {
+      // Two slots: slot 0 carries the ring edge, slot 1 is free for
+      // experiments to hang extra structure off cycle members.
+      handles.objects.push_back(system.NewObject(site, 2));
+    }
+  }
+  for (std::size_t i = 0; i < handles.objects.size(); ++i) {
+    const ObjectId next = handles.objects[(i + 1) % handles.objects.size()];
+    system.Wire(handles.objects[i], 0, next);
+  }
+  return handles;
+}
+
+ObjectId TetherToRoot(System& system, ObjectId target, SiteId root_site) {
+  const ObjectId tether = system.NewObject(root_site, 1);
+  system.SetPersistentRoot(tether);
+  system.Wire(tether, 0, target);
+  return tether;
+}
+
+std::vector<ObjectId> AttachChain(System& system, ObjectId from,
+                                  std::size_t slot, std::size_t length) {
+  std::vector<ObjectId> chain;
+  ObjectId previous = from;
+  std::size_t previous_slot = slot;
+  for (std::size_t i = 0; i < length; ++i) {
+    const SiteId site =
+        static_cast<SiteId>((from.site + 1 + i) % system.site_count());
+    const ObjectId link = system.NewObject(site, 1);
+    system.Wire(previous, previous_slot, link);
+    chain.push_back(link);
+    previous = link;
+    previous_slot = 0;
+  }
+  return chain;
+}
+
+std::vector<ObjectId> BuildRandomGraph(System& system,
+                                       const RandomGraphSpec& spec, Rng& rng) {
+  DGC_CHECK(spec.sites <= system.site_count());
+  std::vector<ObjectId> objects;
+  objects.reserve(spec.sites * spec.objects_per_site);
+  for (std::size_t s = 0; s < spec.sites; ++s) {
+    for (std::size_t i = 0; i < spec.objects_per_site; ++i) {
+      objects.push_back(system.NewObject(static_cast<SiteId>(s),
+                                         spec.slots_per_object));
+    }
+  }
+  for (const ObjectId source : objects) {
+    for (std::size_t slot = 0; slot < spec.slots_per_object; ++slot) {
+      if (!rng.NextBool(spec.wire_probability)) continue;
+      ObjectId target;
+      if (rng.NextBool(spec.remote_edge_fraction) && spec.sites > 1) {
+        // Remote target: any object on a different site.
+        for (;;) {
+          target = objects[rng.NextBelow(objects.size())];
+          if (target.site != source.site) break;
+        }
+      } else {
+        // Local target: an object on the same site.
+        const std::size_t base =
+            static_cast<std::size_t>(source.site) * spec.objects_per_site;
+        target = objects[base + rng.NextBelow(spec.objects_per_site)];
+      }
+      system.Wire(source, slot, target);
+    }
+  }
+  return objects;
+}
+
+HypertextWeb BuildHypertextWeb(System& system, const HypertextSpec& spec,
+                               Rng& rng) {
+  DGC_CHECK(spec.sites <= system.site_count());
+  DGC_CHECK(spec.documents >= 1);
+  HypertextWeb web;
+
+  // Each document: a head object whose sections chain locally; the head's
+  // link slots point at other documents, usually on other sites.
+  for (std::size_t d = 0; d < spec.documents; ++d) {
+    const SiteId site = static_cast<SiteId>(d % spec.sites);
+    const ObjectId head =
+        system.NewObject(site, 1 + spec.links_per_document);
+    ObjectId previous = head;
+    std::size_t previous_slot = 0;
+    for (std::size_t s = 0; s < spec.sections_per_document; ++s) {
+      const ObjectId section = system.NewObject(site, 1);
+      system.Wire(previous, previous_slot, section);
+      previous = section;
+      previous_slot = 0;
+    }
+    web.documents.push_back(head);
+  }
+
+  const std::size_t rooted = std::min(
+      spec.documents,
+      static_cast<std::size_t>(
+          static_cast<double>(spec.documents) * spec.rooted_fraction));
+
+  // Cross-links stay within the rooted and unrooted groups so that the
+  // unrooted group is genuinely garbage (a live link into it would resurrect
+  // it). Both groups get random links plus a guaranteed inter-site ring —
+  // hypertext "often forms large, complex cycles" (Section 1).
+  const auto link_within = [&](std::size_t begin, std::size_t end) {
+    const std::size_t count = end - begin;
+    if (count == 0) return;
+    for (std::size_t d = begin; d < end; ++d) {
+      for (std::size_t l = 0; l < spec.links_per_document; ++l) {
+        const ObjectId target =
+            web.documents[begin + rng.NextBelow(count)];
+        system.Wire(web.documents[d], 1 + l, target);
+      }
+    }
+    if (count >= 2) {
+      for (std::size_t d = begin; d < end; ++d) {
+        system.Wire(web.documents[d], 1,
+                    web.documents[begin + (d - begin + 1) % count]);
+      }
+    }
+  };
+  link_within(0, rooted);
+  link_within(rooted, spec.documents);
+  web.index_root = system.NewObject(0, rooted);
+  system.SetPersistentRoot(web.index_root);
+  for (std::size_t i = 0; i < rooted; ++i) {
+    system.Wire(web.index_root, i, web.documents[i]);
+  }
+  return web;
+}
+
+}  // namespace dgc::workload

@@ -1,0 +1,78 @@
+// Workload generators: the object graphs the experiments run on.
+//
+// All builders use the System's god-mode wiring (tables kept consistent,
+// barriers bypassed) and are meant for constructing the initial world;
+// subsequent mutation in an experiment should go through mutator Sessions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/system.h"
+
+namespace dgc::workload {
+
+/// An inter-site ring: `spec.sites` sites, `objects_per_site` chained objects
+/// on each, the last object of each site pointing to the first object of the
+/// next site, closing into a cycle. The canonical distributed garbage cycle.
+struct CycleSpec {
+  std::size_t sites = 2;
+  std::size_t objects_per_site = 1;
+  SiteId first_site = 0;
+};
+
+struct CycleHandles {
+  /// All cycle objects in ring order; front() is the entry object.
+  std::vector<ObjectId> objects;
+  [[nodiscard]] ObjectId head() const { return objects.front(); }
+};
+
+CycleHandles BuildCycle(System& system, const CycleSpec& spec);
+
+/// Allocates a root object at `root_site` pointing at `target` and registers
+/// it as a persistent root. Unwire slot 0 of the returned object to cut the
+/// tether and turn `target`'s structure into garbage.
+ObjectId TetherToRoot(System& system, ObjectId target, SiteId root_site);
+
+/// A chain of objects hanging off `from` (slot `slot`), hopping sites
+/// round-robin: models garbage that a dead cycle drags along.
+std::vector<ObjectId> AttachChain(System& system, ObjectId from,
+                                  std::size_t slot, std::size_t length);
+
+/// Random graph: `objects_per_site` objects on each site, each slot wired
+/// with probability `wire_probability`, choosing a remote target with
+/// probability `remote_edge_fraction` (clustering: most references local).
+struct RandomGraphSpec {
+  std::size_t sites = 4;
+  std::size_t objects_per_site = 64;
+  std::size_t slots_per_object = 3;
+  double wire_probability = 0.8;
+  double remote_edge_fraction = 0.15;
+};
+
+std::vector<ObjectId> BuildRandomGraph(System& system,
+                                       const RandomGraphSpec& spec, Rng& rng);
+
+/// Hypertext-style web (the paper's motivating workload): documents spread
+/// over sites, section-objects chained under each document, cross-document
+/// links that "often form large, complex cycles". Returns document heads.
+struct HypertextSpec {
+  std::size_t sites = 4;
+  std::size_t documents = 16;
+  std::size_t sections_per_document = 4;
+  std::size_t links_per_document = 3;
+  /// Fraction of documents linked (transitively) from the site-0 index root.
+  double rooted_fraction = 0.5;
+};
+
+struct HypertextWeb {
+  std::vector<ObjectId> documents;
+  ObjectId index_root;  // persistent root listing the rooted documents
+};
+
+HypertextWeb BuildHypertextWeb(System& system, const HypertextSpec& spec,
+                               Rng& rng);
+
+}  // namespace dgc::workload

@@ -1,0 +1,144 @@
+#include "workload/churn.h"
+
+#include "common/check.h"
+
+namespace dgc::workload {
+
+ChurnDriver::ChurnDriver(System& system, Rng rng)
+    : system_(system), rng_(rng) {
+  for (SiteId s = 0; s < system_.site_count(); ++s) {
+    const ObjectId container = system_.NewObject(s, 8);
+    system_.SetPersistentRoot(container);
+    containers_.push_back(container);
+    clients_.push_back(std::make_unique<TransactionClient>(
+        system_, s, 1000 + static_cast<std::uint64_t>(s)));
+  }
+}
+
+void ChurnDriver::Run(const ChurnSpec& spec) {
+  DGC_CHECK(spec.container_slots >= 2 && spec.container_slots <= 8);
+  const double total_weight = spec.publish_weight + spec.unlink_weight +
+                              spec.crosslink_weight + spec.weave_pair_weight;
+  DGC_CHECK(total_weight > 0);
+  for (std::size_t step = 0; step < spec.steps; ++step) {
+    const double roll = rng_.NextDouble() * total_weight;
+    if (roll < spec.publish_weight) {
+      Publish(spec);
+    } else if (roll < spec.publish_weight + spec.unlink_weight) {
+      Unlink(spec);
+    } else if (roll <
+               spec.publish_weight + spec.unlink_weight +
+                   spec.crosslink_weight) {
+      CrossLink(spec);
+    } else {
+      WeavePair(spec);
+    }
+    if (spec.rounds_every > 0 && step % spec.rounds_every ==
+                                     spec.rounds_every - 1) {
+      system_.RunRoundStaggered(spec.round_stagger);
+      ++stats_.rounds;
+    }
+    if (spec.check_safety_each_step) {
+      const std::string violation = system_.CheckSafety();
+      DGC_CHECK_MSG(violation.empty(),
+                    "churn step " << step << ": " << violation);
+    }
+  }
+}
+
+void ChurnDriver::Publish(const ChurnSpec& spec) {
+  const ObjectId container = RandomContainer();
+  TransactionClient& client = ClientAt(container.site);
+  client.Fetch(container);
+  const ObjectId fresh = client.Create(2);
+  client.Write(fresh, 0, fresh);  // self loop: local-cycle fodder
+  client.Write(container, rng_.NextBelow(spec.container_slots), fresh);
+  client.Commit();
+  client.EndTransaction();
+  ++stats_.publishes;
+}
+
+void ChurnDriver::Unlink(const ChurnSpec& spec) {
+  const ObjectId container = RandomContainer();
+  TransactionClient& client = ClientAt(container.site);
+  client.Fetch(container);
+  client.Write(container, rng_.NextBelow(spec.container_slots),
+               kInvalidObject);
+  client.Commit();
+  client.EndTransaction();
+  ++stats_.unlinks;
+}
+
+void ChurnDriver::CrossLink(const ChurnSpec& spec) {
+  // Copy a reference from one container to another (possibly across sites):
+  // the §6.1.2 arrival cases and insert barrier run inside Commit.
+  const ObjectId from = RandomContainer();
+  const ObjectId to = RandomContainer();
+  TransactionClient& client = ClientAt(from.site);
+  client.Fetch(from);
+  const ObjectId value =
+      client.ReadCached(from, rng_.NextBelow(spec.container_slots));
+  if (value.valid()) {
+    client.Fetch(to);
+    client.Write(to, rng_.NextBelow(spec.container_slots), value);
+    client.Commit();
+  }
+  client.EndTransaction();
+  ++stats_.crosslinks;
+}
+
+void ChurnDriver::WeavePair(const ChurnSpec& spec) {
+  // Two fresh objects on different sites referencing each other, published
+  // into one container then immediately unlinked half the time — prime
+  // inter-site-cycle food for the back tracer.
+  const SiteId a = static_cast<SiteId>(rng_.NextBelow(system_.site_count()));
+  const SiteId b =
+      static_cast<SiteId>((a + 1 + rng_.NextBelow(system_.site_count() - 1)) %
+                          system_.site_count());
+  TransactionClient& client = ClientAt(a);
+  const ObjectId container = containers_[a];
+  client.Fetch(container);
+  const ObjectId mine = client.Create(1);
+  // The peer object is created through the peer container so the reference
+  // flows through the real machinery.
+  TransactionClient& peer = ClientAt(b);
+  peer.Fetch(containers_[b]);
+  const ObjectId theirs = peer.Create(1);
+  peer.Write(containers_[b], spec.container_slots - 1, theirs);
+  peer.Commit();
+  peer.EndTransaction();
+
+  client.Fetch(containers_[b]);
+  const ObjectId got = client.ReadCached(containers_[b],
+                                         spec.container_slots - 1);
+  if (got.valid()) {
+    client.Write(mine, 0, got);
+    client.Fetch(got);
+    client.Write(got, 0, mine);
+    client.Write(container, rng_.NextBelow(spec.container_slots), mine);
+    client.Commit();
+  }
+  client.EndTransaction();
+  // Unpublish both ends half the time: the woven pair becomes a two-site
+  // garbage cycle.
+  if (rng_.NextBool(0.5)) {
+    TransactionClient& cleaner = ClientAt(b);
+    cleaner.Fetch(containers_[b]);
+    cleaner.Write(containers_[b], spec.container_slots - 1, kInvalidObject);
+    cleaner.Commit();
+    cleaner.EndTransaction();
+  }
+  ++stats_.weaves;
+}
+
+void ChurnDriver::Quiesce(std::size_t max_rounds) {
+  for (auto& client : clients_) client->EndTransaction();
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    system_.RunRound();
+    if (system_.CheckCompleteness().empty()) return;
+  }
+  DGC_CHECK_MSG(false, "churn world did not quiesce: "
+                           << system_.CheckCompleteness());
+}
+
+}  // namespace dgc::workload

@@ -1,0 +1,125 @@
+#include "workload/figures.h"
+
+#include "common/check.h"
+
+namespace dgc::workload {
+
+namespace {
+constexpr SiteId kP = 0;
+constexpr SiteId kQ = 1;
+constexpr SiteId kR = 2;
+constexpr SiteId kS = 3;
+}  // namespace
+
+Figure1World BuildFigure1(System& system) {
+  DGC_CHECK(system.site_count() >= 3);
+  Figure1World w;
+  w.a = system.NewObject(kP, 2);
+  w.e = system.NewObject(kP, 0);
+  w.b = system.NewObject(kQ, 1);
+  w.d = system.NewObject(kQ, 1);
+  w.f = system.NewObject(kQ, 1);
+  w.c = system.NewObject(kR, 0);
+  w.g = system.NewObject(kR, 1);
+  system.SetPersistentRoot(w.a);
+  system.Wire(w.a, 0, w.b);
+  system.Wire(w.a, 1, w.c);
+  system.Wire(w.b, 0, w.c);
+  system.Wire(w.d, 0, w.e);
+  system.Wire(w.f, 0, w.g);
+  system.Wire(w.g, 0, w.f);
+  return w;
+}
+
+Figure2World BuildFigure2(System& system) {
+  DGC_CHECK(system.site_count() >= 3);
+  Figure2World w;
+  w.c = system.NewObject(kP, 1);
+  w.a = system.NewObject(kQ, 1);
+  w.b = system.NewObject(kQ, 2);
+  w.d = system.NewObject(kR, 1);
+  system.Wire(w.a, 0, w.c);
+  system.Wire(w.b, 0, w.c);
+  system.Wire(w.b, 1, w.d);
+  system.Wire(w.c, 0, w.a);
+  system.Wire(w.d, 0, w.b);
+  return w;
+}
+
+Figure3World BuildFigure3(System& system) {
+  DGC_CHECK(system.site_count() >= 5);
+  constexpr SiteId kD = 4;
+  Figure3World w;
+  w.root = system.NewObject(kS, 1);
+  w.s1 = system.NewObject(kS, 1);
+  w.a = system.NewObject(kP, 2);
+  w.b = system.NewObject(kQ, 1);
+  w.c = system.NewObject(kR, 1);
+  w.d = system.NewObject(kD, 0);
+  system.SetPersistentRoot(w.root);
+  system.Wire(w.root, 0, w.s1);
+  system.Wire(w.s1, 0, w.a);  // the "long path from root" into a
+  system.Wire(w.a, 0, w.b);
+  system.Wire(w.a, 1, w.c);
+  system.Wire(w.b, 0, w.c);
+  system.Wire(w.c, 0, w.d);
+  return w;
+}
+
+Figure4World BuildFigure4(System& system, bool close_scc) {
+  DGC_CHECK(system.site_count() >= 3);
+  constexpr SiteId kQ4 = 0, kP4 = 1, kR4 = 2;
+  Figure4World w;
+  w.a = system.NewObject(kQ4, 1);
+  w.b = system.NewObject(kQ4, 1);
+  w.z = system.NewObject(kQ4, 2);
+  w.x = system.NewObject(kQ4, 2);
+  w.y = system.NewObject(kQ4, 2);
+  w.c = system.NewObject(kP4, 0);
+  w.d = system.NewObject(kR4, 0);
+  system.Wire(w.a, 0, w.z);
+  system.Wire(w.b, 0, w.z);
+  system.Wire(w.z, 0, w.x);
+  system.Wire(w.z, 1, w.c);  // remote: outref c
+  system.Wire(w.x, 0, w.y);
+  system.Wire(w.y, 0, w.d);  // remote: outref d
+  if (close_scc) system.Wire(w.y, 1, w.z);  // back edge: {z,x,y} is an SCC
+  // Make a and b inrefs (sourced from P and R respectively) so the suspect
+  // trace starts from them.
+  const ObjectId holder_p = system.NewObject(kP4, 1);
+  const ObjectId holder_r = system.NewObject(kR4, 1);
+  system.Wire(holder_p, 0, w.a);
+  system.Wire(holder_r, 0, w.b);
+  return w;
+}
+
+Figure5World BuildFigure5(System& system, bool with_second_source) {
+  DGC_CHECK(system.site_count() >= 4);
+  Figure5World w;
+  w.a = system.NewObject(kP, 1);
+  w.g = system.NewObject(kP, 0);
+  w.b = system.NewObject(kQ, 2);
+  w.y = system.NewObject(kQ, 1);
+  w.z = system.NewObject(kQ, 1);
+  w.x = system.NewObject(kQ, 1);
+  w.f = system.NewObject(kQ, 1);
+  w.c = system.NewObject(kR, 1);
+  w.e = system.NewObject(kR, 2);
+  w.d = system.NewObject(kS, 1);
+  system.SetPersistentRoot(w.a);
+  system.Wire(w.a, 0, w.b);  // P -> Q
+  system.Wire(w.b, 0, w.c);  // Q -> R
+  system.Wire(w.b, 1, w.y);  // local at Q
+  system.Wire(w.c, 0, w.d);  // R -> S
+  system.Wire(w.d, 0, w.e);  // S -> R
+  system.Wire(w.e, 0, w.f);  // R -> Q
+  system.Wire(w.f, 0, w.x);  // local at Q
+  system.Wire(w.x, 0, w.z);  // local at Q
+  system.Wire(w.z, 0, w.g);  // Q -> P
+  if (with_second_source) {
+    system.Wire(w.e, 1, w.g);  // Figure 6: R -> P, second source of inref g
+  }
+  return w;
+}
+
+}  // namespace dgc::workload

@@ -1,0 +1,62 @@
+// Exact reconstructions of the paper's worked figures, used by the scenario
+// tests and figure benches. Object names follow the paper's lettering.
+#pragma once
+
+#include "common/ids.h"
+#include "core/system.h"
+
+namespace dgc::workload {
+
+/// Figure 1: recording inter-site references. Sites P=0, Q=1, R=2.
+/// Edges: a->b, a->c, b->c, d->e, f->g, g->f.  `a` is the persistent root;
+/// d is local garbage at Q; {f,g} is the inter-site garbage cycle local
+/// tracing never collects.
+struct Figure1World {
+  ObjectId a, b, c, d, e, f, g;
+};
+Figure1World BuildFigure1(System& system);
+
+/// Figure 2: insets of suspected outrefs. Sites P=0, Q=1, R=2.
+/// Edges: a->c, b->c, b->d, c->a, d->b (a,b at Q; c at P; d at R).
+/// Inset of outref c at Q is {a, b}; a back trace must start from an outref
+/// (starting from inref a would miss the path from b).
+struct Figure2World {
+  ObjectId a, b, c, d;
+};
+Figure2World BuildFigure2(System& system);
+
+/// Figure 3: a branching back trace. Sites P=0, Q=1, R=2, S=3 plus the
+/// suspect's own site D=4. Edges: a->b, a->c, b->c, c->d, and a long
+/// root path root -> s1 -> a keeping `a` (hence everything) live.
+struct Figure3World {
+  ObjectId root, s1, a, b, c, d;
+};
+Figure3World BuildFigure3(System& system);
+
+/// Figure 4: one site where plain tracing fails to compute reachability.
+/// Site Q=0 with remote neighbours P=1, R=2. Local edges a->z, b->z, z->x,
+/// x->y(, y->z closing a strongly connected component), z holds remote c,
+/// y holds remote d. Inrefs a (from P), b (from R).
+struct Figure4World {
+  ObjectId a, b, x, y, z;  // at Q
+  ObjectId c;              // at P, target of outref c
+  ObjectId d;              // at R, target of outref d
+};
+Figure4World BuildFigure4(System& system, bool close_scc);
+
+/// Figures 5 and 6: the concurrency problem cases. Sites P=0, Q=1, R=2,
+/// S=3. Old path: a->b (P->Q), b->c (Q->R), c->d (R->S), d->e (S->R),
+/// e->f (R->Q), f->x, x->z (local at Q), z->g (Q->P); plus b->y local at Q.
+/// The scripted mutation creates y->z then deletes d->e.
+/// With with_second_source (Figure 6), e also holds g (R->P), so a back
+/// trace from outref g at Q forks to inref g's sources {Q, R}... g's sources
+/// become {Q, R} and the trace branches.
+struct Figure5World {
+  ObjectId a, g;           // at P (a is the persistent root)
+  ObjectId b, y, z, x, f;  // at Q
+  ObjectId c, e;           // at R
+  ObjectId d;              // at S
+};
+Figure5World BuildFigure5(System& system, bool with_second_source);
+
+}  // namespace dgc::workload

@@ -1,0 +1,110 @@
+// Property tests driving the transactional churn workload: sustained
+// fetch/write/commit activity with interleaved collection must preserve
+// safety at every step and reach a garbage-free quiescent state, across
+// many seeds, network shapes, and collector configurations.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/churn.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 3;
+  config.estimated_cycle_length = 6;
+  return config;
+}
+
+class TransactionalChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransactionalChurn, SafeAndEventuallyComplete) {
+  const std::uint64_t seed = GetParam();
+  NetworkConfig net;
+  net.latency = 6;
+  net.latency_jitter = 6;
+  System system(4, Config(), net, seed);
+  workload::ChurnDriver driver(system, Rng(seed * 2654435761ULL));
+  workload::ChurnSpec spec;
+  spec.steps = 50;
+  driver.Run(spec);  // checks safety after every step internally
+  EXPECT_NO_THROW(driver.Quiesce());
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  EXPECT_TRUE(system.CheckReferentialIntegrity().empty())
+      << system.CheckReferentialIntegrity();
+  EXPECT_TRUE(system.CheckLocalSafetyInvariant().empty())
+      << system.CheckLocalSafetyInvariant();
+  // Something actually happened.
+  const auto& stats = driver.stats();
+  EXPECT_GT(stats.publishes + stats.unlinks + stats.crosslinks + stats.weaves,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransactionalChurn,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class ChurnWithPiggybacking : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ChurnWithPiggybacking, BatchedNetworkChangesNothingSemantically) {
+  const std::uint64_t seed = GetParam();
+  NetworkConfig net;
+  net.latency = 6;
+  net.batch_window = 8;  // piggybacking on
+  System system(3, Config(), net, seed);
+  workload::ChurnDriver driver(system, Rng(seed * 40503));
+  workload::ChurnSpec spec;
+  spec.steps = 40;
+  driver.Run(spec);
+  EXPECT_NO_THROW(driver.Quiesce());
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  // Piggybacking actually engaged.
+  EXPECT_LT(system.network().stats().wire_messages,
+            system.network().stats().inter_site_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnWithPiggybacking,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+class ChurnNonAtomicTraces : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ChurnNonAtomicTraces, SlowTracesUnderTransactionalChurn) {
+  const std::uint64_t seed = GetParam();
+  CollectorConfig config = Config();
+  config.local_trace_duration = 40;
+  NetworkConfig net;
+  net.latency = 6;
+  System system(3, config, net, seed);
+  workload::ChurnDriver driver(system, Rng(seed * 7577));
+  workload::ChurnSpec spec;
+  spec.steps = 40;
+  spec.rounds_every = 4;
+  driver.Run(spec);
+  EXPECT_NO_THROW(driver.Quiesce());
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnNonAtomicTraces,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(ChurnDriverTest, StatsAccumulateAcrossRuns) {
+  System system(2, Config());
+  workload::ChurnDriver driver(system, Rng(5));
+  workload::ChurnSpec spec;
+  spec.steps = 20;
+  driver.Run(spec);
+  const auto first =
+      driver.stats().publishes + driver.stats().unlinks +
+      driver.stats().crosslinks + driver.stats().weaves;
+  EXPECT_EQ(first, 20u);
+  driver.Run(spec);
+  const auto second =
+      driver.stats().publishes + driver.stats().unlinks +
+      driver.stats().crosslinks + driver.stats().weaves;
+  EXPECT_EQ(second, 40u);
+}
+
+}  // namespace
+}  // namespace dgc

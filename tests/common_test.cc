@@ -1,0 +1,145 @@
+// Unit tests for the common substrate: ids, distance arithmetic, RNG, checks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/distance.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace dgc {
+namespace {
+
+TEST(ObjectIdTest, DefaultIsInvalid) {
+  ObjectId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, kInvalidObject);
+}
+
+TEST(ObjectIdTest, EqualityAndOrdering) {
+  const ObjectId a{1, 5};
+  const ObjectId b{1, 6};
+  const ObjectId c{2, 1};
+  EXPECT_EQ(a, (ObjectId{1, 5}));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(ObjectIdTest, HashDistinguishesSiteAndIndex) {
+  std::unordered_set<ObjectId> set;
+  for (SiteId s = 0; s < 8; ++s) {
+    for (std::uint64_t i = 0; i < 64; ++i) set.insert(ObjectId{s, i});
+  }
+  EXPECT_EQ(set.size(), 8u * 64u);
+}
+
+TEST(ObjectIdTest, Streaming) {
+  std::ostringstream os;
+  os << ObjectId{3, 42};
+  EXPECT_EQ(os.str(), "obj(s3:42)");
+}
+
+TEST(TraceIdTest, UniquePerInitiatorAndSeq) {
+  std::unordered_set<TraceId> set;
+  for (SiteId s = 0; s < 4; ++s) {
+    for (std::uint32_t q = 0; q < 16; ++q) set.insert(TraceId{s, q});
+  }
+  EXPECT_EQ(set.size(), 4u * 16u);
+  EXPECT_FALSE(TraceId{}.valid());
+  EXPECT_TRUE((TraceId{0, 0}).valid());
+}
+
+TEST(DistanceTest, NextDistanceSaturates) {
+  EXPECT_EQ(NextDistance(0), 1u);
+  EXPECT_EQ(NextDistance(41), 42u);
+  EXPECT_EQ(NextDistance(kDistanceInfinity), kDistanceInfinity);
+  EXPECT_EQ(NextDistance(kDistanceInfinity - 1), kDistanceInfinity);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(DGC_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    DGC_CHECK_MSG(false, "ioref " << 7);
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("common_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("ioref 7"), std::string::npos);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(21);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,75 @@
+// Tests for the logger: levels gate output, sinks capture it.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dgc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          captured_.emplace_back(level, message);
+        });
+  }
+  void TearDown() override {
+    Logger::Instance().set_level(LogLevel::kOff);
+    Logger::Instance().set_sink(nullptr);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  Logger::Instance().set_level(LogLevel::kOff);
+  DGC_LOG_ERROR("nope");
+  DGC_LOG_INFO("nope");
+  DGC_LOG_TRACE("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, LevelGatesBySeverity) {
+  Logger::Instance().set_level(LogLevel::kInfo);
+  DGC_LOG_ERROR("e");
+  DGC_LOG_INFO("i");
+  DGC_LOG_DEBUG("d");  // below the gate
+  DGC_LOG_TRACE("t");  // below the gate
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "e");
+  EXPECT_EQ(captured_[1].second, "i");
+}
+
+TEST_F(LoggingTest, TraceLevelPassesEverything) {
+  Logger::Instance().set_level(LogLevel::kTrace);
+  DGC_LOG_ERROR("e");
+  DGC_LOG_DEBUG("d");
+  DGC_LOG_TRACE("t");
+  EXPECT_EQ(captured_.size(), 3u);
+}
+
+TEST_F(LoggingTest, StreamExpressionsFormat) {
+  Logger::Instance().set_level(LogLevel::kInfo);
+  DGC_LOG_INFO("x=" << 42 << " y=" << 1.5);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LoggingTest, DisabledLevelsDoNotEvaluateTheExpression) {
+  Logger::Instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return "computed";
+  };
+  DGC_LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+  DGC_LOG_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace dgc

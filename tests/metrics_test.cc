@@ -1,0 +1,76 @@
+// Tests for the metrics recorder: samples reflect the world, CSV is sane.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 3;
+  return config;
+}
+
+TEST(MetricsTest, SeriesTracksCollectionLifecycle) {
+  System system(2, Config());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  MetricsRecorder recorder;
+  recorder.Capture(system);  // round 0
+  recorder.CaptureRounds(system, 15);
+
+  const auto& samples = recorder.samples();
+  ASSERT_EQ(samples.size(), 16u);
+  EXPECT_EQ(samples.front().objects_stored, 2u);
+  EXPECT_EQ(samples.front().suspected_inrefs, 0u);
+  // Suspicion must appear at some point, then collection empties the world.
+  bool suspected_seen = false;
+  for (const auto& sample : samples) {
+    if (sample.suspected_inrefs > 0) suspected_seen = true;
+  }
+  EXPECT_TRUE(suspected_seen);
+  EXPECT_EQ(samples.back().objects_stored, 0u);
+  EXPECT_EQ(samples.back().objects_reclaimed, 2u);
+  EXPECT_GE(samples.back().traces_garbage, 1u);
+  // Monotone cumulative counters.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].messages_sent, samples[i - 1].messages_sent);
+    EXPECT_GE(samples[i].objects_reclaimed, samples[i - 1].objects_reclaimed);
+  }
+}
+
+TEST(MetricsTest, CsvHasHeaderAndOneRowPerSample) {
+  System system(2, Config());
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  MetricsRecorder recorder;
+  recorder.CaptureRounds(system, 5);
+  const std::string csv = recorder.ToCsv();
+  std::istringstream lines(csv);
+  std::string line;
+  std::size_t count = 0;
+  std::size_t columns = 0;
+  while (std::getline(lines, line)) {
+    if (count == 0) {
+      EXPECT_EQ(line.find("round,time,objects_stored"), 0u);
+      columns = static_cast<std::size_t>(
+          std::count(line.begin(), line.end(), ',') + 1);
+    } else {
+      EXPECT_EQ(static_cast<std::size_t>(
+                    std::count(line.begin(), line.end(), ',') + 1),
+                columns)
+          << line;
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 6u);  // header + 5 samples
+  recorder.clear();
+  EXPECT_TRUE(recorder.samples().empty());
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,317 @@
+// Tests for mutator sessions: RPC plumbing, application roots, reference
+// arrival cases 1-4 of Section 6.1.2, the insert barrier, and the transfer
+// barrier as driven by real mutator traffic.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "mutator/session.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 3;
+  return config;
+}
+
+TEST(SessionTest, CreateHoldsAndKeepsAlive) {
+  System system(2, Config());
+  Session session(system, 0, 1);
+  const ObjectId obj = session.Create(2);
+  EXPECT_TRUE(session.Holds(obj));
+  system.RunRounds(2);
+  EXPECT_TRUE(system.ObjectExists(obj));
+}
+
+TEST(SessionTest, LocalReadWritePlumbsSlots) {
+  System system(1, Config());
+  Session session(system, 0, 1);
+  const ObjectId a = session.Create(1);
+  const ObjectId b = session.Create(0);
+  session.Write(a, 0, b);
+  EXPECT_EQ(session.Read(a, 0), b);
+}
+
+TEST(SessionTest, ReadOfNullSlotReturnsInvalid) {
+  System system(1, Config());
+  Session session(system, 0, 1);
+  const ObjectId a = session.Create(1);
+  EXPECT_EQ(session.Read(a, 0), kInvalidObject);
+}
+
+TEST(SessionTest, RemoteReadTransfersAndPins) {
+  System system(2, Config());
+  const ObjectId remote_container = system.NewObject(1, 1);
+  const ObjectId remote_value = system.NewObject(1, 0);
+  system.Wire(remote_container, 0, remote_value);
+  workload::TetherToRoot(system, remote_container, 1);
+
+  Session session(system, 0, 1);
+  session.LoadRoot(remote_container);
+  const ObjectId value = session.Read(remote_container, 0);
+  EXPECT_EQ(value, remote_value);
+  // Holding a remote ref created a pinned outref at home + an inref source
+  // at the owner (case 4 + insert protocol).
+  const OutrefEntry* outref = system.site(0).tables().FindOutref(remote_value);
+  ASSERT_NE(outref, nullptr);
+  EXPECT_GT(outref->pin_count, 0);
+  EXPECT_TRUE(outref->clean());
+  const InrefEntry* inref = system.site(1).tables().FindInref(remote_value);
+  ASSERT_NE(inref, nullptr);
+  EXPECT_TRUE(inref->sources.contains(0));
+}
+
+TEST(SessionTest, RemoteWriteStoresValue) {
+  System system(3, Config());
+  const ObjectId container = system.NewObject(1, 1);
+  workload::TetherToRoot(system, container, 1);
+  const ObjectId target = system.NewObject(2, 0);
+  workload::TetherToRoot(system, target, 2);
+
+  Session session(system, 0, 1);
+  session.LoadRoot(container);
+  session.LoadRoot(target);
+  session.Write(container, 0, target);
+  EXPECT_EQ(system.site(1).heap().GetSlot(container, 0), target);
+  // Site 1 now holds a reference to target@2: outref + inref source exist.
+  EXPECT_NE(system.site(1).tables().FindOutref(target), nullptr);
+  const InrefEntry* inref = system.site(2).tables().FindInref(target);
+  ASSERT_NE(inref, nullptr);
+  EXPECT_TRUE(inref->sources.contains(1));
+}
+
+TEST(SessionTest, WriteOfUnheldReferenceRejected) {
+  System system(1, Config());
+  Session session(system, 0, 1);
+  const ObjectId a = session.Create(1);
+  const ObjectId stranger{0, 999};
+  EXPECT_THROW(session.Write(a, 0, stranger), InvariantViolation);
+}
+
+TEST(SessionTest, ReadOfUnheldReferenceRejected) {
+  System system(2, Config());
+  const ObjectId remote = system.NewObject(1, 1);
+  workload::TetherToRoot(system, remote, 1);
+  Session session(system, 0, 1);
+  // The session never traversed a path to `remote`.
+  EXPECT_THROW(session.Read(remote, 0), InvariantViolation);
+}
+
+TEST(SessionTest, ReadReplyRetentionIsReleasedAfterRecording) {
+  // The serving site retains a served reference (§2) only until the
+  // requester records it; afterwards no pins or extra roots remain.
+  System system(3, Config());
+  const ObjectId container = system.NewObject(1, 1);
+  workload::TetherToRoot(system, container, 1);
+  const ObjectId value = system.NewObject(2, 0);
+  workload::TetherToRoot(system, value, 2);
+  system.Wire(container, 0, value);
+  system.RunRound();
+
+  Session session(system, 0, 1);
+  session.LoadRoot(container);
+  const ObjectId got = session.Read(container, 0);
+  EXPECT_EQ(got, value);
+  system.SettleNetwork();
+  // Site 1 served `value` (remote to it): its outref pin must be back to 0.
+  EXPECT_EQ(system.site(1).tables().FindOutref(value)->pin_count, 0);
+  // The session's own pin at site 0 holds it.
+  EXPECT_GT(system.site(0).tables().FindOutref(value)->pin_count, 0);
+  session.ReleaseAll();
+  system.SettleNetwork();
+  EXPECT_EQ(system.site(0).tables().FindOutref(value)->pin_count, 0);
+}
+
+TEST(SessionTest, OwnObjectServedRetentionIsReleased) {
+  // Owner-served case: site 1 self-roots its own object while the reply and
+  // the requester's insert are in flight, then releases.
+  System system(2, Config());
+  const ObjectId container = system.NewObject(1, 1);
+  workload::TetherToRoot(system, container, 1);
+  const ObjectId value = system.NewObject(1, 0);
+  system.Wire(container, 0, value);
+  system.RunRound();
+
+  Session session(system, 0, 1);
+  session.LoadRoot(container);
+  const ObjectId got = session.Read(container, 0);
+  EXPECT_EQ(got, value);
+  system.SettleNetwork();
+  // Self-retention released: `value` is no longer an app root at site 1.
+  EXPECT_FALSE(system.site(1).IsRootObject(value));
+  // But it is properly registered for the session's pin at site 0.
+  const InrefEntry* inref = system.site(1).tables().FindInref(value);
+  ASSERT_NE(inref, nullptr);
+  EXPECT_TRUE(inref->sources.contains(0));
+}
+
+TEST(SessionTest, ReleaseAllowsCollection) {
+  System system(2, Config());
+  Session session(system, 0, 1);
+  const ObjectId obj = session.Create(0);
+  session.ReleaseAll();
+  system.RunRound();
+  EXPECT_FALSE(system.ObjectExists(obj));
+}
+
+TEST(SessionTest, SessionOnSecondSiteKeepsRemoteObjectAlive) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 0);
+  const ObjectId tether = workload::TetherToRoot(system, obj, 1);
+  Session session(system, 0, 1);
+  session.LoadRoot(obj);
+  system.Unwire(tether, 0);  // only the session holds it now
+  system.RunRounds(4);
+  EXPECT_TRUE(system.ObjectExists(obj));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  session.Release(obj);
+  system.RunRounds(3);
+  EXPECT_FALSE(system.ObjectExists(obj));
+}
+
+TEST(InsertBarrierTest, NewOutrefStaysPinnedUntilAck) {
+  // Slow network: observe the pin while the insert is in flight.
+  NetworkConfig net;
+  net.latency = 50;
+  System system(3, Config(), net);
+  const ObjectId container = system.NewObject(1, 1);
+  workload::TetherToRoot(system, container, 1);
+  const ObjectId target = system.NewObject(2, 0);
+  workload::TetherToRoot(system, target, 2);
+
+  Session session(system, 0, 1);
+  session.LoadRoot(container);
+  session.LoadRoot(target);
+
+  bool write_done = false;
+  session.StartWrite(container, 0, target, [&] { write_done = true; });
+  // Run until site 1 has created its outref but the insert ack is pending.
+  system.scheduler().RunUntil(system.scheduler().now() + 120);
+  const OutrefEntry* outref = system.site(1).tables().FindOutref(target);
+  ASSERT_NE(outref, nullptr);
+  EXPECT_GT(outref->pin_count, 0);  // insert barrier holds it clean
+  EXPECT_TRUE(outref->clean());
+  EXPECT_FALSE(write_done);  // synchronous insert: ack gates completion
+  system.SettleNetwork();
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(outref->pin_count, 0);  // released by the ack
+  EXPECT_TRUE(outref->clean_override);  // stays clean until next trace
+}
+
+TEST(TransferBarrierTest, ArrivalCleansSuspectedInrefAndOutset) {
+  // Ripen a two-site cycle into suspicion, then have a mutator traverse a
+  // reference to one of its objects: the barrier must clean the inref and
+  // the outrefs in its outset.
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  // Keep the cycle alive from a distant root chain so the mutator may
+  // legitimately hold a reference while distances are high.
+  const ObjectId far_root = system.NewObject(2, 1);
+  system.SetPersistentRoot(far_root);
+  const ObjectId hop1 = system.NewObject(0, 1);
+  const ObjectId hop2 = system.NewObject(1, 1);
+  const ObjectId hop3 = system.NewObject(2, 1);
+  system.Wire(far_root, 0, hop1);
+  system.Wire(hop1, 0, hop2);
+  system.Wire(hop2, 0, hop3);
+  system.Wire(hop3, 0, cycle.objects[0]);
+  system.RunRounds(6);
+
+  const InrefEntry* inref =
+      system.site(0).tables().FindInref(cycle.objects[0]);
+  ASSERT_NE(inref, nullptr);
+  ASSERT_FALSE(inref->clean(config.suspicion_threshold))
+      << "test setup: inref should be suspected (distance "
+      << inref->distance() << ")";
+  const OutrefEntry* outref =
+      system.site(0).tables().FindOutref(cycle.objects[1]);
+  ASSERT_NE(outref, nullptr);
+  ASSERT_FALSE(outref->clean());
+
+  // The mutator "transfers" the reference to site 0 (e.g. as an RPC target).
+  system.site(0).ApplyTransferBarrier(cycle.objects[0]);
+  EXPECT_TRUE(inref->clean(config.suspicion_threshold));
+  EXPECT_TRUE(outref->clean()) << "outset member must be cleaned too";
+  EXPECT_GE(system.site(0).stats().transfer_barrier_hits, 1u);
+
+  // The next local trace recomputes cleanliness from distances: overrides
+  // drop again (nothing actually changed reachability).
+  system.RunRound();
+  EXPECT_FALSE(
+      system.site(0).tables().FindInref(cycle.objects[0])->clean(2));
+}
+
+TEST(TransferBarrierTest, CleanInrefArrivalIsNoop) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 0);
+  workload::TetherToRoot(system, obj, 0);
+  system.RunRounds(2);
+  const auto hits_before = system.site(1).stats().transfer_barrier_hits;
+  system.site(1).ApplyTransferBarrier(obj);
+  EXPECT_EQ(system.site(1).stats().transfer_barrier_hits, hits_before);
+}
+
+TEST(ReceiveReferenceTest, Case2CleanOutrefNothingHappens) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 0);
+  workload::TetherToRoot(system, obj, 0);
+  system.RunRounds(2);  // outref at 0 is traced clean
+  bool done = false;
+  system.site(0).ReceiveReference(obj, [&] { done = true; });
+  EXPECT_TRUE(done);  // immediate: no insert traffic
+  EXPECT_EQ(system.site(0).tables().FindOutref(obj)->pin_count, 0);
+}
+
+TEST(ReceiveReferenceTest, Case3SuspectedOutrefCleaned) {
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(2, config);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  system.RunRounds(6);
+  OutrefEntry* outref = system.site(0).tables().FindOutref(cycle.objects[1]);
+  ASSERT_NE(outref, nullptr);
+  ASSERT_FALSE(outref->clean());
+  bool done = false;
+  system.site(0).ReceiveReference(cycle.objects[1], [&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(outref->clean());
+}
+
+TEST(SessionTest, CrossSessionHandoffThroughSharedObject) {
+  // Session A publishes an object into a shared rooted container; session B
+  // (other site) picks it up; A releases; object must survive via B.
+  System system(2, Config());
+  const ObjectId shared = system.NewObject(0, 1);
+  workload::TetherToRoot(system, shared, 0);
+
+  Session a(system, 0, 1);
+  Session b(system, 1, 2);
+  a.LoadRoot(shared);
+  const ObjectId payload = a.Create(0);
+  a.Write(shared, 0, payload);
+  a.ReleaseAll();
+
+  b.LoadRoot(shared);
+  const ObjectId got = b.Read(shared, 0);
+  EXPECT_EQ(got, payload);
+  // Unpublish; only B's variable holds it now.
+  Session unpublisher(system, 0, 3);
+  unpublisher.LoadRoot(shared);
+  unpublisher.Write(shared, 0, kInvalidObject);
+  system.RunRounds(4);
+  EXPECT_TRUE(system.ObjectExists(payload));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  b.Release(got);
+  system.RunRounds(4);
+  EXPECT_FALSE(system.ObjectExists(payload));
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,246 @@
+// Unit tests for the simulated network: FIFO channels, fault injection,
+// self-delivery, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace dgc {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  Scheduler scheduler;
+  NetworkConfig config;
+  std::vector<std::vector<Envelope>> received;
+
+  std::unique_ptr<Network> MakeNetwork(std::size_t sites) {
+    auto network = std::make_unique<Network>(scheduler, config, Rng(1));
+    received.resize(sites);
+    for (SiteId s = 0; s < sites; ++s) {
+      network->RegisterSite(s, [this, s](const Envelope& envelope) {
+        received[s].push_back(envelope);
+      });
+    }
+    return network;
+  }
+
+  static Payload Probe(std::uint64_t value) {
+    return GlobalGcControlMsg{value, GlobalGcControlMsg::Phase::kProbe, value};
+  }
+  static std::uint64_t ProbeValue(const Envelope& envelope) {
+    return std::get<GlobalGcControlMsg>(envelope.payload).value;
+  }
+};
+
+TEST_F(NetFixture, DeliversWithLatency) {
+  config.latency = 7;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(42));
+  EXPECT_TRUE(received[1].empty());
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(ProbeValue(received[1][0]), 42u);
+  EXPECT_EQ(scheduler.now(), 7);
+}
+
+TEST_F(NetFixture, PerChannelFifoUnderJitter) {
+  config.latency = 5;
+  config.latency_jitter = 50;
+  auto net = MakeNetwork(2);
+  for (std::uint64_t i = 0; i < 100; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i) << "reordered at " << i;
+  }
+}
+
+TEST_F(NetFixture, SelfDeliveryIsAsynchronousAndUncounted) {
+  auto net = MakeNetwork(1);
+  net->Send(0, 0, Probe(1));
+  EXPECT_TRUE(received[0].empty());  // not synchronous
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[0].size(), 1u);
+  EXPECT_EQ(net->stats().inter_site_sent, 0u);
+  EXPECT_EQ(net->stats().self_deliveries, 1u);
+}
+
+TEST_F(NetFixture, DownSiteDropsTraffic) {
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);
+  net->Send(0, 1, Probe(1));
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(net->stats().dropped, 1u);
+  net->SetSiteDown(1, false);
+  net->Send(0, 1, Probe(2));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetFixture, CrashAfterSendLosesInFlightMessage) {
+  config.latency = 10;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));
+  scheduler.RunUntil(5);
+  net->SetSiteDown(1, true);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(net->stats().dropped, 1u);
+}
+
+TEST_F(NetFixture, SeveredLinkIsBidirectionalAndRestorable) {
+  auto net = MakeNetwork(3);
+  net->SetLinkDown(0, 1, true);
+  net->Send(0, 1, Probe(1));
+  net->Send(1, 0, Probe(2));
+  net->Send(0, 2, Probe(3));  // unrelated link unaffected
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_TRUE(received[0].empty());
+  EXPECT_EQ(received[2].size(), 1u);
+  net->SetLinkDown(0, 1, false);
+  net->Send(0, 1, Probe(4));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(NetFixture, LossInjectionDropsApproximateFraction) {
+  config.drop_probability = 0.3;
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 1000; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_GT(received[1].size(), 600u);
+  EXPECT_LT(received[1].size(), 800u);
+  EXPECT_EQ(received[1].size() + net->stats().dropped, 1000u);
+}
+
+TEST_F(NetFixture, PerKindCountersAndBytes) {
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, InsertMsg{ObjectId{1, 1}, 0, 0});
+  net->Send(0, 1, InsertMsg{ObjectId{1, 2}, 0, 0});
+  net->Send(0, 1, BackReportMsg{TraceId{0, 1}, BackResult::kLive});
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->stats().count_of<InsertMsg>(), 2u);
+  EXPECT_EQ(net->stats().count_of<BackReportMsg>(), 1u);
+  EXPECT_EQ(net->stats().count_of<UpdateMsg>(), 0u);
+  EXPECT_GT(net->stats().approx_bytes, 0u);
+}
+
+TEST_F(NetFixture, InFlightTracksUndeliveredMessages) {
+  config.latency = 10;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));
+  net->Send(0, 1, Probe(2));
+  EXPECT_EQ(net->in_flight(), 2u);
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->in_flight(), 0u);
+}
+
+TEST_F(NetFixture, WithoutBatchingWireEqualsLogical) {
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 10; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->stats().inter_site_sent, 10u);
+  EXPECT_EQ(net->stats().wire_messages, 10u);
+}
+
+TEST_F(NetFixture, BatchingCoalescesAWindowIntoOneWireMessage) {
+  config.batch_window = 10;
+  config.latency = 5;
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 10; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 10u);
+  EXPECT_EQ(net->stats().inter_site_sent, 10u);   // logical count unchanged
+  EXPECT_EQ(net->stats().wire_messages, 1u);      // one piggybacked batch
+  EXPECT_LT(net->stats().wire_bytes, net->stats().approx_bytes);
+  // Delivery order within the batch preserved.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i);
+  }
+}
+
+TEST_F(NetFixture, BatchingDelaysDeliveryByTheWindow) {
+  config.batch_window = 10;
+  config.latency = 5;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));
+  scheduler.RunUntil(14);  // window (10) + latency (5) not yet elapsed
+  EXPECT_TRUE(received[1].empty());
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(scheduler.now(), 15);
+}
+
+TEST_F(NetFixture, SeparateWindowsSeparateBatches) {
+  config.batch_window = 10;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));
+  scheduler.RunUntilIdle();  // first window flushes
+  net->Send(0, 1, Probe(2));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->stats().wire_messages, 2u);
+  EXPECT_EQ(received[1].size(), 2u);
+}
+
+TEST_F(NetFixture, BatchesPerChannelNotPerSitePair) {
+  config.batch_window = 10;
+  auto net = MakeNetwork(3);
+  net->Send(0, 1, Probe(1));
+  net->Send(0, 2, Probe(2));
+  net->Send(1, 0, Probe(3));  // reverse direction = its own channel
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->stats().wire_messages, 3u);
+}
+
+TEST_F(NetFixture, DroppedBatchLosesAllContents) {
+  config.batch_window = 10;
+  config.drop_probability = 1.0;
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 5; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(net->stats().dropped, 5u);
+  EXPECT_EQ(net->in_flight(), 0u);
+}
+
+TEST_F(NetFixture, BatchingPreservesCrossBatchFifo) {
+  config.batch_window = 7;
+  config.latency = 5;
+  config.latency_jitter = 40;
+  auto net = MakeNetwork(2);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    net->Send(0, 1, Probe(i));
+    scheduler.RunUntil(scheduler.now() + 3);  // spread across several windows
+  }
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 30u);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i) << "reordered at " << i;
+  }
+  EXPECT_GT(net->stats().wire_messages, 1u);
+  EXPECT_LT(net->stats().wire_messages, 30u);
+}
+
+TEST(PayloadTest, KindNamesCoverAllAlternatives) {
+  for (std::size_t i = 0; i < kPayloadKinds; ++i) {
+    EXPECT_NE(PayloadKindName(i), nullptr);
+    EXPECT_GT(std::string(PayloadKindName(i)).size(), 0u);
+  }
+}
+
+TEST(PayloadTest, WireSizeScalesWithContent) {
+  UpdateMsg small{{UpdateEntry{ObjectId{1, 1}, false, 3}}};
+  UpdateMsg big;
+  for (int i = 0; i < 50; ++i) {
+    big.entries.push_back(UpdateEntry{ObjectId{1, (std::uint64_t)i}, false, 3});
+  }
+  EXPECT_LT(ApproxWireSize(small), ApproxWireSize(big));
+}
+
+}  // namespace
+}  // namespace dgc

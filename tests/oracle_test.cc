@@ -1,0 +1,132 @@
+// Tests for the validation machinery itself: the oracle and each invariant
+// checker must actually detect the violations they claim to detect (a
+// checker that can never fail validates nothing).
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 4;
+  config.enable_back_tracing = false;
+  return config;
+}
+
+TEST(OracleTest, LiveSetFollowsAllRootKinds) {
+  System system(2, Config());
+  const ObjectId rooted = system.NewObject(0, 1);
+  system.SetPersistentRoot(rooted);
+  const ObjectId via_slot = system.NewObject(1, 0);
+  system.Wire(rooted, 0, via_slot);
+  const ObjectId app_rooted = system.NewObject(0, 0);
+  system.site(0).AddAppRoot(app_rooted);
+  const ObjectId pinned = system.NewObject(1, 0);
+  bool done = false;
+  system.site(0).ReceiveReference(pinned, [&] { done = true; });
+  system.SettleNetwork();
+  ASSERT_TRUE(done);
+  system.site(0).PinOutref(pinned);
+  const ObjectId orphan = system.NewObject(1, 0);
+
+  const auto live = system.ComputeLiveSet();
+  EXPECT_TRUE(live.contains(rooted));
+  EXPECT_TRUE(live.contains(via_slot));
+  EXPECT_TRUE(live.contains(app_rooted));
+  EXPECT_TRUE(live.contains(pinned));
+  EXPECT_FALSE(live.contains(orphan));
+}
+
+TEST(OracleTest, CheckSafetyDetectsAManuallyFreedLiveObject) {
+  System system(2, Config());
+  const ObjectId root = system.NewObject(0, 1);
+  system.SetPersistentRoot(root);
+  const ObjectId victim = system.NewObject(1, 0);
+  system.Wire(root, 0, victim);
+  EXPECT_TRUE(system.CheckSafety().empty());
+  system.site(1).heap().Free(victim);  // simulate a collector bug
+  const std::string violation = system.CheckSafety();
+  EXPECT_FALSE(violation.empty());
+  EXPECT_NE(violation.find("was reclaimed"), std::string::npos);
+}
+
+TEST(OracleTest, CheckCompletenessDetectsLeakedGarbage) {
+  System system(1, Config());
+  system.NewObject(0, 0);  // garbage, not yet collected
+  EXPECT_FALSE(system.CheckCompleteness().empty());
+  system.RunRound();
+  EXPECT_TRUE(system.CheckCompleteness().empty());
+}
+
+TEST(OracleTest, CheckReferentialIntegrityDetectsMissingOutref) {
+  System system(2, Config());
+  const ObjectId root = system.NewObject(0, 1);
+  system.SetPersistentRoot(root);
+  const ObjectId target = system.NewObject(1, 0);
+  system.Wire(root, 0, target);
+  EXPECT_TRUE(system.CheckReferentialIntegrity().empty());
+  system.site(0).tables().RemoveOutref(target);  // corrupt the tables
+  const std::string violation = system.CheckReferentialIntegrity();
+  EXPECT_FALSE(violation.empty());
+  EXPECT_NE(violation.find("no outref"), std::string::npos);
+}
+
+TEST(OracleTest, CheckReferentialIntegrityDetectsMissingSource) {
+  System system(2, Config());
+  const ObjectId root = system.NewObject(0, 1);
+  system.SetPersistentRoot(root);
+  const ObjectId target = system.NewObject(1, 0);
+  system.Wire(root, 0, target);
+  system.site(1).tables().RemoveInrefSource(target, 0);  // corrupt
+  const std::string violation = system.CheckReferentialIntegrity();
+  EXPECT_FALSE(violation.empty());
+  EXPECT_NE(violation.find("missing from owner's inref sources"),
+            std::string::npos);
+}
+
+TEST(OracleTest, LocalSafetyCheckerDetectsCorruptedInset) {
+  System system(2, Config());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  system.RunRounds(6);  // suspected; insets computed
+  ASSERT_TRUE(system.CheckLocalSafetyInvariant().empty())
+      << system.CheckLocalSafetyInvariant();
+  // Corrupt site 0's back information: drop the inset of its outref.
+  Site& site0 = system.site(0);
+  auto& info = const_cast<SiteBackInfo&>(site0.back_info());
+  info.outref_insets.clear();
+  const std::string violation = system.CheckLocalSafetyInvariant();
+  EXPECT_FALSE(violation.empty());
+  EXPECT_NE(violation.find("inset omits it"), std::string::npos);
+  (void)cycle;
+}
+
+TEST(OracleTest, AggregateStatsSumAcrossSites) {
+  System system(3, CollectorConfig{.suspicion_threshold = 2,
+                                   .estimated_cycle_length = 3});
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  workload::BuildCycle(
+      system, {.sites = 2, .objects_per_site = 1, .first_site = 1});
+  system.RunRounds(20);
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_GE(stats.traces_started, 2u);
+  EXPECT_GE(stats.traces_completed_garbage, 2u);
+  EXPECT_EQ(system.TotalObjectsReclaimed(), 4u);
+  EXPECT_EQ(system.TotalObjects(), 0u);
+}
+
+TEST(OracleTest, ObjectExistsRejectsForeignAndInvalidIds) {
+  System system(2, Config());
+  EXPECT_FALSE(system.ObjectExists(kInvalidObject));
+  EXPECT_FALSE(system.ObjectExists(ObjectId{99, 1}));  // site out of range
+  EXPECT_FALSE(system.ObjectExists(ObjectId{0, 12345}));
+  const ObjectId real = system.NewObject(0, 0);
+  EXPECT_TRUE(system.ObjectExists(real));
+}
+
+}  // namespace
+}  // namespace dgc

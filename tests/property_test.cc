@@ -1,0 +1,379 @@
+// Property-based tests: across many random worlds, seeds, and schedules, the
+// collector must satisfy its two contracts —
+//   SAFETY:        no truly live object is ever reclaimed;
+//   COMPLETENESS:  after enough rounds, no garbage remains.
+// Randomness covers graph shape, network latency/jitter, message loss (with
+// timeouts enabled), and concurrent mutator churn.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.h"
+#include "mutator/session.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 3;
+  config.estimated_cycle_length = 6;
+  config.back_threshold_increment = 3;
+  return config;
+}
+
+class RandomWorld : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorld, SafetyAndCompletenessOnStaticGraphs) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  System system(4, Config(), NetworkConfig{}, seed);
+  workload::RandomGraphSpec spec;
+  spec.sites = 4;
+  spec.objects_per_site = 30;
+  spec.slots_per_object = 3;
+  spec.wire_probability = 0.6;
+  spec.remote_edge_fraction = 0.25;
+  const auto objects = workload::BuildRandomGraph(system, spec, rng);
+
+  // Root a random subset of objects.
+  std::vector<ObjectId> roots;
+  for (const ObjectId id : objects) {
+    if (rng.NextBool(0.05)) {
+      system.SetPersistentRoot(id);
+      roots.push_back(id);
+    }
+  }
+
+  const std::set<ObjectId> live_before = system.ComputeLiveSet();
+  system.RunRounds(40);
+
+  // Safety: everything truly live still exists, and the live set is
+  // unchanged (no mutations happened).
+  EXPECT_TRUE(system.CheckSafety().empty())
+      << "seed " << seed << ": " << system.CheckSafety();
+  EXPECT_EQ(system.ComputeLiveSet(), live_before) << "seed " << seed;
+  // Completeness: every survivor is reachable.
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << "seed " << seed << ": " << system.CheckCompleteness();
+  EXPECT_EQ(system.TotalObjects(), live_before.size()) << "seed " << seed;
+  // Referential integrity holds in the quiesced state.
+  EXPECT_TRUE(system.CheckReferentialIntegrity().empty())
+      << "seed " << seed << ": " << system.CheckReferentialIntegrity();
+  // §6.1.1 Local Safety Invariant: every suspected outref's inset covers all
+  // inrefs it is locally reachable from.
+  EXPECT_TRUE(system.CheckLocalSafetyInvariant().empty())
+      << "seed " << seed << ": " << system.CheckLocalSafetyInvariant();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorld,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class RandomWorldLossy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorldLossy, SafetyUnderMessageLossAndJitter) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 7919);
+  CollectorConfig config = Config();
+  config.back_call_timeout = 400;
+  config.report_timeout = 4000;
+  NetworkConfig net;
+  net.latency = 5;
+  net.latency_jitter = 20;
+  net.drop_probability = 0.05;  // recoverable via refresh + timeouts
+  System system(4, config, net, seed);
+
+  workload::RandomGraphSpec spec;
+  spec.sites = 4;
+  spec.objects_per_site = 20;
+  spec.remote_edge_fraction = 0.3;
+  const auto objects = workload::BuildRandomGraph(system, spec, rng);
+  for (const ObjectId id : objects) {
+    if (rng.NextBool(0.05)) system.SetPersistentRoot(id);
+  }
+  const std::set<ObjectId> live_before = system.ComputeLiveSet();
+  system.RunRounds(50);
+  // Loss may delay collection arbitrarily, but must never break safety.
+  EXPECT_TRUE(system.CheckSafety().empty())
+      << "seed " << seed << ": " << system.CheckSafety();
+  EXPECT_EQ(system.ComputeLiveSet(), live_before) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorldLossy,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class TraceSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceSoundness, GarbageOutcomesOnlyCondemnTrueGarbage) {
+  // At the granularity of a single back trace: whatever the outcome, every
+  // inref flagged by a Garbage report must be truly unreachable per the
+  // oracle (Live outcomes are always safe; premature Live is allowed).
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 6364136223846793005ULL);
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 4;
+  config.enable_back_tracing = false;  // traces fired by hand below
+  System system(4, config, NetworkConfig{}, seed);
+  workload::RandomGraphSpec spec;
+  spec.sites = 4;
+  spec.objects_per_site = 25;
+  spec.remote_edge_fraction = 0.3;
+  const auto objects = workload::BuildRandomGraph(system, spec, rng);
+  for (const ObjectId id : objects) {
+    if (rng.NextBool(0.06)) system.SetPersistentRoot(id);
+  }
+  system.RunRounds(8);  // ripen distances; acyclic garbage largely gone
+
+  const std::set<ObjectId> live = system.ComputeLiveSet();
+  // Fire one trace from every suspected outref in the system.
+  for (SiteId s = 0; s < 4; ++s) {
+    std::vector<ObjectId> suspects;
+    for (const auto& [ref, entry] : system.site(s).tables().outrefs()) {
+      if (!entry.clean() && entry.distance != kDistanceInfinity) {
+        suspects.push_back(ref);
+      }
+    }
+    for (const ObjectId ref : suspects) {
+      if (system.site(s).tables().FindOutref(ref) == nullptr) continue;
+      system.site(s).back_tracer().StartTrace(ref);
+      system.SettleNetwork();
+    }
+  }
+  // Every flagged inref must be true garbage.
+  for (SiteId s = 0; s < 4; ++s) {
+    for (const auto& [obj, entry] : system.site(s).tables().inrefs()) {
+      if (entry.garbage_flagged) {
+        EXPECT_FALSE(live.contains(obj))
+            << "seed " << seed << ": live inref " << obj << " condemned";
+      }
+    }
+  }
+  EXPECT_TRUE(system.CheckSafety().empty())
+      << "seed " << seed << ": " << system.CheckSafety();
+  // And the follow-up sweeps reclaim without hurting live objects.
+  system.RunRounds(6);
+  EXPECT_TRUE(system.CheckSafety().empty())
+      << "seed " << seed << ": " << system.CheckSafety();
+  EXPECT_EQ(system.ComputeLiveSet(), live) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSoundness,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(DeterminismTest, IdenticalSeedsProduceIdenticalWorlds) {
+  // The whole point of the discrete-event design: bit-for-bit reproducible
+  // runs. Two systems driven identically must agree on every statistic.
+  const auto run = [](std::uint64_t seed) {
+    CollectorConfig config;
+    config.suspicion_threshold = 3;
+    config.estimated_cycle_length = 6;
+    NetworkConfig net;
+    net.latency = 5;
+    net.latency_jitter = 9;
+    net.drop_probability = 0.03;
+    config.back_call_timeout = 300;
+    config.report_timeout = 2000;
+    auto system = std::make_unique<System>(4, config, net, seed);
+    Rng rng(seed + 17);
+    workload::RandomGraphSpec spec;
+    spec.sites = 4;
+    spec.objects_per_site = 30;
+    const auto objects = workload::BuildRandomGraph(*system, spec, rng);
+    for (const ObjectId id : objects) {
+      if (rng.NextBool(0.05)) system->SetPersistentRoot(id);
+    }
+    system->RunRounds(15);
+    struct Fingerprint {
+      std::size_t objects;
+      std::uint64_t reclaimed, msgs, dropped, traces, garbage, live;
+      SimTime now;
+      bool operator==(const Fingerprint&) const = default;
+    };
+    const auto bt = system->AggregateBackTracerStats();
+    return Fingerprint{system->TotalObjects(),
+                       system->TotalObjectsReclaimed(),
+                       system->network().stats().inter_site_sent,
+                       system->network().stats().dropped,
+                       bt.traces_started,
+                       bt.traces_completed_garbage,
+                       bt.traces_completed_live,
+                       system->scheduler().now()};
+  };
+  EXPECT_TRUE(run(7) == run(7));
+  EXPECT_TRUE(run(8) == run(8));
+  EXPECT_FALSE(run(7) == run(8));
+}
+
+class ChurnWorld : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnWorld, SafetyUnderConcurrentMutatorChurn) {
+  // Mutator sessions create, link, publish and unpublish objects through
+  // rooted containers while rounds of local traces and back traces run.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 104729);
+  NetworkConfig net;
+  net.latency = 8;
+  net.latency_jitter = 8;
+  System system(3, Config(), net, seed);
+
+  // One rooted container per site.
+  std::vector<ObjectId> containers;
+  for (SiteId s = 0; s < 3; ++s) {
+    const ObjectId container = system.NewObject(s, 4);
+    system.SetPersistentRoot(container);
+    containers.push_back(container);
+  }
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (SiteId s = 0; s < 3; ++s) {
+    sessions.push_back(std::make_unique<Session>(system, s, 100 + s));
+    sessions[s]->LoadRoot(containers[s]);
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    Session& session = *sessions[rng.NextBelow(sessions.size())];
+    const ObjectId container = containers[rng.NextBelow(containers.size())];
+    const std::size_t slot = rng.NextBelow(4);
+    switch (rng.NextBelow(4)) {
+      case 0: {  // publish a fresh (possibly self-linking) object
+        if (!session.Holds(container)) session.LoadRoot(container);
+        const ObjectId fresh = session.Create(2);
+        session.Write(fresh, 0, fresh);  // self loop: local cycle fodder
+        session.Write(container, slot, fresh);
+        session.Release(fresh);
+        break;
+      }
+      case 1: {  // cross-link: copy a reference between containers
+        if (!session.Holds(container)) session.LoadRoot(container);
+        const ObjectId value = session.Read(container, slot);
+        if (value.valid()) {
+          const ObjectId other = containers[rng.NextBelow(containers.size())];
+          if (!session.Holds(other)) session.LoadRoot(other);
+          session.Write(other, rng.NextBelow(4), value);
+          session.Release(value);
+        }
+        break;
+      }
+      case 2: {  // unpublish: clear a container slot
+        if (!session.Holds(container)) session.LoadRoot(container);
+        session.Write(container, slot, kInvalidObject);
+        break;
+      }
+      case 3: {  // cross-site cycle: fresh objects on two sites, linked
+        Session& peer = *sessions[(session.home() + 1) % 3];
+        if (peer.busy()) break;
+        const ObjectId a = session.Create(1);
+        const ObjectId b = peer.Create(1);
+        if (!session.Holds(b)) {
+          // Session obtains b by publication handoff via a container.
+          if (!peer.Holds(containers[0])) peer.LoadRoot(containers[0]);
+          peer.Write(containers[0], 3, b);
+          if (!session.Holds(containers[0])) session.LoadRoot(containers[0]);
+          const ObjectId got = session.Read(containers[0], 3);
+          if (got.valid()) {
+            session.Write(a, 0, got);
+            session.Release(got);
+          }
+        }
+        if (!peer.Holds(a)) {
+          if (!session.Holds(containers[1])) session.LoadRoot(containers[1]);
+          session.Write(containers[1], 3, a);
+          if (!peer.Holds(containers[1])) peer.LoadRoot(containers[1]);
+          const ObjectId got = peer.Read(containers[1], 3);
+          if (got.valid()) {
+            peer.Write(b, 0, got);
+            peer.Release(got);
+          }
+        }
+        session.Release(a);
+        peer.Release(b);
+        // Unpublish the handoff slots so the pair can become garbage later.
+        session.Write(containers[1], 3, kInvalidObject);
+        if (!peer.Holds(containers[0])) peer.LoadRoot(containers[0]);
+        peer.Write(containers[0], 3, kInvalidObject);
+        break;
+      }
+    }
+    // Interleave collection activity.
+    if (step % 5 == 4) system.RunRoundStaggered(7);
+    // The safety oracle must hold at every step.
+    const std::string violation = system.CheckSafety();
+    ASSERT_TRUE(violation.empty())
+        << "seed " << seed << " step " << step << ": " << violation;
+  }
+
+  // Quiesce: drop all session holds, run plenty of rounds; only
+  // container-reachable objects survive.
+  for (auto& session : sessions) session->ReleaseAll();
+  system.RunRounds(40);
+  EXPECT_TRUE(system.CheckSafety().empty())
+      << "seed " << seed << ": " << system.CheckSafety();
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << "seed " << seed << ": " << system.CheckCompleteness();
+  EXPECT_TRUE(system.CheckReferentialIntegrity().empty())
+      << "seed " << seed << ": " << system.CheckReferentialIntegrity();
+  EXPECT_TRUE(system.CheckLocalSafetyInvariant().empty())
+      << "seed " << seed << ": " << system.CheckLocalSafetyInvariant();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnWorld,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class NonAtomicChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NonAtomicChurn, SlowTracesWithConcurrentMutationStaySafe) {
+  // Same contracts with non-atomic local traces (§6.2): every trace takes
+  // simulated time, so mutations and back traces overlap trace windows.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31337);
+  CollectorConfig config = Config();
+  config.local_trace_duration = 60;
+  NetworkConfig net;
+  net.latency = 10;
+  System system(3, config, net, seed);
+
+  std::vector<ObjectId> containers;
+  for (SiteId s = 0; s < 3; ++s) {
+    const ObjectId container = system.NewObject(s, 3);
+    system.SetPersistentRoot(container);
+    containers.push_back(container);
+  }
+  Session session(system, 0, 1);
+
+  for (int step = 0; step < 40; ++step) {
+    const ObjectId container = containers[rng.NextBelow(containers.size())];
+    if (!session.Holds(container)) session.LoadRoot(container);
+    const std::size_t slot = rng.NextBelow(3);
+    if (rng.NextBool(0.6)) {
+      const ObjectId fresh = session.Create(1);
+      session.Write(container, slot, fresh);
+      session.Release(fresh);
+    } else {
+      session.Write(container, slot, kInvalidObject);
+    }
+    if (step % 4 == 1) {
+      // Start overlapping traces without settling first.
+      for (SiteId s = 0; s < 3; ++s) {
+        if (!system.site(s).trace_in_flight()) {
+          system.site(s).StartLocalTrace();
+        }
+      }
+    }
+    const std::string violation = system.CheckSafety();
+    ASSERT_TRUE(violation.empty())
+        << "seed " << seed << " step " << step << ": " << violation;
+  }
+  session.ReleaseAll();
+  system.SettleNetwork();
+  system.RunRounds(30);
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << "seed " << seed << ": " << system.CheckCompleteness();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonAtomicChurn,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace dgc

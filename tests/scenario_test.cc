@@ -1,0 +1,221 @@
+// End-to-end scenarios from the paper's figures (1-3) driving the whole
+// pipeline: local tracing + distance propagation + suspicion + back tracing
+// + report phase + reclamation.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/builders.h"
+#include "workload/figures.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig SmallThresholds() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 3;  // back threshold D2 = 5
+  config.back_threshold_increment = 2;
+  return config;
+}
+
+// --- Figure 1 --------------------------------------------------------------
+
+TEST(Figure1Test, LocalTracingCollectsAcyclicGarbageWithLocality) {
+  CollectorConfig config = SmallThresholds();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  const auto w = workload::BuildFigure1(system);
+
+  // Round 1: Q collects d and drops its outref for e; the update message
+  // lets P collect e in round 2 — exactly the paper's §2 narrative.
+  system.RunRound();
+  EXPECT_FALSE(system.ObjectExists(w.d));
+  system.RunRound();
+  EXPECT_FALSE(system.ObjectExists(w.e));
+
+  // Live objects survive.
+  for (const ObjectId id : {w.a, w.b, w.c}) {
+    EXPECT_TRUE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(Figure1Test, WithoutBackTracingTheCycleLeaksForever) {
+  CollectorConfig config = SmallThresholds();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  const auto w = workload::BuildFigure1(system);
+  system.RunRounds(20);
+  // f and g are garbage but never collected: the failure that motivates the
+  // paper.
+  EXPECT_TRUE(system.ObjectExists(w.f));
+  EXPECT_TRUE(system.ObjectExists(w.g));
+  EXPECT_FALSE(system.CheckCompleteness().empty());
+}
+
+TEST(Figure1Test, BackTracingCollectsTheCycle) {
+  System system(3, SmallThresholds());
+  const auto w = workload::BuildFigure1(system);
+  system.RunRounds(20);
+  EXPECT_FALSE(system.ObjectExists(w.f));
+  EXPECT_FALSE(system.ObjectExists(w.g));
+  for (const ObjectId id : {w.a, w.b, w.c}) {
+    EXPECT_TRUE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << system.CheckCompleteness();
+  EXPECT_TRUE(system.CheckReferentialIntegrity().empty())
+      << system.CheckReferentialIntegrity();
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_GE(stats.traces_completed_garbage, 1u);
+}
+
+TEST(Figure1Test, DistancesOfCyclicGarbageGrowWithoutBound) {
+  CollectorConfig config = SmallThresholds();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  const auto w = workload::BuildFigure1(system);
+  Distance previous = 0;
+  for (int round = 0; round < 8; ++round) {
+    system.RunRound();
+    const InrefEntry* inref_g = system.site(2).tables().FindInref(w.g);
+    ASSERT_NE(inref_g, nullptr);
+    const Distance d = inref_g->distance();
+    EXPECT_GE(d, previous);
+    previous = d;
+  }
+  // Theorem of Section 3: after d rounds the estimated distance is >= d.
+  EXPECT_GE(previous, 8u);
+}
+
+TEST(Figure1Test, LiveObjectDistanceStaysAtTruth) {
+  System system(3, SmallThresholds());
+  const auto w = workload::BuildFigure1(system);
+  system.RunRounds(6);
+  // c is reachable root->c directly (distance 1, per §3's worked example).
+  const InrefEntry* inref_c = system.site(2).tables().FindInref(w.c);
+  ASSERT_NE(inref_c, nullptr);
+  EXPECT_EQ(inref_c->distance(), 1u);
+}
+
+// --- Multi-site cycles of various shapes -----------------------------------
+
+TEST(CycleCollectionTest, TwoSiteCycleInvolvesOnlyItsSites) {
+  System system(4, SmallThresholds());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  // An unrelated live object on site 3.
+  const ObjectId bystander = system.NewObject(3, 0);
+  system.SetPersistentRoot(bystander);
+
+  system.network().ResetStats();
+  system.RunRounds(20);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+  // Locality: no back-trace call ever reached site 3 (it has no suspected
+  // iorefs), so its back tracer handled nothing.
+  EXPECT_EQ(system.site(3).back_tracer().stats().calls_handled, 0u);
+}
+
+TEST(CycleCollectionTest, LongCycleAcrossManySites) {
+  CollectorConfig config = SmallThresholds();
+  config.estimated_cycle_length = 10;
+  System system(6, config);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 6, .objects_per_site = 2});
+  system.RunRounds(30);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << system.CheckCompleteness();
+}
+
+TEST(CycleCollectionTest, TetheredCycleStaysAliveUntilCut) {
+  System system(3, SmallThresholds());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  const ObjectId tether = workload::TetherToRoot(system, cycle.head(), 2);
+
+  system.RunRounds(25);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_TRUE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+
+  // Cut the tether: the cycle is garbage now and must go.
+  system.Unwire(tether, 0);
+  system.RunRounds(25);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+}
+
+TEST(CycleCollectionTest, CycleWithHangingChainFullyReclaimed) {
+  System system(4, SmallThresholds());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 2});
+  // Garbage chain dangling off the cycle across other sites: dies after the
+  // cycle does, via regular update messages (completeness cascades).
+  const auto chain = workload::AttachChain(system, cycle.objects[1], 1, 5);
+  system.RunRounds(40);
+  for (const ObjectId id : chain) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_EQ(system.TotalObjects(), 0u);
+}
+
+// --- Figure 2: traces start from outrefs -----------------------------------
+
+TEST(Figure2Test, BothCyclesCollectedCompletely) {
+  System system(3, SmallThresholds());
+  const auto w = workload::BuildFigure2(system);
+  system.RunRounds(25);
+  for (const ObjectId id : {w.a, w.b, w.c, w.d}) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+}
+
+TEST(Figure2Test, InsetOfSharedOutrefHasBothInrefs) {
+  CollectorConfig config = SmallThresholds();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  const auto w = workload::BuildFigure2(system);
+  system.RunRounds(6);  // enough for distances to pass the threshold
+  const auto& info = system.site(1).back_info();
+  const auto inset = info.outref_insets.find(w.c);
+  ASSERT_NE(inset, info.outref_insets.end());
+  EXPECT_EQ(inset->second.size(), 2u);  // {a, b} — Figure 2's point
+}
+
+// --- Figure 3: branching trace with a live suspect --------------------------
+
+TEST(Figure3Test, LiveSuspectSurvivesBackTrace) {
+  System system(5, SmallThresholds());
+  const auto w = workload::BuildFigure3(system);
+  system.RunRounds(25);
+  // Everything is reachable from the root: nothing may be collected, even
+  // though distances of b/c/d may cross the suspicion threshold.
+  for (const ObjectId id : {w.root, w.s1, w.a, w.b, w.c, w.d}) {
+    EXPECT_TRUE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(Figure3Test, CutRootPathMakesEverythingCollectable) {
+  System system(5, SmallThresholds());
+  const auto w = workload::BuildFigure3(system);
+  system.RunRounds(10);
+  system.Unwire(w.s1, 0);  // delete the long path from the root
+  system.RunRounds(30);
+  for (const ObjectId id : {w.a, w.b, w.c, w.d}) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.ObjectExists(w.root));
+  EXPECT_TRUE(system.ObjectExists(w.s1));
+}
+
+}  // namespace
+}  // namespace dgc

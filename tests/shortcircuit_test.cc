@@ -1,0 +1,179 @@
+// Tests for the short-circuit Live-reply optimization (§4.4's "return Live
+// immediately" pseudocode semantics, opt-in via
+// CollectorConfig::short_circuit_live_replies).
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+// World where a trace from outref o (to y@1) forks two branches:
+//   * the FAST branch reaches a mutator-pinned (clean) outref in one remote
+//     round trip -> Live;
+//   * the SLOW branch walks a garbage ring over sites 4..7 before closing
+//     -> Garbage, many round trips later.
+// Short-circuiting answers at the fast branch; waiting answers at the slow.
+struct ForkWorld {
+  ObjectId y;        // suspect target at site 1; the trace starts from its
+                     // outref at site 0
+  ObjectId x1, x2;   // site-0 holders of y (= the inset of outref y)
+  ObjectId pinned;   // = x1's remote holder's ref, pinned clean at site 2
+};
+
+ForkWorld Build(System& system) {
+  ForkWorld w;
+  w.y = system.NewObject(1, 0);
+  w.x1 = system.NewObject(0, 1);
+  w.x2 = system.NewObject(0, 1);
+  system.Wire(w.x1, 0, w.y);
+  system.Wire(w.x2, 0, w.y);
+
+  // Fast branch: x1 held from site 2 by a member of a {2,3} garbage cycle
+  // (so x1's inref distance ripens high), whose outref we will pin.
+  const ObjectId g2 = system.NewObject(2, 2);
+  const ObjectId g3 = system.NewObject(3, 1);
+  system.Wire(g2, 0, g3);
+  system.Wire(g3, 0, g2);
+  system.Wire(g2, 1, w.x1);
+  w.pinned = w.x1;
+
+  // Slow branch: x2 held from a garbage ring spanning sites 4..7.
+  const auto ring = workload::BuildCycle(
+      system, {.sites = 4, .objects_per_site = 1, .first_site = 4});
+  system.Wire(ring.objects[0], 1, w.x2);
+  return w;
+}
+
+struct Result {
+  BackResult outcome = BackResult::kGarbage;
+  SimTime duration = 0;
+};
+
+Result RunForkTrace(bool short_circuit) {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 8;
+  config.enable_back_tracing = false;  // one manual trace
+  config.short_circuit_live_replies = short_circuit;
+  config.report_timeout = 100'000;
+  NetworkConfig net;
+  net.latency = 50;
+  System system(8, config, net);
+  const ForkWorld w = Build(system);
+  system.RunRounds(10);  // ripen everything suspicious
+
+  Site& site0 = system.site(0);
+  // Mutator variable takes hold of x1 at site 2: pinned clean, but site 2
+  // runs no further local trace, so x1's inref at site 0 keeps its stale
+  // suspected distance — the fast branch must discover the pin remotely.
+  system.site(2).PinOutref(w.pinned);
+
+  Result result;
+  bool done = false;
+  site0.back_tracer().set_outcome_observer([&](const TraceOutcome& outcome) {
+    done = true;
+    result.outcome = outcome.result;
+    result.duration = outcome.completed_at - outcome.started_at;
+  });
+  EXPECT_NE(site0.tables().FindOutref(w.y), nullptr);
+  site0.back_tracer().StartTrace(w.y);
+  system.SettleNetwork();
+  EXPECT_TRUE(done);
+  return result;
+}
+
+TEST(ShortCircuitTest, BothModesAnswerLive) {
+  EXPECT_EQ(RunForkTrace(false).outcome, BackResult::kLive);
+  EXPECT_EQ(RunForkTrace(true).outcome, BackResult::kLive);
+}
+
+TEST(ShortCircuitTest, ShortCircuitAnswersStrictlyFaster) {
+  const Result waiting = RunForkTrace(false);
+  const Result eager = RunForkTrace(true);
+  // Deterministic simulation: the slow branch needs several extra 50-tick
+  // round trips that the eager mode does not wait for.
+  EXPECT_LT(eager.duration, waiting.duration);
+  EXPECT_GE(waiting.duration - eager.duration, 100);
+}
+
+TEST(ShortCircuitTest, StragglerMarksExpireViaReportTimeout) {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 8;
+  config.enable_back_tracing = false;
+  config.short_circuit_live_replies = true;
+  config.report_timeout = 500;
+  NetworkConfig net;
+  net.latency = 50;
+  System system(8, config, net);
+  const ForkWorld w = Build(system);
+  system.RunRounds(10);
+  system.site(2).PinOutref(w.pinned);
+  system.site(0).back_tracer().StartTrace(w.y);
+  system.SettleNetwork();
+  // The ring sites may hold stranded visited marks (their replies arrived
+  // after the early Live was reported). After the report timeout, a local
+  // trace's housekeeping clears them.
+  system.scheduler().RunUntil(system.scheduler().now() + 1000);
+  system.RunRound();
+  for (SiteId s = 0; s < 8; ++s) {
+    for (const auto& [obj, entry] : system.site(s).tables().inrefs()) {
+      EXPECT_TRUE(entry.visited.empty())
+          << "stranded mark at site " << s << " inref " << obj;
+    }
+    for (const auto& [ref, entry] : system.site(s).tables().outrefs()) {
+      EXPECT_TRUE(entry.visited.empty())
+          << "stranded mark at site " << s << " outref " << ref;
+    }
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(ShortCircuitTest, EndToEndCollectionStillWorks) {
+  // Garbage answers never short-circuit (they need every branch), so the
+  // collection pipeline must behave identically.
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 3;
+  config.short_circuit_live_replies = true;
+  config.report_timeout = 5000;
+  System system(3, config);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 3, .objects_per_site = 2});
+  system.RunRounds(25);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  EXPECT_TRUE(system.CheckCompleteness().empty());
+}
+
+TEST(ShortCircuitTest, MessageCountUnchanged) {
+  // 2E + P is identical in both modes: every call still gets one reply.
+  for (const bool mode : {false, true}) {
+    CollectorConfig config;
+    config.suspicion_threshold = 2;
+    config.estimated_cycle_length = 6;
+    config.enable_back_tracing = false;
+    config.short_circuit_live_replies = mode;
+    config.report_timeout = 50'000;
+    System system(4, config);
+    const auto cycle =
+        workload::BuildCycle(system, {.sites = 4, .objects_per_site = 1});
+    system.RunRounds(14);
+    system.network().ResetStats();
+    Site& initiator = system.site(0);
+    initiator.back_tracer().StartTrace(
+        initiator.tables().outrefs().begin()->first);
+    system.SettleNetwork();
+    EXPECT_EQ(system.network().stats().count_of<BackLocalCallMsg>(), 4u)
+        << "mode " << mode;
+    EXPECT_EQ(system.network().stats().count_of<BackReplyMsg>(), 4u)
+        << "mode " << mode;
+  }
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,117 @@
+// Unit tests for the per-site object store.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "store/heap.h"
+
+namespace dgc {
+namespace {
+
+TEST(HeapTest, AllocateAssignsOwnedIds) {
+  Heap heap(3);
+  const ObjectId a = heap.Allocate(2);
+  const ObjectId b = heap.Allocate(0);
+  EXPECT_EQ(a.site, 3u);
+  EXPECT_EQ(b.site, 3u);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(heap.Exists(a));
+  EXPECT_EQ(heap.object_count(), 2u);
+  EXPECT_EQ(heap.stats().allocated, 2u);
+}
+
+TEST(HeapTest, SlotsStartNull) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(heap.GetSlot(a, i), kInvalidObject);
+  }
+}
+
+TEST(HeapTest, SetAndGetSlot) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(2);
+  const ObjectId b = heap.Allocate(0);
+  heap.SetSlot(a, 1, b);
+  EXPECT_EQ(heap.GetSlot(a, 1), b);
+  heap.SetSlot(a, 1, kInvalidObject);
+  EXPECT_EQ(heap.GetSlot(a, 1), kInvalidObject);
+}
+
+TEST(HeapTest, OutOfRangeSlotThrows) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(1);
+  EXPECT_THROW(heap.SetSlot(a, 1, kInvalidObject), InvariantViolation);
+  EXPECT_THROW((void)heap.GetSlot(a, 5), InvariantViolation);
+}
+
+TEST(HeapTest, FreeReclaims) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  heap.Free(a);
+  EXPECT_FALSE(heap.Exists(a));
+  EXPECT_EQ(heap.stats().reclaimed, 1u);
+  EXPECT_THROW(heap.Free(a), InvariantViolation);
+}
+
+TEST(HeapTest, IdsNotReusedAfterFree) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  heap.Free(a);
+  const ObjectId b = heap.Allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(HeapTest, ForeignIdDoesNotExist) {
+  Heap heap(1);
+  Heap other(2);
+  const ObjectId foreign = other.Allocate(0);
+  EXPECT_FALSE(heap.Exists(foreign));
+  EXPECT_THROW(heap.Get(foreign), InvariantViolation);
+}
+
+TEST(HeapTest, PersistentRoots) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  const ObjectId b = heap.Allocate(0);
+  heap.AddPersistentRoot(a);
+  heap.AddPersistentRoot(b);
+  EXPECT_EQ(heap.persistent_roots().size(), 2u);
+  heap.RemovePersistentRoot(a);
+  ASSERT_EQ(heap.persistent_roots().size(), 1u);
+  EXPECT_EQ(heap.persistent_roots()[0], b);
+}
+
+TEST(HeapTest, CannotFreeAPersistentRoot) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  heap.AddPersistentRoot(a);
+  EXPECT_THROW(heap.Free(a), InvariantViolation);
+  heap.RemovePersistentRoot(a);
+  EXPECT_NO_THROW(heap.Free(a));
+}
+
+TEST(HeapTest, DuplicateRootRejected) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  heap.AddPersistentRoot(a);
+  EXPECT_THROW(heap.AddPersistentRoot(a), InvariantViolation);
+}
+
+TEST(HeapTest, ForEachVisitsAllObjects) {
+  Heap heap(0);
+  std::set<ObjectId> allocated;
+  for (int i = 0; i < 20; ++i) allocated.insert(heap.Allocate(1));
+  std::set<ObjectId> seen;
+  heap.ForEach([&](ObjectId id, const Object&) { seen.insert(id); });
+  EXPECT_EQ(seen, allocated);
+}
+
+TEST(HeapTest, MarkEpochsDefaultToZero) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  EXPECT_EQ(heap.Get(a).mark_epoch, 0u);
+  EXPECT_EQ(heap.Get(a).clean_epoch, 0u);
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,185 @@
+// Exotic garbage topologies: shapes that stress the back tracer's branching,
+// visited-set, and inset machinery beyond simple rings — figure-eights,
+// nested rings, cycles of cycles, dense bipartite tangles, deep local SCCs
+// with several inter-site exits. Every one must be fully reclaimed, safely.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config(Distance cycle_estimate = 8) {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = cycle_estimate;
+  config.back_threshold_increment = 2;
+  return config;
+}
+
+void ExpectAllCollected(System& system, const std::vector<ObjectId>& objects,
+                        int rounds = 40) {
+  system.RunRounds(rounds);
+  for (const ObjectId id : objects) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << system.CheckCompleteness();
+}
+
+TEST(TopologyTest, FigureEightSharingOneObject) {
+  // Two inter-site rings sharing a single hub object: one trace must close
+  // over both lobes via the hub's two-way inset.
+  System system(3, Config());
+  const ObjectId hub = system.NewObject(0, 2);
+  const ObjectId left = system.NewObject(1, 1);
+  const ObjectId right = system.NewObject(2, 1);
+  system.Wire(hub, 0, left);
+  system.Wire(left, 0, hub);
+  system.Wire(hub, 1, right);
+  system.Wire(right, 0, hub);
+  ExpectAllCollected(system, {hub, left, right});
+}
+
+TEST(TopologyTest, NestedRingsSharingAllSites) {
+  // An inner 2-site ring and an outer 4-site ring over the same sites, with
+  // a chord from outer to inner: distinct cycles, overlapping iorefs.
+  System system(4, Config());
+  const auto inner =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  const auto outer =
+      workload::BuildCycle(system, {.sites = 4, .objects_per_site = 1});
+  system.Wire(outer.objects[1], 1, inner.objects[0]);
+  std::vector<ObjectId> all = inner.objects;
+  all.insert(all.end(), outer.objects.begin(), outer.objects.end());
+  ExpectAllCollected(system, all);
+}
+
+TEST(TopologyTest, CycleOfCycles) {
+  // Three 2-site rings, each ring's member pointing into the next ring,
+  // closing a super-cycle of rings across 6 sites.
+  System system(6, Config(12));
+  std::vector<workload::CycleHandles> rings;
+  for (SiteId s = 0; s < 6; s += 2) {
+    rings.push_back(workload::BuildCycle(
+        system, {.sites = 2, .objects_per_site = 1, .first_site = s}));
+  }
+  std::vector<ObjectId> all;
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    system.Wire(rings[i].objects[1], 1,
+                rings[(i + 1) % rings.size()].objects[0]);
+    all.insert(all.end(), rings[i].objects.begin(), rings[i].objects.end());
+  }
+  ExpectAllCollected(system, all, 60);
+}
+
+TEST(TopologyTest, DenseBipartiteTangle) {
+  // Every object on site 0 references every object on site 1 and vice
+  // versa: maximal inset sizes and branch fan-out.
+  System system(2, Config());
+  constexpr std::size_t kPerSite = 4;
+  std::vector<ObjectId> a, b;
+  for (std::size_t i = 0; i < kPerSite; ++i) {
+    a.push_back(system.NewObject(0, kPerSite));
+    b.push_back(system.NewObject(1, kPerSite));
+  }
+  for (std::size_t i = 0; i < kPerSite; ++i) {
+    for (std::size_t j = 0; j < kPerSite; ++j) {
+      system.Wire(a[i], j, b[j]);
+      system.Wire(b[i], j, a[j]);
+    }
+  }
+  std::vector<ObjectId> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  ExpectAllCollected(system, all);
+}
+
+TEST(TopologyTest, DeepLocalSccWithSeveralExits) {
+  // A 50-object local SCC on site 0 whose members hold refs into a 3-site
+  // garbage ring: the SCC shares one outset; the whole structure dies.
+  System system(4, Config());
+  const auto ring = workload::BuildCycle(
+      system, {.sites = 3, .objects_per_site = 1, .first_site = 1});
+  std::vector<ObjectId> scc;
+  for (int i = 0; i < 50; ++i) scc.push_back(system.NewObject(0, 2));
+  for (int i = 0; i < 50; ++i) {
+    system.Wire(scc[i], 0, scc[(i + 1) % 50]);
+    if (i % 10 == 0) system.Wire(scc[i], 1, ring.objects[i / 10 % 3]);
+  }
+  // And the ring points back into the SCC, making one giant garbage knot.
+  system.Wire(ring.objects[0], 1, scc[0]);
+  std::vector<ObjectId> all = scc;
+  all.insert(all.end(), ring.objects.begin(), ring.objects.end());
+  ExpectAllCollected(system, all, 60);
+}
+
+TEST(TopologyTest, LongChainFeedingCycleDiesAfterCycle) {
+  // chain (garbage) -> cycle: back traces walking backwards from the cycle
+  // visit the chain's inrefs too; everything is reclaimed.
+  System system(4, Config());
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  // Build a 6-hop garbage chain whose tail points INTO the cycle.
+  std::vector<ObjectId> chain;
+  ObjectId previous = kInvalidObject;
+  for (int i = 0; i < 6; ++i) {
+    const ObjectId link = system.NewObject((2 + i) % 4, 1);
+    if (previous.valid()) system.Wire(previous, 0, link);
+    chain.push_back(link);
+    previous = link;
+  }
+  system.Wire(previous, 0, cycle.objects[0]);
+  std::vector<ObjectId> all = chain;
+  all.insert(all.end(), cycle.objects.begin(), cycle.objects.end());
+  ExpectAllCollected(system, all, 60);
+}
+
+TEST(TopologyTest, TwoSitesManyParallelEdges) {
+  // The same pair of sites connected by many parallel object pairs; a trace
+  // on one pair must not disturb the others (distinct iorefs per object).
+  System system(2, Config());
+  std::vector<ObjectId> all;
+  for (int k = 0; k < 10; ++k) {
+    const ObjectId x = system.NewObject(0, 1);
+    const ObjectId y = system.NewObject(1, 1);
+    system.Wire(x, 0, y);
+    system.Wire(y, 0, x);
+    all.push_back(x);
+    all.push_back(y);
+  }
+  // Half of them are live (tethered); only the garbage half may die.
+  std::vector<ObjectId> garbage;
+  for (int k = 0; k < 10; ++k) {
+    if (k % 2 == 0) {
+      workload::TetherToRoot(system, all[2 * k], 0);
+    } else {
+      garbage.push_back(all[2 * k]);
+      garbage.push_back(all[2 * k + 1]);
+    }
+  }
+  system.RunRounds(40);
+  for (const ObjectId id : garbage) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  for (int k = 0; k < 10; k += 2) {
+    EXPECT_TRUE(system.ObjectExists(all[2 * k]));
+    EXPECT_TRUE(system.ObjectExists(all[2 * k + 1]));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(TopologyTest, SelfReferenceThroughRemoteProxy) {
+  // a@0 -> proxy@1 -> a@0: the minimal 2-site cycle where one site holds
+  // both the inref and the outref for related objects.
+  System system(2, Config());
+  const ObjectId a = system.NewObject(0, 1);
+  const ObjectId proxy = system.NewObject(1, 1);
+  system.Wire(a, 0, proxy);
+  system.Wire(proxy, 0, a);
+  ExpectAllCollected(system, {a, proxy});
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,221 @@
+// Tests for the client-caching transactional mutator (§6.1.1's commit-time
+// barrier model): fetch/read/write/commit semantics, barrier firing at
+// commit, insert-barrier gating of the commit ack, and GC interaction.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "mutator/transaction.h"
+#include "workload/builders.h"
+
+namespace dgc {
+namespace {
+
+CollectorConfig Config() {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.estimated_cycle_length = 4;
+  return config;
+}
+
+TEST(TransactionTest, FetchCachesRemoteCopy) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 2);
+  const ObjectId child = system.NewObject(1, 0);
+  system.Wire(obj, 0, child);
+  workload::TetherToRoot(system, obj, 1);
+
+  TransactionClient client(system, 0, 1);
+  client.Fetch(obj);
+  EXPECT_TRUE(client.IsCached(obj));
+  EXPECT_EQ(client.ReadCached(obj, 0), child);
+  EXPECT_EQ(client.ReadCached(obj, 1), kInvalidObject);
+  // The fetched object and the read child are pinned at the client.
+  EXPECT_GT(system.site(0).tables().FindOutref(obj)->pin_count, 0);
+  EXPECT_GT(system.site(0).tables().FindOutref(child)->pin_count, 0);
+}
+
+TEST(TransactionTest, WritesInvisibleUntilCommit) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 1);
+  workload::TetherToRoot(system, obj, 1);
+  TransactionClient client(system, 0, 1);
+  client.Fetch(obj);
+  const ObjectId fresh = client.Create(0);
+  client.Write(obj, 0, fresh);
+  // Overlay visible to the client, not to the owner.
+  EXPECT_EQ(client.ReadCached(obj, 0), fresh);
+  EXPECT_EQ(system.site(1).heap().GetSlot(obj, 0), kInvalidObject);
+  client.Commit();
+  EXPECT_EQ(system.site(1).heap().GetSlot(obj, 0), fresh);
+  // The owner registered its new inter-site reference (insert protocol).
+  const InrefEntry* inref = system.site(0).tables().FindInref(fresh);
+  ASSERT_NE(inref, nullptr);
+  EXPECT_TRUE(inref->sources.contains(1));
+}
+
+TEST(TransactionTest, AbortDiscardsOverlay) {
+  System system(2, Config());
+  const ObjectId obj = system.NewObject(1, 1);
+  workload::TetherToRoot(system, obj, 1);
+  TransactionClient client(system, 0, 1);
+  client.Fetch(obj);
+  const ObjectId fresh = client.Create(0);
+  client.Write(obj, 0, fresh);
+  client.Abort();
+  EXPECT_EQ(client.ReadCached(obj, 0), kInvalidObject);
+  client.Commit();  // nothing to do
+  EXPECT_EQ(system.site(1).heap().GetSlot(obj, 0), kInvalidObject);
+}
+
+TEST(TransactionTest, CommitSlicesGoToEachOwner) {
+  System system(3, Config());
+  const ObjectId a = system.NewObject(1, 1);
+  const ObjectId b = system.NewObject(2, 1);
+  workload::TetherToRoot(system, a, 1);
+  workload::TetherToRoot(system, b, 2);
+  TransactionClient client(system, 0, 1);
+  client.Fetch(a);
+  client.Fetch(b);
+  const ObjectId fresh = client.Create(1);
+  client.Write(a, 0, fresh);
+  client.Write(b, 0, fresh);
+  client.Write(fresh, 0, fresh);  // local slice too
+  system.network().ResetStats();
+  client.Commit();
+  EXPECT_EQ(system.site(1).heap().GetSlot(a, 0), fresh);
+  EXPECT_EQ(system.site(2).heap().GetSlot(b, 0), fresh);
+  EXPECT_EQ(system.site(0).heap().GetSlot(fresh, 0), fresh);
+  // Two remote commit slices + their acks (the local slice is a
+  // self-delivery).
+  EXPECT_EQ(system.network().stats().count_of<CommitMsg>(), 2u);
+  EXPECT_EQ(system.network().stats().count_of<CommitAckMsg>(), 2u);
+}
+
+TEST(TransactionTest, CommitTimeBarrierCleansSuspectedTargets) {
+  // A suspected (but live) object written at commit: the barrier must clean
+  // its inref before the write applies.
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(3, config);
+  // Far-away live object on site 1 (distance 4 > D=2 via a remote chain).
+  const ObjectId root = system.NewObject(2, 1);
+  system.SetPersistentRoot(root);
+  const ObjectId h1 = system.NewObject(0, 1);
+  const ObjectId h2 = system.NewObject(2, 1);
+  const ObjectId h3 = system.NewObject(0, 1);
+  const ObjectId target = system.NewObject(1, 1);
+  system.Wire(root, 0, h1);
+  system.Wire(h1, 0, h2);
+  system.Wire(h2, 0, h3);
+  system.Wire(h3, 0, target);
+  system.RunRounds(6);
+  const InrefEntry* inref = system.site(1).tables().FindInref(target);
+  ASSERT_NE(inref, nullptr);
+  ASSERT_FALSE(inref->clean(config.suspicion_threshold));
+
+  TransactionClient client(system, 0, 1);
+  const auto hits_before = system.site(1).stats().transfer_barrier_hits;
+  client.Fetch(target);  // fetch itself fires the barrier at the owner
+  EXPECT_TRUE(inref->clean(config.suspicion_threshold));
+  EXPECT_GT(system.site(1).stats().transfer_barrier_hits, hits_before);
+  // (While the client pins the reference, the next trace reports distance 1
+  // and the inref stays clean by distance — suspicion only returns after
+  // the transaction ends.)
+  const ObjectId fresh = client.Create(0);
+  client.Write(target, 0, fresh);
+  client.Commit();  // commit slice arrives: barrier checks run again
+  EXPECT_TRUE(inref->clean(config.suspicion_threshold));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+  client.EndTransaction();
+  system.RunRounds(6);
+  // After the pins drop, distances re-ripen and suspicion returns — but the
+  // object is live (root chain) and must survive.
+  EXPECT_TRUE(system.ObjectExists(target));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(TransactionTest, EndTransactionReleasesEverything) {
+  System system(2, Config());
+  const ObjectId shared = system.NewObject(1, 1);
+  workload::TetherToRoot(system, shared, 1);
+  TransactionClient client(system, 0, 1);
+  client.Fetch(shared);
+  const ObjectId fresh = client.Create(0);
+  client.Write(shared, 0, fresh);
+  client.Commit();
+  client.EndTransaction();
+  system.RunRounds(3);
+  // fresh is reachable via shared: survives without the client's pins.
+  EXPECT_TRUE(system.ObjectExists(fresh));
+  // Unlink and collect.
+  TransactionClient client2(system, 0, 2);
+  client2.Fetch(shared);
+  client2.Write(shared, 0, kInvalidObject);
+  client2.Commit();
+  client2.EndTransaction();
+  system.RunRounds(4);
+  EXPECT_FALSE(system.ObjectExists(fresh));
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << system.CheckCompleteness();
+}
+
+TEST(TransactionTest, UncommittedCreationsDieWithTheTransaction) {
+  System system(1, Config());
+  TransactionClient client(system, 0, 1);
+  const ObjectId orphan = client.Create(0);
+  client.EndTransaction();  // never published
+  system.RunRound();
+  EXPECT_FALSE(system.ObjectExists(orphan));
+}
+
+TEST(TransactionTest, TwoClientsBuildCrossSiteCycleThatIsLaterCollected) {
+  // The full Thor story: two clients transactionally weave an inter-site
+  // cycle into rooted catalogs, later unlink it; back tracing reclaims it.
+  System system(2, Config());
+  const ObjectId catalog0 = system.NewObject(0, 1);
+  const ObjectId catalog1 = system.NewObject(1, 1);
+  system.SetPersistentRoot(catalog0);
+  system.SetPersistentRoot(catalog1);
+
+  TransactionClient alice(system, 0, 1);
+  alice.Fetch(catalog0);
+  const ObjectId a = alice.Create(1);
+  alice.Write(catalog0, 0, a);
+  alice.Commit();
+  alice.EndTransaction();
+
+  TransactionClient bob(system, 1, 2);
+  bob.Fetch(catalog1);
+  bob.Fetch(catalog0);
+  const ObjectId got_a = bob.ReadCached(catalog0, 0);
+  ASSERT_EQ(got_a, a);
+  const ObjectId b = bob.Create(1);
+  bob.Write(b, 0, got_a);
+  bob.Fetch(a);
+  bob.Write(a, 0, b);  // cycle: a@0 <-> b@1
+  bob.Write(catalog1, 0, b);
+  bob.Commit();
+  bob.EndTransaction();
+
+  system.RunRounds(3);
+  EXPECT_TRUE(system.ObjectExists(a));
+  EXPECT_TRUE(system.ObjectExists(b));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+
+  TransactionClient cleaner(system, 0, 3);
+  cleaner.Fetch(catalog0);
+  cleaner.Fetch(catalog1);
+  cleaner.Write(catalog0, 0, kInvalidObject);
+  cleaner.Write(catalog1, 0, kInvalidObject);
+  cleaner.Commit();
+  cleaner.EndTransaction();
+
+  system.RunRounds(20);
+  EXPECT_FALSE(system.ObjectExists(a));
+  EXPECT_FALSE(system.ObjectExists(b));
+  EXPECT_TRUE(system.CheckCompleteness().empty())
+      << system.CheckCompleteness();
+}
+
+}  // namespace
+}  // namespace dgc
