@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_back_threshold.dir/bench_back_threshold.cc.o"
+  "CMakeFiles/bench_back_threshold.dir/bench_back_threshold.cc.o.d"
+  "bench_back_threshold"
+  "bench_back_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_back_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backinfo_cost.dir/bench_backinfo_cost.cc.o"
+  "CMakeFiles/bench_backinfo_cost.dir/bench_backinfo_cost.cc.o.d"
+  "bench_backinfo_cost"
+  "bench_backinfo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backinfo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

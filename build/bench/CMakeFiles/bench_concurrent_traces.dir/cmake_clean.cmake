@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_traces.dir/bench_concurrent_traces.cc.o"
+  "CMakeFiles/bench_concurrent_traces.dir/bench_concurrent_traces.cc.o.d"
+  "bench_concurrent_traces"
+  "bench_concurrent_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

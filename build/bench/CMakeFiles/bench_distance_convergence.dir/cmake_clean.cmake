@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance_convergence.dir/bench_distance_convergence.cc.o"
+  "CMakeFiles/bench_distance_convergence.dir/bench_distance_convergence.cc.o.d"
+  "bench_distance_convergence"
+  "bench_distance_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

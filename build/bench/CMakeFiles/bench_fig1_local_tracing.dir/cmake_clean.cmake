@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_local_tracing.dir/bench_fig1_local_tracing.cc.o"
+  "CMakeFiles/bench_fig1_local_tracing.dir/bench_fig1_local_tracing.cc.o.d"
+  "bench_fig1_local_tracing"
+  "bench_fig1_local_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_local_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_insets.dir/bench_fig2_insets.cc.o"
+  "CMakeFiles/bench_fig2_insets.dir/bench_fig2_insets.cc.o.d"
+  "bench_fig2_insets"
+  "bench_fig2_insets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_insets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_branching.dir/bench_fig3_branching.cc.o"
+  "CMakeFiles/bench_fig3_branching.dir/bench_fig3_branching.cc.o.d"
+  "bench_fig3_branching"
+  "bench_fig3_branching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_branching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_backinfo.dir/bench_fig4_backinfo.cc.o"
+  "CMakeFiles/bench_fig4_backinfo.dir/bench_fig4_backinfo.cc.o.d"
+  "bench_fig4_backinfo"
+  "bench_fig4_backinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_backinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

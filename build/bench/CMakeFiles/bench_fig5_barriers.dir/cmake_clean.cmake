@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_barriers.dir/bench_fig5_barriers.cc.o"
+  "CMakeFiles/bench_fig5_barriers.dir/bench_fig5_barriers.cc.o.d"
+  "bench_fig5_barriers"
+  "bench_fig5_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

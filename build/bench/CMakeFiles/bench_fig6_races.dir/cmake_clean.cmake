@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_races.dir/bench_fig6_races.cc.o"
+  "CMakeFiles/bench_fig6_races.dir/bench_fig6_races.cc.o.d"
+  "bench_fig6_races"
+  "bench_fig6_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic_accuracy.dir/bench_heuristic_accuracy.cc.o"
+  "CMakeFiles/bench_heuristic_accuracy.dir/bench_heuristic_accuracy.cc.o.d"
+  "bench_heuristic_accuracy"
+  "bench_heuristic_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cc.o"
+  "CMakeFiles/bench_message_complexity.dir/bench_message_complexity.cc.o.d"
+  "bench_message_complexity"
+  "bench_message_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outset_sharing.dir/bench_outset_sharing.cc.o"
+  "CMakeFiles/bench_outset_sharing.dir/bench_outset_sharing.cc.o.d"
+  "bench_outset_sharing"
+  "bench_outset_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outset_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgcsim.dir/dgcsim.cpp.o"
+  "CMakeFiles/dgcsim.dir/dgcsim.cpp.o.d"
+  "dgcsim"
+  "dgcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

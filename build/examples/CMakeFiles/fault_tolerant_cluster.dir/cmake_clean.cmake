@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_cluster.dir/fault_tolerant_cluster.cpp.o"
+  "CMakeFiles/fault_tolerant_cluster.dir/fault_tolerant_cluster.cpp.o.d"
+  "fault_tolerant_cluster"
+  "fault_tolerant_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

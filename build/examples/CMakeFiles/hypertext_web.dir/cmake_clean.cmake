@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypertext_web.dir/hypertext_web.cpp.o"
+  "CMakeFiles/hypertext_web.dir/hypertext_web.cpp.o.d"
+  "hypertext_web"
+  "hypertext_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypertext_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("store")
+subdirs("refs")
+subdirs("localgc")
+subdirs("backinfo")
+subdirs("backtrace")
+subdirs("mutator")
+subdirs("core")
+subdirs("baselines")
+subdirs("workload")

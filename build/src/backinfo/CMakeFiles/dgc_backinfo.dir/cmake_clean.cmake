@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_backinfo.dir/outset_store.cc.o"
+  "CMakeFiles/dgc_backinfo.dir/outset_store.cc.o.d"
+  "CMakeFiles/dgc_backinfo.dir/site_back_info.cc.o"
+  "CMakeFiles/dgc_backinfo.dir/site_back_info.cc.o.d"
+  "libdgc_backinfo.a"
+  "libdgc_backinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_backinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_backtrace.dir/back_tracer.cc.o"
+  "CMakeFiles/dgc_backtrace.dir/back_tracer.cc.o.d"
+  "libdgc_backtrace.a"
+  "libdgc_backtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_backtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

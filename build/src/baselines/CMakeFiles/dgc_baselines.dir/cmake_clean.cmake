@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_baselines.dir/central_service.cc.o"
+  "CMakeFiles/dgc_baselines.dir/central_service.cc.o.d"
+  "CMakeFiles/dgc_baselines.dir/global_trace.cc.o"
+  "CMakeFiles/dgc_baselines.dir/global_trace.cc.o.d"
+  "CMakeFiles/dgc_baselines.dir/group_trace.cc.o"
+  "CMakeFiles/dgc_baselines.dir/group_trace.cc.o.d"
+  "CMakeFiles/dgc_baselines.dir/hughes.cc.o"
+  "CMakeFiles/dgc_baselines.dir/hughes.cc.o.d"
+  "CMakeFiles/dgc_baselines.dir/migration.cc.o"
+  "CMakeFiles/dgc_baselines.dir/migration.cc.o.d"
+  "libdgc_baselines.a"
+  "libdgc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_common.dir/common.cc.o"
+  "CMakeFiles/dgc_common.dir/common.cc.o.d"
+  "CMakeFiles/dgc_common.dir/logging.cc.o"
+  "CMakeFiles/dgc_common.dir/logging.cc.o.d"
+  "libdgc_common.a"
+  "libdgc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_core.dir/inspect.cc.o"
+  "CMakeFiles/dgc_core.dir/inspect.cc.o.d"
+  "CMakeFiles/dgc_core.dir/metrics.cc.o"
+  "CMakeFiles/dgc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/dgc_core.dir/site.cc.o"
+  "CMakeFiles/dgc_core.dir/site.cc.o.d"
+  "CMakeFiles/dgc_core.dir/system.cc.o"
+  "CMakeFiles/dgc_core.dir/system.cc.o.d"
+  "libdgc_core.a"
+  "libdgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localgc/local_collector.cc" "src/localgc/CMakeFiles/dgc_localgc.dir/local_collector.cc.o" "gcc" "src/localgc/CMakeFiles/dgc_localgc.dir/local_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dgc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dgc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/refs/CMakeFiles/dgc_refs.dir/DependInfo.cmake"
+  "/root/repo/build/src/backinfo/CMakeFiles/dgc_backinfo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

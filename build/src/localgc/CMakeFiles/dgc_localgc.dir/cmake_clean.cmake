@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_localgc.dir/local_collector.cc.o"
+  "CMakeFiles/dgc_localgc.dir/local_collector.cc.o.d"
+  "libdgc_localgc.a"
+  "libdgc_localgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_localgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_mutator.dir/session.cc.o"
+  "CMakeFiles/dgc_mutator.dir/session.cc.o.d"
+  "CMakeFiles/dgc_mutator.dir/transaction.cc.o"
+  "CMakeFiles/dgc_mutator.dir/transaction.cc.o.d"
+  "libdgc_mutator.a"
+  "libdgc_mutator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_mutator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_net.dir/messages.cc.o"
+  "CMakeFiles/dgc_net.dir/messages.cc.o.d"
+  "CMakeFiles/dgc_net.dir/network.cc.o"
+  "CMakeFiles/dgc_net.dir/network.cc.o.d"
+  "libdgc_net.a"
+  "libdgc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

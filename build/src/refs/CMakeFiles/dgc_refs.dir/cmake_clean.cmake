@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_refs.dir/tables.cc.o"
+  "CMakeFiles/dgc_refs.dir/tables.cc.o.d"
+  "libdgc_refs.a"
+  "libdgc_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

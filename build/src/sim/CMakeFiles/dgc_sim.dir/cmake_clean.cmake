@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_sim.dir/scheduler.cc.o"
+  "CMakeFiles/dgc_sim.dir/scheduler.cc.o.d"
+  "libdgc_sim.a"
+  "libdgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_store.dir/heap.cc.o"
+  "CMakeFiles/dgc_store.dir/heap.cc.o.d"
+  "libdgc_store.a"
+  "libdgc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgc_workload.dir/builders.cc.o"
+  "CMakeFiles/dgc_workload.dir/builders.cc.o.d"
+  "CMakeFiles/dgc_workload.dir/churn.cc.o"
+  "CMakeFiles/dgc_workload.dir/churn.cc.o.d"
+  "CMakeFiles/dgc_workload.dir/figures.cc.o"
+  "CMakeFiles/dgc_workload.dir/figures.cc.o.d"
+  "libdgc_workload.a"
+  "libdgc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgc_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_race_test.dir/async_race_test.cc.o"
+  "CMakeFiles/async_race_test.dir/async_race_test.cc.o.d"
+  "async_race_test"
+  "async_race_test.pdb"
+  "async_race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

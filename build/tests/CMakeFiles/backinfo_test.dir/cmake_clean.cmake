@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backinfo_test.dir/backinfo_test.cc.o"
+  "CMakeFiles/backinfo_test.dir/backinfo_test.cc.o.d"
+  "backinfo_test"
+  "backinfo_test.pdb"
+  "backinfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backinfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_insert_test.dir/deferred_insert_test.cc.o"
+  "CMakeFiles/deferred_insert_test.dir/deferred_insert_test.cc.o.d"
+  "deferred_insert_test"
+  "deferred_insert_test.pdb"
+  "deferred_insert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

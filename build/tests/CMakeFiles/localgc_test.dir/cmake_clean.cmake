@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localgc_test.dir/localgc_test.cc.o"
+  "CMakeFiles/localgc_test.dir/localgc_test.cc.o.d"
+  "localgc_test"
+  "localgc_test.pdb"
+  "localgc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

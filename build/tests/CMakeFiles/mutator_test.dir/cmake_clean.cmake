@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutator_test.dir/mutator_test.cc.o"
+  "CMakeFiles/mutator_test.dir/mutator_test.cc.o.d"
+  "mutator_test"
+  "mutator_test.pdb"
+  "mutator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

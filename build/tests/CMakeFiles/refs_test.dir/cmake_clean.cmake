@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refs_test.dir/refs_test.cc.o"
+  "CMakeFiles/refs_test.dir/refs_test.cc.o.d"
+  "refs_test"
+  "refs_test.pdb"
+  "refs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

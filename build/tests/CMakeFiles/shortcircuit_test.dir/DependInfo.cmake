@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shortcircuit_test.cc" "tests/CMakeFiles/shortcircuit_test.dir/shortcircuit_test.cc.o" "gcc" "tests/CMakeFiles/shortcircuit_test.dir/shortcircuit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutator/CMakeFiles/dgc_mutator.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dgc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dgc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/localgc/CMakeFiles/dgc_localgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/backtrace/CMakeFiles/dgc_backtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dgc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/refs/CMakeFiles/dgc_refs.dir/DependInfo.cmake"
+  "/root/repo/build/src/backinfo/CMakeFiles/dgc_backinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dgc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dgc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortcircuit_test.dir/shortcircuit_test.cc.o"
+  "CMakeFiles/shortcircuit_test.dir/shortcircuit_test.cc.o.d"
+  "shortcircuit_test"
+  "shortcircuit_test.pdb"
+  "shortcircuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortcircuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

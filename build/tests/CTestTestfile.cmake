@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/refs_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/backinfo_test[1]_include.cmake")
+include("/root/repo/build/tests/localgc_test[1]_include.cmake")
+include("/root/repo/build/tests/backtrace_test[1]_include.cmake")
+include("/root/repo/build/tests/mutator_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/shortcircuit_test[1]_include.cmake")
+include("/root/repo/build/tests/site_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/inspect_test[1]_include.cmake")
+include("/root/repo/build/tests/churn_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/deferred_insert_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/async_race_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
