@@ -1,13 +1,29 @@
-// Experiment Fig.1: locality of local tracing + the cycle it cannot collect.
+// Experiment Fig.1: locality of local tracing + the cycle it cannot collect,
+// plus the raw forward-trace throughput the whole scheme stands on.
 //
 // Reproduces the Section 2 narrative as measurable rows:
 //   * acyclic garbage (d, e) is collected within two rounds via update
 //     messages, involving only the sites it is reachable from;
 //   * the inter-site cycle {f, g} survives arbitrarily many rounds without
 //     back tracing, and is reclaimed with it.
+//
+// The MarkThroughput pair measures the local trace's marking rate on a
+// 100k-object heap: the slab store with epoch side arrays against a replica
+// of the historical std::map<index, Object> layout. The run emits
+// BENCH_trace.json (google-benchmark JSON) so scripts/bench_compare.py can
+// gate regressions in marked-objects/sec across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "core/system.h"
+#include "localgc/local_collector.h"
+#include "refs/tables.h"
+#include "store/heap.h"
 #include "workload/figures.h"
 
 namespace {
@@ -55,6 +71,123 @@ void BM_Fig1_WithBackTracing(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig1_WithBackTracing)->Arg(8)->Arg(16)->Arg(32);
 
+// --- Forward-trace marking throughput --------------------------------------
+
+// Both throughput benches trace the same graph: object 0 is the root, every
+// object i links to object i+1 (slot 0, guaranteeing full reachability) and
+// to a random earlier object (slot 1, realistic pointer-chasing fan-in).
+constexpr std::size_t kMarkObjects = 100'000;
+
+void BM_Fig1_MarkThroughput_SlabHeap(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  dgc::CollectorConfig config;
+  dgc::Heap heap(0);
+  dgc::RefTables tables(0, config);
+  dgc::LocalCollector collector(heap, tables);
+  dgc::Rng rng(42);
+  std::vector<dgc::ObjectId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(heap.Allocate(2));
+  heap.AddPersistentRoot(ids[0]);
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    heap.SetSlot(ids[i], 0, ids[i + 1]);
+    if (i > 0) heap.SetSlot(ids[i], 1, ids[rng.NextBelow(i)]);
+  }
+  std::uint64_t marked_total = 0;
+  for (auto _ : state) {
+    const dgc::TraceResult result = collector.Run({});
+    marked_total += result.stats.objects_marked_clean;
+    benchmark::DoNotOptimize(result.stats.objects_marked_clean);
+  }
+  state.counters["objects"] = static_cast<double>(count);
+  state.counters["objects_per_sec"] = benchmark::Counter(
+      static_cast<double>(marked_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig1_MarkThroughput_SlabHeap)
+    ->Arg(static_cast<long>(kMarkObjects))
+    ->Unit(benchmark::kMillisecond);
+
+// Replica of the historical heap layout — ordered std::map keyed by object
+// index, epochs inline in the node — running the identical mark + sweep-scan
+// loops the collector used to run against it. The ratio of the two
+// objects_per_sec counters is the slab refactor's speedup.
+void BM_Fig1_MarkThroughput_MapHeapBaseline(benchmark::State& state) {
+  struct MapObject {
+    std::vector<std::uint64_t> slots;
+    std::uint64_t mark_epoch = 0;
+    std::uint64_t clean_epoch = 0;
+  };
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::map<std::uint64_t, MapObject> heap;
+  dgc::Rng rng(42);
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    MapObject object;
+    object.slots.assign(2, 0);  // 0 = null, matching index numbering from 1
+    heap.emplace(i, std::move(object));
+  }
+  for (std::uint64_t i = 1; i < count; ++i) {
+    heap.find(i)->second.slots[0] = i + 1;
+    if (i > 1) heap.find(i)->second.slots[1] = 1 + rng.NextBelow(i - 1);
+  }
+  std::uint64_t epoch = 0;
+  std::uint64_t marked_total = 0;
+  std::vector<std::uint64_t> stack;
+  for (auto _ : state) {
+    ++epoch;
+    std::uint64_t marked = 0;
+    MapObject& root = heap.find(1)->second;
+    root.mark_epoch = root.clean_epoch = epoch;
+    ++marked;
+    stack.push_back(1);
+    while (!stack.empty()) {
+      const std::uint64_t current = stack.back();
+      stack.pop_back();
+      for (const std::uint64_t target : heap.find(current)->second.slots) {
+        if (target == 0) continue;
+        MapObject& object = heap.find(target)->second;
+        if (object.clean_epoch == epoch) continue;
+        object.mark_epoch = object.clean_epoch = epoch;
+        ++marked;
+        stack.push_back(target);
+      }
+    }
+    // The sweep scan the collector's phase 3 performs.
+    std::uint64_t swept = 0;
+    for (const auto& [index, object] : heap) {
+      if (object.mark_epoch != epoch) ++swept;
+    }
+    benchmark::DoNotOptimize(swept);
+    marked_total += marked;
+  }
+  state.counters["objects"] = static_cast<double>(count);
+  state.counters["objects_per_sec"] = benchmark::Counter(
+      static_cast<double>(marked_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig1_MarkThroughput_MapHeapBaseline)
+    ->Arg(static_cast<long>(kMarkObjects))
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default the file reporter to BENCH_trace.json so every run
+// leaves a machine-readable trajectory for scripts/bench_compare.py. An
+// explicit --benchmark_out on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_trace.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and gate on throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    bench_compare.py --self-test
+
+Compares every benchmark present in both files. The primary gate is the
+``objects_per_sec`` user counter (marked-objects/sec of the local trace):
+any benchmark whose candidate rate drops more than ``--threshold`` (default
+10%) below the baseline fails the run. Benchmarks without that counter are
+compared on ``real_time`` and reported for information only — wall time on
+shared CI hardware is too noisy to gate on.
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _die(message):
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_benchmarks(path):
+    """Return {name: benchmark-dict} from a google-benchmark JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        _die(f"error: cannot read {path}: {err}")
+    rows = data.get("benchmarks")
+    if not isinstance(rows, list):
+        _die(f"error: {path} has no 'benchmarks' array "
+             "(not a google-benchmark JSON file?)")
+    out = {}
+    for row in rows:
+        # Aggregate rows (mean/median/stddev) would double-count; keep the
+        # plain iteration rows and the 'mean' aggregate if that is all there is.
+        if row.get("run_type") == "aggregate" and row.get(
+                "aggregate_name") != "mean":
+            continue
+        out[row["name"]] = row
+    return out
+
+
+def compare(baseline, candidate, threshold):
+    """Yield (name, kind, base, cand, delta, gated) for common benchmarks."""
+    for name in sorted(set(baseline) & set(candidate)):
+        base_row, cand_row = baseline[name], candidate[name]
+        if "objects_per_sec" in base_row and "objects_per_sec" in cand_row:
+            base = float(base_row["objects_per_sec"])
+            cand = float(cand_row["objects_per_sec"])
+            if base <= 0:
+                continue
+            delta = (cand - base) / base
+            yield name, "objects_per_sec", base, cand, delta, True
+        elif "real_time" in base_row and "real_time" in cand_row:
+            base = float(base_row["real_time"])
+            cand = float(cand_row["real_time"])
+            if base <= 0:
+                continue
+            # For times, lower is better; report the rate-style delta.
+            delta = (base - cand) / base
+            yield name, "real_time", base, cand, delta, False
+
+
+def run_compare(baseline_path, candidate_path, threshold):
+    baseline = load_benchmarks(baseline_path)
+    candidate = load_benchmarks(candidate_path)
+    common = set(baseline) & set(candidate)
+    if not common:
+        _die("error: no common benchmarks between the two files")
+
+    failures = []
+    for name, kind, base, cand, delta, gated in compare(
+            baseline, candidate, threshold):
+        verdict = "ok"
+        if gated and delta < -threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif not gated:
+            verdict = "info"
+        print(f"{verdict:>10}  {name}: {kind} {base:.4g} -> {cand:.4g} "
+              f"({delta:+.1%})")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{threshold:.0%} in objects_per_sec:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nno objects_per_sec regression beyond {threshold:.0%} "
+          f"across {len(common)} common benchmark(s)")
+    return 0
+
+
+# --- self test --------------------------------------------------------------
+
+_FIXTURE_BASE = {
+    "benchmarks": [
+        {"name": "BM_Mark/100000", "run_type": "iteration",
+         "real_time": 2.0, "objects_per_sec": 50e6},
+        {"name": "BM_Sweep/100000", "run_type": "iteration",
+         "real_time": 4.0, "objects_per_sec": 20e6},
+        {"name": "BM_Rounds/8", "run_type": "iteration", "real_time": 9.0},
+    ]
+}
+
+
+def _self_test():
+    import copy
+    import os
+    import tempfile
+
+    def run_with(candidate):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cand_path = os.path.join(tmp, "cand.json")
+            with open(base_path, "w", encoding="utf-8") as fh:
+                json.dump(_FIXTURE_BASE, fh)
+            with open(cand_path, "w", encoding="utf-8") as fh:
+                json.dump(candidate, fh)
+            return run_compare(base_path, cand_path, threshold=0.10)
+
+    # Identical results: pass.
+    assert run_with(copy.deepcopy(_FIXTURE_BASE)) == 0, "identical must pass"
+
+    # 5% dip: within the 10% budget, still passes.
+    slight = copy.deepcopy(_FIXTURE_BASE)
+    slight["benchmarks"][0]["objects_per_sec"] = 47.5e6
+    assert run_with(slight) == 0, "5% dip must pass"
+
+    # 20% dip in one gated counter: fails.
+    bad = copy.deepcopy(_FIXTURE_BASE)
+    bad["benchmarks"][1]["objects_per_sec"] = 16e6
+    assert run_with(bad) == 1, "20% dip must fail"
+
+    # Un-gated real_time rows never fail the run, even when slower.
+    slow = copy.deepcopy(_FIXTURE_BASE)
+    slow["benchmarks"][2]["real_time"] = 90.0
+    assert run_with(slow) == 0, "real_time rows are informational"
+
+    print("bench_compare self-test: all cases passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated objects_per_sec drop "
+                             "(fraction, default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded fixture tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+    return run_compare(args.baseline, args.candidate, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

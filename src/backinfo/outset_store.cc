@@ -4,6 +4,16 @@
 
 namespace dgc {
 
+void OutsetStore::Reserve(std::size_t expected_suspects) {
+  if (expected_suspects == 0) return;
+  sets_.reserve(sets_.size() + expected_suspects);
+  by_content_.reserve(expected_suspects);
+  singletons_.reserve(expected_suspects);
+  // Each suspect contributes at most a handful of distinct pair-unions in
+  // practice (shared subgraphs are memoized); 2x is a comfortable ceiling.
+  union_memo_.reserve(2 * expected_suspects);
+}
+
 OutsetStore::OutsetId OutsetStore::Singleton(ObjectId ref) {
   const auto it = singletons_.find(ref);
   if (it != singletons_.end()) return it->second;

@@ -25,6 +25,12 @@ class OutsetStore {
 
   OutsetStore() { sets_.emplace_back(); /* id 0 = empty set */ }
 
+  /// Pre-sizes the hash tables for roughly `expected_suspects` suspected
+  /// inrefs so a trace-sized workload does not pay rehash churn. Outset
+  /// counts and memoized unions both grow with the suspect count, so one
+  /// knob sizes all three tables.
+  void Reserve(std::size_t expected_suspects);
+
   /// Interns {ref} and returns its id.
   OutsetId Singleton(ObjectId ref);
 
@@ -49,8 +55,16 @@ class OutsetStore {
     std::uint64_t unions_computed = 0;    // actually merged element-wise
     std::uint64_t interned_existing = 0;  // merge produced an existing set
     std::uint64_t stored_elements = 0;    // Σ |set| over distinct sets
+    std::uint64_t union_memo_entries = 0;      // pairs memoized
+    double union_memo_load_factor = 0.0;       // entries / buckets
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters plus the current union-memo load.
+  [[nodiscard]] Stats stats() const {
+    Stats snapshot = stats_;
+    snapshot.union_memo_entries = union_memo_.size();
+    snapshot.union_memo_load_factor = union_memo_.load_factor();
+    return snapshot;
+  }
 
  private:
   struct VectorHash {

@@ -90,6 +90,14 @@ struct CollectorConfig {
   /// Insert protocol variant (see InsertMode).
   InsertMode insert_mode = InsertMode::kSynchronous;
 
+  /// Worker threads used by System::RunRound to compute per-site local
+  /// traces. The paper's locality property makes the traces independent
+  /// computations, so with > 1 thread a round computes every site's trace
+  /// concurrently from the same snapshot and then applies the results
+  /// deterministically in site order. The default of 1 preserves the
+  /// historical sequential round (trace, settle, next site) bit for bit.
+  std::size_t trace_threads = 1;
+
   /// The paper's pseudocode returns Live as soon as any branch answers Live
   /// (§4.4). With parallel branches that can strand late-reporting
   /// participants outside the initiator's report set, leaking their visited

@@ -29,6 +29,16 @@ void MetricsRecorder::Capture(const System& system) {
   sample.traces_started = bt.traces_started;
   sample.traces_garbage = bt.traces_completed_garbage;
   sample.traces_live = bt.traces_completed_live;
+  const System::TraceThroughput throughput = system.AggregateTraceThroughput();
+  sample.local_traces = throughput.traces;
+  sample.trace_wall_ns = throughput.wall_ns;
+  sample.trace_objects_marked = throughput.objects_marked;
+  sample.trace_objects_per_sec = throughput.objects_per_sec();
+  const System::HeapOccupancy occupancy = system.AggregateHeapOccupancy();
+  sample.slab_count = occupancy.slabs;
+  sample.slab_slot_capacity = occupancy.slot_capacity;
+  sample.slab_free_slots = occupancy.free_slots;
+  sample.slab_occupancy = occupancy.occupancy();
   samples_.push_back(sample);
 }
 
@@ -43,14 +53,20 @@ std::string MetricsRecorder::ToCsv() const {
   std::ostringstream os;
   os << "round,time,objects_stored,objects_reclaimed,suspected_inrefs,"
         "suspected_outrefs,garbage_flagged_inrefs,messages_sent,"
-        "wire_messages,traces_started,traces_garbage,traces_live\n";
+        "wire_messages,traces_started,traces_garbage,traces_live,"
+        "local_traces,trace_wall_ns,trace_objects_marked,"
+        "trace_objects_per_sec,slab_count,slab_slot_capacity,"
+        "slab_free_slots,slab_occupancy\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
        << s.suspected_outrefs << ',' << s.garbage_flagged_inrefs << ','
        << s.messages_sent << ',' << s.wire_messages << ','
        << s.traces_started << ',' << s.traces_garbage << ',' << s.traces_live
-       << '\n';
+       << ',' << s.local_traces << ',' << s.trace_wall_ns << ','
+       << s.trace_objects_marked << ',' << s.trace_objects_per_sec << ','
+       << s.slab_count << ',' << s.slab_slot_capacity << ','
+       << s.slab_free_slots << ',' << s.slab_occupancy << '\n';
   }
   return os.str();
 }

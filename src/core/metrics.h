@@ -25,6 +25,16 @@ struct MetricsSample {
   std::uint64_t traces_started = 0;  // cumulative
   std::uint64_t traces_garbage = 0;
   std::uint64_t traces_live = 0;
+  // Local-trace throughput (cumulative real time; never simulated time).
+  std::uint64_t local_traces = 0;
+  std::uint64_t trace_wall_ns = 0;
+  std::uint64_t trace_objects_marked = 0;
+  double trace_objects_per_sec = 0.0;
+  // Slab-store occupancy across all heaps at capture time.
+  std::size_t slab_count = 0;
+  std::size_t slab_slot_capacity = 0;
+  std::size_t slab_free_slots = 0;
+  double slab_occupancy = 1.0;
 };
 
 class MetricsRecorder {

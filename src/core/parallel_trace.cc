@@ -1,0 +1,58 @@
+#include "core/parallel_trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "core/site.h"
+
+namespace dgc {
+
+std::vector<TraceResult> ParallelTraceExecutor::ComputeAll(
+    const std::vector<Site*>& sites) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<TraceResult> results(sites.size());
+  const std::size_t workers = std::min(threads_, sites.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      results[i] = sites[i]->ComputeLocalTrace();
+    }
+  } else {
+    // Work-stealing by atomic index: assignment of site to thread is
+    // scheduling-dependent, but results land in their input position and
+    // each compute is independent, so the output is identical either way.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr failure;
+    std::atomic<bool> failed{false};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= sites.size() || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          results[i] = sites[i]->ComputeLocalTrace();
+        } catch (...) {
+          // First failure wins; the guard below keeps it single-writer.
+          if (!failed.exchange(true)) failure = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+  ++stats_.batches;
+  stats_.traces_computed += sites.size();
+  stats_.wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  return results;
+}
+
+}  // namespace dgc

@@ -1,0 +1,52 @@
+// Parallel computation of per-site local traces.
+//
+// The paper's locality property (Section 2) makes each site's forward trace
+// a pure function of that site's own heap and tables: computing one touches
+// no other site's state, no network, no scheduler. ParallelTraceExecutor
+// exploits that by fanning Site::ComputeLocalTrace out over a fixed pool of
+// worker threads and handing the results back indexed by input position, so
+// the caller can apply them deterministically in site order regardless of
+// which thread finished first.
+//
+// Determinism: each ComputeLocalTrace is itself deterministic and the sites
+// share no mutable state, so the result vector is byte-identical whatever
+// the thread count — 1 thread and N threads produce the same TraceResults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "localgc/trace_result.h"
+
+namespace dgc {
+
+class Site;
+
+struct ParallelTraceStats {
+  std::uint64_t batches = 0;          // ComputeAll invocations
+  std::uint64_t traces_computed = 0;  // across all batches
+  std::uint64_t wall_ns = 0;          // cumulative batch wall time
+};
+
+class ParallelTraceExecutor {
+ public:
+  /// `threads` is clamped to at least 1. The pool is created per batch;
+  /// thread startup is noise next to a trace over a non-trivial heap.
+  explicit ParallelTraceExecutor(std::size_t threads)
+      : threads_(threads == 0 ? 1 : threads) {}
+
+  /// Computes sites[i]->ComputeLocalTrace() for every i, concurrently on up
+  /// to `threads` workers, and returns the results with result[i] belonging
+  /// to sites[i]. Exceptions from a worker (invariant violations) are
+  /// rethrown on the calling thread after all workers join.
+  std::vector<TraceResult> ComputeAll(const std::vector<Site*>& sites);
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] const ParallelTraceStats& stats() const { return stats_; }
+
+ private:
+  std::size_t threads_;
+  ParallelTraceStats stats_;
+};
+
+}  // namespace dgc

@@ -528,6 +528,10 @@ void Site::HandleCommitAck(const Envelope& envelope, const CommitAckMsg& msg) {
 // Local tracing (Sections 2, 3, 5; non-atomic per Section 6.2).
 
 void Site::StartLocalTrace() {
+  CommitLocalTrace(ComputeLocalTrace());
+}
+
+TraceResult Site::ComputeLocalTrace() {
   DGC_CHECK_MSG(!pending_trace_.has_value(),
                 "local trace already in flight at site " << id_);
   ++stats_.local_traces;
@@ -550,6 +554,13 @@ void Site::StartLocalTrace() {
     }
   }
   TraceResult result = collector_.Run(AppRootObjects());
+  stats_.trace_wall_ns += result.stats.trace_wall_ns;
+  stats_.objects_marked += result.stats.objects_marked_clean +
+                           result.stats.objects_marked_suspect;
+  return result;
+}
+
+void Site::CommitLocalTrace(TraceResult result) {
   if (config_.local_trace_duration <= 0) {
     ApplyTraceResult(std::move(result));
     return;

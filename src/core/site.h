@@ -43,6 +43,8 @@ struct SiteStats {
   std::uint64_t inserts_handled = 0;
   std::uint64_t transfer_barrier_hits = 0;  // barrier found a suspected inref
   std::uint64_t outrefs_trimmed = 0;
+  std::uint64_t trace_wall_ns = 0;     // cumulative real trace-compute time
+  std::uint64_t objects_marked = 0;    // cumulative clean + suspect marks
 };
 
 class Site {
@@ -79,7 +81,20 @@ class Site {
   /// Starts a local trace. With local_trace_duration == 0 it computes and
   /// applies atomically; otherwise the result applies after the configured
   /// duration (Section 6.2) and back traces meanwhile see the old copy.
+  /// Equivalent to CommitLocalTrace(ComputeLocalTrace()).
   void StartLocalTrace();
+
+  /// Compute half of a local trace: runs the collector against the current
+  /// heap and tables and returns the result without applying it. Touches
+  /// only this site's state (heap epoch stamps, lease expiry, collector
+  /// epoch) — no network sends, no scheduler writes — which is what lets a
+  /// ParallelTraceExecutor run many sites' computes concurrently.
+  [[nodiscard]] TraceResult ComputeLocalTrace();
+
+  /// Apply half of a local trace: applies immediately (atomic trace) or
+  /// parks the result for the configured duration (Section 6.2). Must run on
+  /// the simulation thread.
+  void CommitLocalTrace(TraceResult result);
 
   [[nodiscard]] bool trace_in_flight() const {
     return pending_trace_.has_value();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
+
+#include "core/parallel_trace.h"
 
 namespace dgc {
 
@@ -40,8 +43,32 @@ void System::Unwire(ObjectId source, std::size_t slot) {
 }
 
 void System::RunRound() {
+  if (collector_config_.trace_threads > 1) {
+    RunRoundParallel();
+    return;
+  }
   for (auto& s : sites_) {
     if (!s->trace_in_flight()) s->StartLocalTrace();
+    SettleNetwork();
+  }
+  ++rounds_;
+}
+
+void System::RunRoundParallel() {
+  // Compute phase: every eligible site traces concurrently against the same
+  // snapshot of the world (no messages move, so no site observes another's
+  // results mid-round — the racy-but-safe schedule of Section 6).
+  std::vector<Site*> tracing;
+  tracing.reserve(sites_.size());
+  for (auto& s : sites_) {
+    if (!s->trace_in_flight()) tracing.push_back(s.get());
+  }
+  ParallelTraceExecutor executor(collector_config_.trace_threads);
+  std::vector<TraceResult> results = executor.ComputeAll(tracing);
+  // Merge phase: commit in site order, settling in between, so message
+  // interleaving is as deterministic as the sequential schedule.
+  for (std::size_t i = 0; i < tracing.size(); ++i) {
+    tracing[i]->CommitLocalTrace(std::move(results[i]));
     SettleNetwork();
   }
   ++rounds_;
@@ -266,6 +293,27 @@ BackTracerStats System::AggregateBackTracerStats() const {
 std::uint64_t System::TotalObjectsReclaimed() const {
   std::uint64_t total = 0;
   for (const auto& s : sites_) total += s->heap().stats().reclaimed;
+  return total;
+}
+
+System::TraceThroughput System::AggregateTraceThroughput() const {
+  TraceThroughput total;
+  for (const auto& s : sites_) {
+    total.wall_ns += s->stats().trace_wall_ns;
+    total.objects_marked += s->stats().objects_marked;
+    total.traces += s->stats().local_traces;
+  }
+  return total;
+}
+
+System::HeapOccupancy System::AggregateHeapOccupancy() const {
+  HeapOccupancy total;
+  for (const auto& s : sites_) {
+    total.slabs += s->heap().slab_count();
+    total.slot_capacity += s->heap().slot_capacity();
+    total.live_objects += s->heap().object_count();
+    total.free_slots += s->heap().free_slot_count();
+  }
   return total;
 }
 

@@ -61,7 +61,11 @@ class System {
 
   /// One round (Section 3's unit of progress): every site runs one local
   /// trace, in site order, letting all resulting messages and back traces
-  /// settle in between.
+  /// settle in between. With collector_config.trace_threads > 1 the per-site
+  /// trace *computations* run concurrently on a thread pool (the paper's
+  /// locality property makes them independent) and the results are applied
+  /// deterministically in site order; trace_threads == 1 preserves the
+  /// historical sequential schedule exactly.
   void RunRound();
 
   /// A round where site i starts its trace at now + i * stagger without
@@ -119,7 +123,40 @@ class System {
   [[nodiscard]] BackTracerStats AggregateBackTracerStats() const;
   [[nodiscard]] std::uint64_t TotalObjectsReclaimed() const;
 
+  /// Cumulative local-trace throughput across all sites: real compute time,
+  /// objects marked, traces run. objects/sec marked = marked / wall.
+  struct TraceThroughput {
+    std::uint64_t wall_ns = 0;
+    std::uint64_t objects_marked = 0;
+    std::uint64_t traces = 0;
+    [[nodiscard]] double objects_per_sec() const {
+      return wall_ns == 0 ? 0.0
+                          : static_cast<double>(objects_marked) * 1e9 /
+                                static_cast<double>(wall_ns);
+    }
+  };
+  [[nodiscard]] TraceThroughput AggregateTraceThroughput() const;
+
+  /// Aggregate slab occupancy across all heaps: live objects over storage
+  /// slots ever used, plus free-list depth.
+  struct HeapOccupancy {
+    std::size_t slabs = 0;
+    std::size_t slot_capacity = 0;
+    std::size_t live_objects = 0;
+    std::size_t free_slots = 0;
+    [[nodiscard]] double occupancy() const {
+      return slot_capacity == 0 ? 1.0
+                                : static_cast<double>(live_objects) /
+                                      static_cast<double>(slot_capacity);
+    }
+  };
+  [[nodiscard]] HeapOccupancy AggregateHeapOccupancy() const;
+
  private:
+  /// The trace_threads > 1 round: compute all sites' traces concurrently
+  /// from one snapshot, then commit in site order, settling in between.
+  void RunRoundParallel();
+
   CollectorConfig collector_config_;
   Scheduler scheduler_;
   Rng rng_;

@@ -1,6 +1,7 @@
 #include "localgc/local_collector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "backinfo/suspect_trace.h"
@@ -19,7 +20,7 @@ class SuspectEnv {
       : heap_(heap), tables_(tables), epoch_(epoch), result_(result) {}
 
   [[nodiscard]] bool ObjectIsCleanMarked(ObjectId id) const {
-    return heap_.Get(id).clean_epoch == epoch_;
+    return heap_.clean_epoch(id) == epoch_;
   }
 
   /// Clean for the purposes of outset membership: reached by this trace's
@@ -34,7 +35,7 @@ class SuspectEnv {
     return entry->pin_count > 0;
   }
 
-  void OnSuspectMarked(ObjectId id) { heap_.Get(id).mark_epoch = epoch_; }
+  void OnSuspectMarked(ObjectId id) { heap_.set_mark_epoch(id, epoch_); }
 
  private:
   Heap& heap_;
@@ -48,21 +49,25 @@ class SuspectEnv {
 void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
                                    TraceResult& result) {
   if (!heap_.Exists(root)) return;  // stale app root; defensive
-  std::vector<ObjectId> stack;
-  Object& root_object = heap_.Get(root);
-  if (root_object.clean_epoch == epoch_) return;
-  root_object.mark_epoch = epoch_;
-  root_object.clean_epoch = epoch_;
+  const Heap::Cell root_cell = heap_.GetCell(root);
+  if (*root_cell.clean_epoch == epoch_) return;
+  *root_cell.mark_epoch = epoch_;
+  *root_cell.clean_epoch = epoch_;
   ++result.stats.objects_marked_clean;
+  std::vector<ObjectId>& stack = mark_stack_;
+  stack.clear();
   stack.push_back(root);
+  const SiteId self = heap_.site();
   const Distance outref_distance = NextDistance(distance);
   while (!stack.empty()) {
     const ObjectId current = stack.back();
     stack.pop_back();
-    for (const ObjectId target : heap_.Get(current).slots) {
+    // One id decode per pop; the slot scan then walks the cached object.
+    const Object& object = *heap_.GetCell(current).object;
+    for (const ObjectId target : object.slots) {
       if (!target.valid()) continue;
       ++result.stats.edges_scanned_clean;
-      if (target.site != heap_.site()) {
+      if (target.site != self) {
         // First touch wins the minimum distance because roots are processed
         // in increasing distance order.
         auto [it, inserted] =
@@ -71,10 +76,10 @@ void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
         result.outrefs_clean.insert(target);
         continue;
       }
-      Object& object = heap_.Get(target);
-      if (object.clean_epoch == epoch_) continue;
-      object.mark_epoch = epoch_;
-      object.clean_epoch = epoch_;
+      const Heap::Cell cell = heap_.GetCell(target);
+      if (*cell.clean_epoch == epoch_) continue;
+      *cell.mark_epoch = epoch_;
+      *cell.clean_epoch = epoch_;
       ++result.stats.objects_marked_clean;
       stack.push_back(target);
     }
@@ -82,9 +87,15 @@ void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
 }
 
 TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const CollectorConfig& config = tables_.config();
   TraceResult result;
   result.epoch = ++epoch_;
+
+  // Worst-case mark-stack depth is the live-object count; reserving up front
+  // keeps the hot loop free of reallocation (the buffer persists across
+  // traces, so this is amortised to nothing in steady state).
+  mark_stack_.reserve(heap_.object_count());
 
   for (const auto& [ref, entry] : tables_.outrefs()) {
     result.snapshot_outrefs.insert(ref);
@@ -125,6 +136,8 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
 
   // ---- Phase 2: suspected inrefs — bottom-up outset computation (§5.2).
   OutsetStore store;
+  store.Reserve(
+      static_cast<std::size_t>(ordered_inrefs.end() - clean_limit));
   SuspectEnv env(heap_, tables_, epoch_, result);
   BottomUpOutsetComputer<SuspectEnv> computer(heap_, store, env);
   for (auto it = clean_limit; it != ordered_inrefs.end(); ++it) {
@@ -136,7 +149,7 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
     // An inref whose object was reached by the clean phase contributes an
     // empty outset and is dropped from the back information: it can never
     // appear in a suspected outref's inset (auxiliary invariant of §6.1.1).
-    if (heap_.Get(obj).clean_epoch == epoch_) continue;
+    if (heap_.clean_epoch(obj) == epoch_) continue;
     const Distance outref_distance = NextDistance(distance);
     for (const ObjectId outref : outset) {
       auto [dit, inserted] =
@@ -157,8 +170,9 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
   result.stats.suspected_outrefs = result.back_info.outref_insets.size();
 
   // ---- Phase 3: sweep list and untraced outrefs. ----
-  heap_.ForEach([&](ObjectId id, const Object& object) {
-    if (object.mark_epoch != epoch_) result.objects_to_free.push_back(id);
+  heap_.ForEachWithEpochs([&](ObjectId id, const Object&, std::uint64_t mark,
+                              std::uint64_t) {
+    if (mark != epoch_) result.objects_to_free.push_back(id);
   });
   result.stats.objects_swept = result.objects_to_free.size();
   for (const ObjectId ref : result.snapshot_outrefs) {
@@ -166,6 +180,11 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
       result.outrefs_untraced.insert(ref);
     }
   }
+
+  result.stats.trace_wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
 
   DGC_LOG_DEBUG("site " << heap_.site() << " trace " << epoch_ << ": "
                         << result.stats.objects_marked_clean << " clean, "

@@ -50,6 +50,9 @@ class LocalCollector {
   Heap& heap_;
   RefTables& tables_;
   std::uint64_t epoch_ = 0;
+  /// Scratch mark stack, reused across traces so the hot loop never
+  /// reallocates once the heap's size has been seen.
+  std::vector<ObjectId> mark_stack_;
 };
 
 }  // namespace dgc

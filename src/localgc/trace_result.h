@@ -31,6 +31,9 @@ struct LocalTraceStats {
   OutsetStore::Stats outset_stats;
   std::size_t distinct_outsets = 0;
   std::size_t back_info_elements = 0;
+  /// Real (wall-clock) duration of the trace computation, for throughput
+  /// instrumentation only — never fed back into simulated time.
+  std::uint64_t trace_wall_ns = 0;
 };
 
 struct TraceResult {

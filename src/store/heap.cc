@@ -1,16 +1,32 @@
 #include "store/heap.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace dgc {
 
 ObjectId Heap::Allocate(std::size_t slot_count) {
-  const ObjectId id{site_, next_index_++};
-  Object object;
-  object.slots.assign(slot_count, kInvalidObject);
-  objects_.emplace(id.index, std::move(object));
+  std::uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = used_slots_;
+    DGC_CHECK_MSG(slot + 1 <= kSlotMask, "heap slot space exhausted");
+    if (slot == slabs_.size() * kSlabSize) {
+      slabs_.push_back(std::make_unique<Slab>());
+      mark_epoch_.resize(slabs_.size() * kSlabSize, 0);
+      clean_epoch_.resize(slabs_.size() * kSlabSize, 0);
+      generation_.resize(slabs_.size() * kSlabSize, 0);
+      live_.resize(slabs_.size() * kSlabSize, 0);
+    }
+    ++used_slots_;
+  }
+  ObjectAt(slot).slots.assign(slot_count, kInvalidObject);
+  live_[slot] = 1;
+  ++live_count_;
   ++stats_.allocated;
-  return id;
+  return IdAt(slot);
 }
 
 void Heap::SetSlot(ObjectId id, std::size_t slot, ObjectId target) {
@@ -32,7 +48,18 @@ void Heap::Free(ObjectId id) {
   DGC_CHECK_MSG(std::find(persistent_roots_.begin(), persistent_roots_.end(),
                           id) == persistent_roots_.end(),
                 "freeing persistent root " << id);
-  objects_.erase(id.index);
+  const std::uint64_t slot = SlotOf(id.index);
+  ObjectAt(slot).slots.clear();
+  ObjectAt(slot).slots.shrink_to_fit();
+  mark_epoch_[slot] = 0;
+  clean_epoch_[slot] = 0;
+  DGC_CHECK_MSG(
+      generation_[slot] < std::numeric_limits<std::uint32_t>::max(),
+      "generation counter exhausted for slot " << slot);
+  ++generation_[slot];
+  live_[slot] = 0;
+  --live_count_;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   ++stats_.reclaimed;
 }
 

@@ -3,12 +3,22 @@
 // Objects are clustered within sites (Section 2): each site owns a heap of
 // objects whose slots hold references to local or remote objects. Certain
 // objects are persistent roots (entry points such as name servers). The heap
-// knows nothing about garbage collection beyond an epoch-stamped mark bit
-// that the local tracer uses to avoid a clearing pass.
+// knows nothing about garbage collection beyond epoch stamps that the local
+// tracer uses to avoid a clearing pass.
+//
+// Storage layout: objects live in fixed-size slabs addressed by a dense
+// *storage slot*; `Free` recycles slots through a LIFO free list. The public
+// ObjectId stays unique forever by folding a per-slot generation into the
+// index — a recycled slot hands out a new id while stale ids fail Exists().
+// Epoch stamps live in contiguous side arrays (not in Object) so the marking
+// loop touches dense memory instead of chasing per-object nodes; this is what
+// makes the local trace cache-friendly and, with per-site traces being
+// independent, embarrassingly parallel.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -19,17 +29,6 @@ namespace dgc {
 struct Object {
   /// Reference slots; kInvalidObject means null.
   std::vector<ObjectId> slots;
-
-  /// Epoch of the last local trace that marked this object reachable
-  /// (0 = never). Owned by the local collector; stored here to avoid a side
-  /// table on the hot marking path.
-  std::uint64_t mark_epoch = 0;
-
-  /// Epoch of the last local trace that marked this object *clean*, i.e.
-  /// reached it from a persistent/application root or a clean inref. An
-  /// object with mark_epoch == E but clean_epoch != E was reached only from
-  /// suspected inrefs in trace E.
-  std::uint64_t clean_epoch = 0;
 };
 
 struct HeapStats {
@@ -39,6 +38,10 @@ struct HeapStats {
 
 class Heap {
  public:
+  /// Objects per slab. Slabs never move once allocated, so Object pointers
+  /// are stable for the object's lifetime.
+  static constexpr std::size_t kSlabSize = 1024;
+
   explicit Heap(SiteId site) : site_(site) {}
 
   Heap(const Heap&) = delete;
@@ -46,20 +49,66 @@ class Heap {
 
   [[nodiscard]] SiteId site() const { return site_; }
 
-  /// Allocates an object with `slot_count` null reference slots.
+  /// Allocates an object with `slot_count` null reference slots. Recycles a
+  /// freed storage slot when one is available (LIFO, deterministic), under a
+  /// fresh generation so the returned id never collides with a freed one.
   ObjectId Allocate(std::size_t slot_count);
 
   [[nodiscard]] bool Exists(ObjectId id) const {
-    return id.site == site_ && objects_.contains(id.index);
+    if (id.site != site_) return false;
+    const std::uint64_t biased = id.index & kSlotMask;
+    if (biased == 0) return false;
+    const std::uint64_t slot = biased - 1;
+    return slot < used_slots_ && live_[slot] != 0 &&
+           generation_[slot] == GenerationOf(id.index);
   }
 
   [[nodiscard]] Object& Get(ObjectId id) {
     DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
-    return objects_.find(id.index)->second;
+    return ObjectAt(SlotOf(id.index));
   }
   [[nodiscard]] const Object& Get(ObjectId id) const {
     DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
-    return objects_.find(id.index)->second;
+    return ObjectAt(SlotOf(id.index));
+  }
+
+  // --- Epoch side arrays (the local tracer's mark state) ----------------
+
+  /// Epoch of the last local trace that marked the object reachable
+  /// (0 = never, reset when a storage slot is recycled).
+  [[nodiscard]] std::uint64_t mark_epoch(ObjectId id) const {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    return mark_epoch_[SlotOf(id.index)];
+  }
+  /// Epoch of the last local trace that marked the object *clean*, i.e.
+  /// reached from a persistent/application root or a clean inref. An object
+  /// with mark_epoch == E but clean_epoch != E was reached only from
+  /// suspected inrefs in trace E.
+  [[nodiscard]] std::uint64_t clean_epoch(ObjectId id) const {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    return clean_epoch_[SlotOf(id.index)];
+  }
+  void set_mark_epoch(ObjectId id, std::uint64_t epoch) {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    mark_epoch_[SlotOf(id.index)] = epoch;
+  }
+  void set_clean_epoch(ObjectId id, std::uint64_t epoch) {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    clean_epoch_[SlotOf(id.index)] = epoch;
+  }
+
+  /// One decoded live object: its slots plus its epoch cells, so the marking
+  /// loop pays the id decode once per object. The pointers are valid until
+  /// the next Allocate or Free (Allocate may grow the side arrays).
+  struct Cell {
+    Object* object;
+    std::uint64_t* mark_epoch;
+    std::uint64_t* clean_epoch;
+  };
+  [[nodiscard]] Cell GetCell(ObjectId id) {
+    DGC_CHECK_MSG(Exists(id), "no object " << id << " on site " << site_);
+    const std::uint64_t slot = SlotOf(id.index);
+    return Cell{&ObjectAt(slot), &mark_epoch_[slot], &clean_epoch_[slot]};
   }
 
   /// Stores `target` (or null) into a slot. Purely mechanical; reference-
@@ -69,6 +118,8 @@ class Heap {
   [[nodiscard]] ObjectId GetSlot(ObjectId id, std::size_t slot) const;
 
   /// Reclaims an object's storage. The caller guarantees unreachability.
+  /// The storage slot joins the free list; its epochs reset to zero and its
+  /// generation advances, invalidating the id permanently.
   void Free(ObjectId id);
 
   /// Marks/queries membership in the persistent-root set. Roots must be
@@ -79,25 +130,84 @@ class Heap {
     return persistent_roots_;
   }
 
-  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] std::size_t object_count() const { return live_count_; }
   [[nodiscard]] const HeapStats& stats() const { return stats_; }
 
-  /// Visits every (ObjectId, Object) pair. `fn` must not mutate the heap.
+  // --- Occupancy (instrumentation) --------------------------------------
+
+  [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
+  [[nodiscard]] std::size_t slot_capacity() const { return used_slots_; }
+  [[nodiscard]] std::size_t free_slot_count() const {
+    return free_slots_.size();
+  }
+  /// Live objects per storage slot ever used; 1.0 means no internal holes.
+  [[nodiscard]] double occupancy() const {
+    return used_slots_ == 0
+               ? 1.0
+               : static_cast<double>(live_count_) /
+                     static_cast<double>(used_slots_);
+  }
+
+  /// Visits every (ObjectId, Object) pair in storage-slot order: slabs in
+  /// creation order, slots within a slab in order. A recycled slot keeps its
+  /// storage position, so sweep order (and downstream message batching) is
+  /// deterministic across runs and standard libraries.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [index, object] : objects_) {
-      fn(ObjectId{site_, index}, object);
+    for (std::uint64_t slot = 0; slot < used_slots_; ++slot) {
+      if (live_[slot] == 0) continue;
+      fn(IdAt(slot), ObjectAt(slot));
+    }
+  }
+
+  /// ForEach plus the epoch stamps — the sweep's view, one decode per slot.
+  template <typename Fn>
+  void ForEachWithEpochs(Fn&& fn) const {
+    for (std::uint64_t slot = 0; slot < used_slots_; ++slot) {
+      if (live_[slot] == 0) continue;
+      fn(IdAt(slot), ObjectAt(slot), mark_epoch_[slot], clean_epoch_[slot]);
     }
   }
 
  private:
+  // ObjectId.index = (generation << 32) | (slot + 1). The +1 bias keeps
+  // index 0 unused (matching the historical numbering where ids start at 1)
+  // and makes generation-0 ids read 1, 2, 3, … in allocation order.
+  static constexpr std::uint64_t kGenShift = 32;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kGenShift) - 1;
+
+  static constexpr std::uint64_t SlotOf(std::uint64_t index) {
+    return (index & kSlotMask) - 1;
+  }
+  static constexpr std::uint32_t GenerationOf(std::uint64_t index) {
+    return static_cast<std::uint32_t>(index >> kGenShift);
+  }
+
+  [[nodiscard]] ObjectId IdAt(std::uint64_t slot) const {
+    return ObjectId{site_, (static_cast<std::uint64_t>(generation_[slot])
+                            << kGenShift) |
+                               (slot + 1)};
+  }
+  [[nodiscard]] Object& ObjectAt(std::uint64_t slot) {
+    return (*slabs_[slot / kSlabSize])[slot % kSlabSize];
+  }
+  [[nodiscard]] const Object& ObjectAt(std::uint64_t slot) const {
+    return (*slabs_[slot / kSlabSize])[slot % kSlabSize];
+  }
+
+  using Slab = std::array<Object, kSlabSize>;
+
   SiteId site_;
-  // Ordered map: iteration order (and thus sweep order, update batching and
-  // message order everywhere downstream) is deterministic across standard
-  // library implementations, not just within one run.
-  std::map<std::uint64_t, Object> objects_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  // Side arrays indexed by storage slot, contiguous across slabs.
+  std::vector<std::uint64_t> mark_epoch_;
+  std::vector<std::uint64_t> clean_epoch_;
+  std::vector<std::uint32_t> generation_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::uint32_t> free_slots_;  // LIFO recycling
+  std::uint64_t used_slots_ = 0;           // high-water mark of slots touched
+  std::size_t live_count_ = 0;
   std::vector<ObjectId> persistent_roots_;
-  std::uint64_t next_index_ = 1;
   HeapStats stats_;
 };
 

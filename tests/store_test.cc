@@ -109,8 +109,103 @@ TEST(HeapTest, ForEachVisitsAllObjects) {
 TEST(HeapTest, MarkEpochsDefaultToZero) {
   Heap heap(0);
   const ObjectId a = heap.Allocate(0);
-  EXPECT_EQ(heap.Get(a).mark_epoch, 0u);
-  EXPECT_EQ(heap.Get(a).clean_epoch, 0u);
+  EXPECT_EQ(heap.mark_epoch(a), 0u);
+  EXPECT_EQ(heap.clean_epoch(a), 0u);
+}
+
+// --- Slab / free-list behaviour -------------------------------------------
+
+TEST(SlabHeapTest, FreeRecyclesStorageSlotUnderFreshId) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(1);
+  const ObjectId b = heap.Allocate(1);
+  const std::size_t capacity = heap.slot_capacity();
+  heap.Free(a);
+  EXPECT_EQ(heap.free_slot_count(), 1u);
+  const ObjectId c = heap.Allocate(2);
+  // The storage slot is recycled (no capacity growth, free list drained)...
+  EXPECT_EQ(heap.slot_capacity(), capacity);
+  EXPECT_EQ(heap.free_slot_count(), 0u);
+  // ...but the id is fresh: the stale id stays dead forever.
+  EXPECT_NE(c, a);
+  EXPECT_FALSE(heap.Exists(a));
+  EXPECT_TRUE(heap.Exists(c));
+  EXPECT_TRUE(heap.Exists(b));
+  EXPECT_EQ(heap.Get(c).slots.size(), 2u);
+  EXPECT_THROW(heap.Get(a), InvariantViolation);
+}
+
+TEST(SlabHeapTest, RepeatedReuseKeepsIdsDistinct) {
+  Heap heap(0);
+  std::set<ObjectId> ids;
+  ObjectId current = heap.Allocate(0);
+  ids.insert(current);
+  for (int i = 0; i < 100; ++i) {
+    heap.Free(current);
+    current = heap.Allocate(0);
+    EXPECT_TRUE(ids.insert(current).second) << "id reused after " << i;
+  }
+  EXPECT_EQ(heap.slot_capacity(), 1u);  // one slot served all 101 ids
+}
+
+TEST(SlabHeapTest, ForEachVisitsStorageOrderAfterFrees) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  const ObjectId b = heap.Allocate(0);
+  const ObjectId c = heap.Allocate(0);
+  heap.Free(b);
+  const ObjectId d = heap.Allocate(0);  // recycles b's slot
+  const ObjectId e = heap.Allocate(0);  // fresh slot after c
+  std::vector<ObjectId> order;
+  heap.ForEach([&](ObjectId id, const Object&) { order.push_back(id); });
+  // A recycled slot keeps its storage position: d sits where b was.
+  EXPECT_EQ(order, (std::vector<ObjectId>{a, d, c, e}));
+}
+
+TEST(SlabHeapTest, EpochSideArraysResetWhenSlotRecycled) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(0);
+  heap.set_mark_epoch(a, 7);
+  heap.set_clean_epoch(a, 7);
+  EXPECT_EQ(heap.mark_epoch(a), 7u);
+  heap.Free(a);
+  const ObjectId b = heap.Allocate(0);  // same slot, fresh generation
+  EXPECT_EQ(heap.mark_epoch(b), 0u);
+  EXPECT_EQ(heap.clean_epoch(b), 0u);
+}
+
+TEST(SlabHeapTest, ObjectPointersStableAcrossSlabGrowth) {
+  Heap heap(0);
+  const ObjectId first = heap.Allocate(1);
+  const Object* address = &heap.Get(first);
+  // Force several slab allocations past the first.
+  for (std::size_t i = 0; i < 3 * Heap::kSlabSize; ++i) heap.Allocate(0);
+  EXPECT_GE(heap.slab_count(), 3u);
+  EXPECT_EQ(&heap.Get(first), address);
+}
+
+TEST(SlabHeapTest, OccupancyTracksLiveOverCapacity) {
+  Heap heap(0);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(heap.Allocate(0));
+  EXPECT_DOUBLE_EQ(heap.occupancy(), 1.0);
+  for (int i = 0; i < 4; ++i) heap.Free(ids[i]);
+  EXPECT_DOUBLE_EQ(heap.occupancy(), 0.5);
+  EXPECT_EQ(heap.object_count(), 4u);
+  EXPECT_EQ(heap.slot_capacity(), 8u);
+  EXPECT_EQ(heap.free_slot_count(), 4u);
+}
+
+TEST(SlabHeapTest, GetCellExposesEpochCells) {
+  Heap heap(0);
+  const ObjectId a = heap.Allocate(1);
+  const Heap::Cell cell = heap.GetCell(a);
+  *cell.mark_epoch = 3;
+  *cell.clean_epoch = 2;
+  EXPECT_EQ(heap.mark_epoch(a), 3u);
+  EXPECT_EQ(heap.clean_epoch(a), 2u);
+  cell.object->slots[0] = a;
+  EXPECT_EQ(heap.GetSlot(a, 0), a);
 }
 
 }  // namespace
