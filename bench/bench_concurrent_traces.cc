@@ -17,6 +17,9 @@ void BM_Concurrent_SimultaneousTriggers(benchmark::State& state) {
   const std::size_t initiators = static_cast<std::size_t>(state.range(1));
   std::uint64_t messages = 0;
   std::uint64_t garbage_outcomes = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;
+  double cache_hit_rate = 0.0;
   bool collected = false;
   for (auto _ : state) {
     CollectorConfig config = dgc::bench::DefaultConfig();
@@ -35,8 +38,15 @@ void BM_Concurrent_SimultaneousTriggers(benchmark::State& state) {
     }
     system.SettleNetwork();
     messages = system.network().stats().inter_site_sent;
-    garbage_outcomes =
-        system.AggregateBackTracerStats().traces_completed_garbage;
+    batches = system.network().stats().count_of<BackCallBatchMsg>();
+    const BackTracerStats bt = system.AggregateBackTracerStats();
+    garbage_outcomes = bt.traces_completed_garbage;
+    coalesced = bt.branches_coalesced;
+    const std::uint64_t lookups = bt.cache_hits + bt.cache_misses;
+    cache_hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(bt.cache_hits) /
+                           static_cast<double>(lookups);
     system.RunRounds(3);
     collected = true;
     for (const ObjectId id : cycle.objects) {
@@ -50,6 +60,12 @@ void BM_Concurrent_SimultaneousTriggers(benchmark::State& state) {
       static_cast<double>(2 * sites + sites - 1);
   state.counters["garbage_outcomes"] = static_cast<double>(garbage_outcomes);
   state.counters["collected"] = collected ? 1.0 : 0.0;
+  // One multi-suspect cycle per run: inter-site back messages spent per
+  // collected cycle. bench_compare.py gates on this (lower is better).
+  state.counters["msgs_per_cycle"] = static_cast<double>(messages);
+  state.counters["call_batches"] = static_cast<double>(batches);
+  state.counters["branches_coalesced"] = static_cast<double>(coalesced);
+  state.counters["cache_hit_rate"] = cache_hit_rate;
 }
 BENCHMARK(BM_Concurrent_SimultaneousTriggers)
     ->Args({4, 1})
@@ -65,17 +81,32 @@ BENCHMARK(BM_Concurrent_SimultaneousTriggers)
 void BM_Concurrent_NaturalTriggering(benchmark::State& state) {
   const std::size_t sites = static_cast<std::size_t>(state.range(0));
   std::uint64_t traces_started = 0;
+  std::uint64_t messages = 0;
+  double cache_hit_rate = 0.0;
   for (auto _ : state) {
     CollectorConfig config = dgc::bench::DefaultConfig();
     config.estimated_cycle_length = static_cast<Distance>(sites);
     System system(sites, config);
     const auto cycle = workload::BuildCycle(
         system, {.sites = sites, .objects_per_site = 1});
+    system.network().ResetStats();
     dgc::bench::RoundsUntilCollected(system, cycle, 80);
-    traces_started = system.AggregateBackTracerStats().traces_started;
+    const BackTracerStats bt = system.AggregateBackTracerStats();
+    traces_started = bt.traces_started;
+    const NetworkStats& net = system.network().stats();
+    messages = net.count_of<BackLocalCallMsg>() +
+               net.count_of<BackCallBatchMsg>() +
+               net.count_of<BackReplyMsg>() + net.count_of<BackReportMsg>();
+    const std::uint64_t lookups = bt.cache_hits + bt.cache_misses;
+    cache_hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(bt.cache_hits) /
+                           static_cast<double>(lookups);
   }
   state.counters["sites"] = static_cast<double>(sites);
   state.counters["traces_per_cycle"] = static_cast<double>(traces_started);
+  state.counters["msgs_per_cycle"] = static_cast<double>(messages);
+  state.counters["cache_hit_rate"] = cache_hit_rate;
 }
 BENCHMARK(BM_Concurrent_NaturalTriggering)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
@@ -98,6 +129,7 @@ void BM_Concurrent_DisjointCycles(benchmark::State& state) {
     system.network().ResetStats();
     system.RunRounds(20);
     messages = system.network().stats().count_of<BackLocalCallMsg>() +
+               system.network().stats().count_of<BackCallBatchMsg>() +
                system.network().stats().count_of<BackReplyMsg>() +
                system.network().stats().count_of<BackReportMsg>();
     all_collected = true;
@@ -111,10 +143,15 @@ void BM_Concurrent_DisjointCycles(benchmark::State& state) {
   state.counters["backtrace_messages"] = static_cast<double>(messages);
   state.counters["per_cycle"] =
       static_cast<double>(messages) / static_cast<double>(pairs);
+  state.counters["msgs_per_cycle"] =
+      static_cast<double>(messages) / static_cast<double>(pairs);
   state.counters["all_collected"] = all_collected ? 1.0 : 0.0;
 }
 BENCHMARK(BM_Concurrent_DisjointCycles)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_trace_concurrent.json");
+}

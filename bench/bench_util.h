@@ -1,12 +1,40 @@
 // Shared helpers for the benchmark harnesses.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/system.h"
 #include "workload/builders.h"
 
 namespace dgc::bench {
+
+/// BENCHMARK_MAIN body that defaults --benchmark_out to `default_out` (JSON
+/// format) so plain runs land in the comparison file bench_compare.py
+/// expects; an explicit --benchmark_out on the command line still wins.
+inline int RunBenchmarksWithDefaultOut(int argc, char** argv,
+                                       const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 /// Collector tuning used across benches unless a bench sweeps it.
 inline CollectorConfig DefaultConfig() {

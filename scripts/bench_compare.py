@@ -5,12 +5,19 @@ Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
     bench_compare.py --self-test
 
-Compares every benchmark present in both files. The primary gate is the
-``objects_per_sec`` user counter (marked-objects/sec of the local trace):
-any benchmark whose candidate rate drops more than ``--threshold`` (default
-10%) below the baseline fails the run. Benchmarks without that counter are
-compared on ``real_time`` and reported for information only — wall time on
-shared CI hardware is too noisy to gate on.
+Compares every benchmark present in both files. Gated user counters:
+
+* ``objects_per_sec``  (higher is better) — marked-objects/sec of the local
+  trace;
+* ``cache_hit_rate``   (higher is better) — verdict-cache hits over lookups
+  in the back-trace trigger scan;
+* ``msgs_per_cycle``   (lower is better) — inter-site back-trace messages
+  spent per collected cycle.
+
+Any benchmark whose candidate value worsens by more than ``--threshold``
+(default 10%) relative to the baseline fails the run. Benchmarks with none
+of these counters are compared on ``real_time`` and reported for
+information only — wall time on shared CI hardware is too noisy to gate on.
 
 Exit codes: 0 = no regression, 1 = regression detected, 2 = usage/input error.
 """
@@ -47,18 +54,36 @@ def load_benchmarks(path):
     return out
 
 
+# Gated counters: (name, higher_is_better). The reported delta is always
+# "positive = improvement", so the single threshold applies uniformly.
+GATED_COUNTERS = (
+    ("objects_per_sec", True),
+    ("cache_hit_rate", True),
+    ("msgs_per_cycle", False),
+)
+
+
 def compare(baseline, candidate, threshold):
     """Yield (name, kind, base, cand, delta, gated) for common benchmarks."""
     for name in sorted(set(baseline) & set(candidate)):
         base_row, cand_row = baseline[name], candidate[name]
-        if "objects_per_sec" in base_row and "objects_per_sec" in cand_row:
-            base = float(base_row["objects_per_sec"])
-            cand = float(cand_row["objects_per_sec"])
+        emitted = False
+        for counter, higher_is_better in GATED_COUNTERS:
+            if counter not in base_row or counter not in cand_row:
+                continue
+            base = float(base_row[counter])
+            cand = float(cand_row[counter])
             if base <= 0:
                 continue
-            delta = (cand - base) / base
-            yield name, "objects_per_sec", base, cand, delta, True
-        elif "real_time" in base_row and "real_time" in cand_row:
+            if higher_is_better:
+                delta = (cand - base) / base
+            else:
+                delta = (base - cand) / base
+            emitted = True
+            yield name, counter, base, cand, delta, True
+        if emitted:
+            continue
+        if "real_time" in base_row and "real_time" in cand_row:
             base = float(base_row["real_time"])
             cand = float(cand_row["real_time"])
             if base <= 0:
@@ -81,19 +106,19 @@ def run_compare(baseline_path, candidate_path, threshold):
         verdict = "ok"
         if gated and delta < -threshold:
             verdict = "REGRESSION"
-            failures.append(name)
+            failures.append(f"{name} ({kind})")
         elif not gated:
             verdict = "info"
         print(f"{verdict:>10}  {name}: {kind} {base:.4g} -> {cand:.4g} "
               f"({delta:+.1%})")
 
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed more than "
-              f"{threshold:.0%} in objects_per_sec:")
+        print(f"\n{len(failures)} gated counter(s) regressed more than "
+              f"{threshold:.0%}:")
         for name in failures:
             print(f"  {name}")
         return 1
-    print(f"\nno objects_per_sec regression beyond {threshold:.0%} "
+    print(f"\nno gated-counter regression beyond {threshold:.0%} "
           f"across {len(common)} common benchmark(s)")
     return 0
 
@@ -107,6 +132,8 @@ _FIXTURE_BASE = {
         {"name": "BM_Sweep/100000", "run_type": "iteration",
          "real_time": 4.0, "objects_per_sec": 20e6},
         {"name": "BM_Rounds/8", "run_type": "iteration", "real_time": 9.0},
+        {"name": "BM_Trace/4/4", "run_type": "iteration", "real_time": 3.0,
+         "msgs_per_cycle": 20.0, "cache_hit_rate": 0.5},
     ]
 }
 
@@ -143,6 +170,21 @@ def _self_test():
     slow = copy.deepcopy(_FIXTURE_BASE)
     slow["benchmarks"][2]["real_time"] = 90.0
     assert run_with(slow) == 0, "real_time rows are informational"
+
+    # msgs_per_cycle is lower-is-better: a 50% increase fails...
+    chatty = copy.deepcopy(_FIXTURE_BASE)
+    chatty["benchmarks"][3]["msgs_per_cycle"] = 30.0
+    assert run_with(chatty) == 1, "msgs_per_cycle increase must fail"
+
+    # ...and a decrease passes.
+    quiet = copy.deepcopy(_FIXTURE_BASE)
+    quiet["benchmarks"][3]["msgs_per_cycle"] = 10.0
+    assert run_with(quiet) == 0, "msgs_per_cycle decrease must pass"
+
+    # cache_hit_rate is higher-is-better: a drop beyond threshold fails.
+    cold = copy.deepcopy(_FIXTURE_BASE)
+    cold["benchmarks"][3]["cache_hit_rate"] = 0.3
+    assert run_with(cold) == 1, "cache_hit_rate drop must fail"
 
     print("bench_compare self-test: all cases passed")
     return 0

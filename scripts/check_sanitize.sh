@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan + UBSan (-DDGC_SANITIZE=ON) in a separate build
+# directory and runs the full test suite under it. Slab recycling, flat visit
+# records, and the message batching paths all juggle raw slots and ids — this
+# is the cheap way to prove none of them touch freed or uninitialized memory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -G Ninja -DDGC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$BUILD_DIR"
+ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1} \
+UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

@@ -7,7 +7,7 @@ namespace dgc {
 void OutsetStore::Reserve(std::size_t expected_suspects) {
   if (expected_suspects == 0) return;
   sets_.reserve(sets_.size() + expected_suspects);
-  by_content_.reserve(expected_suspects);
+  by_id_.reserve(expected_suspects);
   singletons_.reserve(expected_suspects);
   // Each suspect contributes at most a handful of distinct pair-unions in
   // practice (shared subgraphs are memoized); 2x is a comfortable ceiling.
@@ -54,16 +54,20 @@ OutsetStore::OutsetId OutsetStore::Union(OutsetId a, OutsetId b) {
 
 OutsetStore::OutsetId OutsetStore::Intern(std::vector<ObjectId> canonical) {
   DGC_DCHECK(std::is_sorted(canonical.begin(), canonical.end()));
-  const auto it = by_content_.find(canonical);
-  if (it != by_content_.end()) {
-    ++stats_.interned_existing;
-    return it->second;
-  }
-  const OutsetId id = static_cast<OutsetId>(sets_.size());
-  stats_.stored_elements += canonical.size();
-  by_content_.emplace(canonical, id);
+  // Tentatively append the candidate so the id-keyed table can hash and
+  // compare it in place; on a duplicate, drop the tentative slot again.
+  const OutsetId tentative = static_cast<OutsetId>(sets_.size());
   sets_.push_back(std::move(canonical));
-  return id;
+  const auto [it, inserted] = by_id_.insert(tentative);
+  if (!inserted) {
+    sets_.pop_back();
+    ++stats_.interned_existing;
+    stats_.intern_bytes_saved +=
+        sets_[*it].size() * sizeof(ObjectId) + sizeof(std::vector<ObjectId>);
+    return *it;
+  }
+  stats_.stored_elements += sets_[tentative].size();
+  return tentative;
 }
 
 }  // namespace dgc

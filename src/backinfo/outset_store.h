@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -23,7 +24,15 @@ class OutsetStore {
 
   static constexpr OutsetId kEmpty = 0;
 
-  OutsetStore() { sets_.emplace_back(); /* id 0 = empty set */ }
+  OutsetStore() : by_id_(kInitialBuckets, IdHash{&sets_}, IdEq{&sets_}) {
+    sets_.emplace_back();  // id 0 = empty set
+    by_id_.insert(kEmpty);
+  }
+
+  // The intern table's hash/equal functors point into sets_, so the store
+  // must stay put.
+  OutsetStore(const OutsetStore&) = delete;
+  OutsetStore& operator=(const OutsetStore&) = delete;
 
   /// Pre-sizes the hash tables for roughly `expected_suspects` suspected
   /// inrefs so a trace-sized workload does not pay rehash churn. Outset
@@ -55,6 +64,10 @@ class OutsetStore {
     std::uint64_t unions_computed = 0;    // actually merged element-wise
     std::uint64_t interned_existing = 0;  // merge produced an existing set
     std::uint64_t stored_elements = 0;    // Σ |set| over distinct sets
+    /// Bytes the id-keyed intern table avoids versus the old content-keyed
+    /// map, which stored every canonical vector twice (as the map key and
+    /// in sets_): the elements plus one vector header per distinct set.
+    std::uint64_t intern_bytes_saved = 0;
     std::uint64_t union_memo_entries = 0;      // pairs memoized
     double union_memo_load_factor = 0.0;       // entries / buckets
   };
@@ -67,13 +80,28 @@ class OutsetStore {
   }
 
  private:
-  struct VectorHash {
-    std::size_t operator()(const std::vector<ObjectId>& v) const noexcept {
-      std::uint64_t h = 0x9e3779b97f4a7c15ULL + v.size();
-      for (const ObjectId& id : v) {
-        h = detail::mix64(h ^ std::hash<ObjectId>{}(id));
-      }
-      return static_cast<std::size_t>(h);
+  static constexpr std::size_t kInitialBuckets = 16;
+
+  static std::size_t HashContent(const std::vector<ObjectId>& v) noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL + v.size();
+    for (const ObjectId& id : v) {
+      h = detail::mix64(h ^ std::hash<ObjectId>{}(id));
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  // The intern table holds outset ids only; hashing and equality dereference
+  // the canonical vectors in sets_, so each set's content is stored once.
+  struct IdHash {
+    const std::vector<std::vector<ObjectId>>* sets;
+    std::size_t operator()(OutsetId id) const noexcept {
+      return HashContent((*sets)[id]);
+    }
+  };
+  struct IdEq {
+    const std::vector<std::vector<ObjectId>>* sets;
+    bool operator()(OutsetId a, OutsetId b) const noexcept {
+      return (*sets)[a] == (*sets)[b];
     }
   };
 
@@ -81,7 +109,7 @@ class OutsetStore {
   OutsetId Intern(std::vector<ObjectId> canonical);
 
   std::vector<std::vector<ObjectId>> sets_;
-  std::unordered_map<std::vector<ObjectId>, OutsetId, VectorHash> by_content_;
+  std::unordered_set<OutsetId, IdHash, IdEq> by_id_;
   std::unordered_map<ObjectId, OutsetId> singletons_;
   std::unordered_map<std::uint64_t, OutsetId> union_memo_;
   Stats stats_;

@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "backinfo/outset_store.h"
@@ -42,7 +41,14 @@ template <typename Env>
 class BottomUpOutsetComputer {
  public:
   BottomUpOutsetComputer(const Heap& heap, OutsetStore& store, Env& env)
-      : heap_(heap), store_(store), env_(env), site_(heap.site()) {}
+      : heap_(heap), store_(store), env_(env), site_(heap.site()) {
+    // Dense per-slot side array instead of a hash map: object indices encode
+    // (generation << 32) | (slot + 1) — the heap's slot idiom — so the low
+    // half minus one addresses a flat vector directly. Slots are never
+    // recycled while a local trace runs, so keying by slot alone is exact
+    // for this computer's lifetime (one trace).
+    state_.resize(heap.slot_capacity());
+  }
 
   /// Returns the outset (of suspected outrefs) locally reachable from the
   /// object `root` (the target of a suspected inref).
@@ -54,7 +60,7 @@ class BottomUpOutsetComputer {
       return ns->outset;
     }
     RunDfs(root.index);
-    return state_.at(root.index).outset;
+    return StateOf(root.index).outset;
   }
 
   [[nodiscard]] const SuspectTraceStats& stats() const { return stats_; }
@@ -68,13 +74,29 @@ class BottomUpOutsetComputer {
     bool done = false;  // component completed; outset is final
   };
 
+  // The heap's index layout (store/heap.h): low 32 bits are slot + 1.
+  static constexpr std::uint64_t kSlotMask = (1ULL << 32) - 1;
+  static std::size_t SlotOf(std::uint64_t index) {
+    return static_cast<std::size_t>((index & kSlotMask) - 1);
+  }
+
+  /// mark == 0 means "never visited" (Visit assigns marks from 1 up).
   NodeState* Find(std::uint64_t index) {
-    const auto it = state_.find(index);
-    return it == state_.end() ? nullptr : &it->second;
+    const std::size_t slot = SlotOf(index);
+    if (slot >= state_.size() || state_[slot].mark == 0) return nullptr;
+    return &state_[slot];
+  }
+
+  NodeState& StateOf(std::uint64_t index) {
+    const std::size_t slot = SlotOf(index);
+    DGC_DCHECK(slot < state_.size() && state_[slot].mark != 0);
+    return state_[slot];
   }
 
   NodeState& Visit(std::uint64_t index) {
-    NodeState& ns = state_[index];
+    const std::size_t slot = SlotOf(index);
+    if (slot >= state_.size()) state_.resize(slot + 1);
+    NodeState& ns = state_[slot];
     ns.mark = ns.low = ++counter_;
     ns.on_stack = true;
     scc_stack_.push_back(index);
@@ -97,12 +119,12 @@ class BottomUpOutsetComputer {
 
     while (!frames.empty()) {
       Frame& f = frames.back();
-      // unordered_map has stable node addresses, but a child Visit may have
-      // inserted, so re-find rather than caching across the push below.
-      NodeState& ns = state_.at(f.index);
+      // A child Visit may grow the dense array and move it, so re-find every
+      // iteration and never hold this reference across the push below.
+      NodeState& ns = StateOf(f.index);
 
       if (f.awaiting_child) {
-        const NodeState& cs = state_.at(f.child);
+        const NodeState& cs = StateOf(f.child);
         ns.outset = store_.Union(ns.outset, cs.outset);
         // Unconditional min is safe: a completed child component's lowlink
         // is its leader's mark, which is greater than any mark still on the
@@ -152,7 +174,7 @@ class BottomUpOutsetComputer {
         for (;;) {
           const std::uint64_t member = scc_stack_.back();
           scc_stack_.pop_back();
-          NodeState& ms = state_.at(member);
+          NodeState& ms = StateOf(member);
           ms.outset = ns.outset;
           ms.on_stack = false;
           ms.done = true;
@@ -168,7 +190,7 @@ class BottomUpOutsetComputer {
   OutsetStore& store_;
   Env& env_;
   SiteId site_;
-  std::unordered_map<std::uint64_t, NodeState> state_;
+  std::vector<NodeState> state_;  // indexed by heap slot; mark==0 <=> absent
   std::vector<std::uint64_t> scc_stack_;
   std::uint32_t counter_ = 0;
   SuspectTraceStats stats_;

@@ -24,6 +24,7 @@ BackTracer::BackTracer(SiteId site, RefTables& tables, Network& network,
 
 std::size_t BackTracer::MaybeStartTraces() {
   if (!tables_.config().enable_back_tracing) return 0;
+  const bool use_cache = tables_.config().enable_verdict_cache;
   // Collect candidates first: starting a trace touches no table state
   // synchronously (the first step arrives as a self-message), but iterate
   // defensively anyway.
@@ -35,18 +36,31 @@ std::size_t BackTracer::MaybeStartTraces() {
     // Already being examined (by any trace, ours or a peer's): let that
     // trace finish rather than piling on (Section 4.7).
     if (!entry.visited.empty()) continue;
+    // A completed trace already settled this suspect recently: a Garbage
+    // verdict means its inrefs are flagged and the next local traces will
+    // reclaim the cycle; a Live verdict means a fresh trace would answer
+    // Live again. Either way a restart is redundant until the cache entry
+    // ages out (at most one local-trace round).
+    if (use_cache) {
+      const auto verdict = verdict_cache_.Lookup(IorefKind::kOutref, ref);
+      if (verdict.has_value()) {
+        ++stats_.cache_hits;
+        ++stats_.trace_starts_skipped;
+        continue;
+      }
+      ++stats_.cache_misses;
+    }
     candidates.push_back(ref);
   }
   // Also skip outrefs with a root frame already open (trace started, first
   // step not yet delivered).
-  for (const auto& [id, frame] : frames_) {
-    (void)id;
+  frames_.ForEach([&candidates](Frame& frame) {
     if (frame.is_root) {
       candidates.erase(
           std::remove(candidates.begin(), candidates.end(), frame.start_outref),
           candidates.end());
     }
-  }
+  });
   for (const ObjectId ref : candidates) StartTrace(ref);
   return candidates.size();
 }
@@ -85,9 +99,13 @@ void BackTracer::HandleLocalCall(const Envelope& envelope,
     Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
     return;
   }
+  if (TryCoalesce(entry->visited, msg.trace, msg.caller, IorefKind::kOutref,
+                  msg.ref)) {
+    return;
+  }
   entry->MarkVisited(msg.trace);
   entry->back_threshold += tables_.config().back_threshold_increment;
-  VisitRecord& record = visit_records_[msg.trace];
+  VisitRecord& record = TouchRecord(msg.trace);
   record.outrefs.push_back(msg.ref);
   record.last_touched = scheduler_.now();
 
@@ -140,9 +158,13 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
     Reply(msg.trace, msg.caller, BackResult::kGarbage, {site_});
     return;
   }
+  if (TryCoalesce(entry->visited, msg.trace, msg.caller, IorefKind::kInref,
+                  msg.ref)) {
+    return;
+  }
   entry->MarkVisited(msg.trace);
   entry->back_threshold += tables_.config().back_threshold_increment;
-  VisitRecord& record = visit_records_[msg.trace];
+  VisitRecord& record = TouchRecord(msg.trace);
   record.inrefs.push_back(msg.ref);
   record.last_touched = scheduler_.now();
 
@@ -152,24 +174,66 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
   }
   Frame& frame = CreateFrame(msg.trace, msg.caller, IorefKind::kInref, msg.ref);
   frame.pending = static_cast<int>(entry->sources.size());
+  const bool batch = tables_.config().batch_back_calls;
   for (const auto& [source, info] : entry->sources) {
     (void)info;
     // Remote step: one inter-site call per source holding the reference —
     // the "2" in the 2E + P message bound (Section 4.6).
-    network_.Send(site_, source,
-                  BackLocalCallMsg{msg.trace, msg.ref, FrameId{site_, frame.id}});
+    const BackLocalCallMsg call{msg.trace, msg.ref, FrameId{site_, frame.id}};
+    if (batch && source != site_) {
+      QueueBackCall(source, call);
+    } else {
+      network_.Send(site_, source, call);
+    }
   }
   ArmTimeout(frame.id, msg.trace);
   (void)envelope;
 }
 
+void BackTracer::HandleCallBatch(const Envelope& envelope,
+                                 const BackCallBatchMsg& msg) {
+  for (const BackLocalCallMsg& call : msg.calls) {
+    HandleLocalCall(envelope, call);
+  }
+}
+
+void BackTracer::QueueBackCall(SiteId dest, const BackLocalCallMsg& call) {
+  pending_calls_[dest].push_back(call);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    // Flush at the current instant but after every already-queued handler at
+    // this timestamp has run (the scheduler is FIFO at equal times), so all
+    // sibling fan-outs of this instant land in the same batch.
+    scheduler_.After(0, [this] { FlushPendingCalls(); });
+  }
+}
+
+void BackTracer::FlushPendingCalls() {
+  flush_scheduled_ = false;
+  std::map<SiteId, std::vector<BackLocalCallMsg>> pending;
+  pending.swap(pending_calls_);
+  for (auto& [dest, calls] : pending) {
+    if (calls.size() == 1) {
+      // A lone call ships as the plain message: the batch framing buys
+      // nothing and the per-trace message counts of §4.6 stay exact.
+      network_.Send(site_, dest, calls.front());
+    } else {
+      stats_.calls_batched += calls.size();
+      ++stats_.call_batches_sent;
+      network_.Send(site_, dest, BackCallBatchMsg{std::move(calls)});
+    }
+  }
+}
+
 void BackTracer::HandleReply(const BackReplyMsg& msg) {
-  const auto it = frames_.find(msg.to.frame);
-  if (it == frames_.end() || it->second.trace != msg.trace) {
+  Frame* found = frames_.Find(msg.to.frame);
+  if (found == nullptr || found->trace != msg.trace) {
     return;  // frame already completed (timeout) — stale reply
   }
-  Frame& frame = it->second;
-  frame.participants.insert(msg.participants.begin(), msg.participants.end());
+  Frame& frame = *found;
+  for (const SiteId participant : msg.participants) {
+    AddParticipant(frame, participant);
+  }
   if (msg.result == BackResult::kLive) frame.result = BackResult::kLive;
   DGC_CHECK(frame.pending > 0);
   --frame.pending;
@@ -192,13 +256,13 @@ void BackTracer::Reply(TraceId trace, FrameId to, BackResult result,
 
 void BackTracer::CompleteFrame(Frame& frame) {
   if (!frame.replied) FinalizeFrame(frame);
-  frames_.erase(frame.id);
+  frames_.Erase(frame.id);
 }
 
 void BackTracer::FinalizeFrame(Frame& frame) {
   DGC_CHECK(!frame.replied);
   frame.replied = true;
-  frame.participants.insert(site_);
+  AddParticipant(frame, site_);
   if (frame.is_root) {
     const BackResult outcome = frame.result;
     DGC_LOG_DEBUG("site " << site_ << ": " << frame.trace << " completed "
@@ -223,31 +287,39 @@ void BackTracer::FinalizeFrame(Frame& frame) {
                                      frame.participants.size()});
     }
   } else {
-    Reply(frame.trace, frame.parent, frame.result,
-          {frame.participants.begin(), frame.participants.end()});
+    Reply(frame.trace, frame.parent, frame.result, frame.participants);
   }
 }
 
 BackTracer::Frame& BackTracer::CreateFrame(TraceId trace, FrameId parent,
                                            IorefKind kind, ObjectId ioref) {
-  const std::uint64_t id = next_frame_++;
   Frame frame;
-  frame.id = id;
   frame.trace = trace;
   frame.parent = parent;
   frame.kind = kind;
   frame.ioref = ioref;
   ++stats_.frames_created;
-  return frames_.emplace(id, std::move(frame)).first->second;
+  const std::uint64_t id = frames_.Insert(std::move(frame));
+  Frame* stored = frames_.Find(id);
+  stored->id = id;
+  return *stored;
+}
+
+void BackTracer::AddParticipant(Frame& frame, SiteId s) {
+  const auto it =
+      std::lower_bound(frame.participants.begin(), frame.participants.end(), s);
+  if (it == frame.participants.end() || *it != s) {
+    frame.participants.insert(it, s);
+  }
 }
 
 void BackTracer::ArmTimeout(std::uint64_t frame_id, TraceId trace) {
   const SimTime timeout = tables_.config().back_call_timeout;
   if (timeout <= 0) return;
   scheduler_.After(timeout, [this, frame_id, trace] {
-    const auto it = frames_.find(frame_id);
-    if (it == frames_.end() || it->second.trace != trace) return;
-    Frame& frame = it->second;
+    Frame* found = frames_.Find(frame_id);
+    if (found == nullptr || found->trace != trace) return;
+    Frame& frame = *found;
     if (frame.pending <= 0) return;
     // A missing reply is safely assumed Live (Section 4.6).
     ++stats_.timeouts;
@@ -258,8 +330,8 @@ void BackTracer::ArmTimeout(std::uint64_t frame_id, TraceId trace) {
 }
 
 void BackTracer::OnIorefCleaned(IorefKind kind, ObjectId ref) {
-  for (auto& [id, frame] : frames_) {
-    (void)id;
+  verdict_cache_.OnIorefCleaned(kind, ref);
+  frames_.ForEach([&](Frame& frame) {
     if (frame.kind == kind && frame.ioref == ref &&
         frame.result != BackResult::kLive) {
       frame.result = BackResult::kLive;
@@ -272,49 +344,75 @@ void BackTracer::OnIorefCleaned(IorefKind kind, ObjectId ref) {
         FinalizeFrame(frame);  // answer known; propagate it promptly
       }
     }
-  }
+  });
+}
+
+void BackTracer::OnLocalTraceApplied(std::uint64_t epoch) {
+  verdict_cache_.OnLocalTraceApplied(epoch);
 }
 
 void BackTracer::HandleReport(const BackReportMsg& msg) {
-  const auto it = visit_records_.find(msg.trace);
-  if (it == visit_records_.end()) return;
-  const VisitRecord& record = it->second;
-  if (msg.outcome == BackResult::kGarbage) {
-    for (const ObjectId inref_obj : record.inrefs) {
-      if (InrefEntry* entry = tables_.FindInref(inref_obj)) {
-        if (!entry->garbage_flagged) {
-          entry->garbage_flagged = true;
-          ++stats_.inrefs_flagged;
+  for (std::size_t i = 0; i < visit_records_.size(); ++i) {
+    if (visit_records_[i].first != msg.trace) continue;
+    VisitRecord& record = visit_records_[i].second;
+    // Calls that coalesced onto this trace inherit its verdict: a Garbage
+    // closure is rootless for every backward path through it (the trace
+    // fanned out fully from each visited ioref), and Live is always safe.
+    ResolveWaiters(record, msg.outcome);
+    if (tables_.config().enable_verdict_cache) {
+      for (const ObjectId inref_obj : record.inrefs) {
+        verdict_cache_.Record(IorefKind::kInref, inref_obj, msg.outcome);
+      }
+      for (const ObjectId outref : record.outrefs) {
+        verdict_cache_.Record(IorefKind::kOutref, outref, msg.outcome);
+      }
+      stats_.verdicts_recorded += record.inrefs.size() + record.outrefs.size();
+    }
+    if (msg.outcome == BackResult::kGarbage) {
+      for (const ObjectId inref_obj : record.inrefs) {
+        if (InrefEntry* entry = tables_.FindInref(inref_obj)) {
+          if (!entry->garbage_flagged) {
+            entry->garbage_flagged = true;
+            ++stats_.inrefs_flagged;
+          }
         }
       }
     }
+    ClearRecordMarks(record, msg.trace);
+    visit_records_[i] = std::move(visit_records_.back());
+    visit_records_.pop_back();
+    return;
   }
-  ClearRecordMarks(record, msg.trace);
-  visit_records_.erase(it);
 }
 
 void BackTracer::ExpireStaleRecords() {
   const SimTime timeout = tables_.config().report_timeout;
   if (timeout <= 0) return;
   const SimTime now = scheduler_.now();
-  for (auto it = visit_records_.begin(); it != visit_records_.end();) {
-    if (now - it->second.last_touched >= timeout) {
-      // Assume the outcome was Live (Section 4.6): just clear the marks.
-      ClearRecordMarks(it->second, it->first);
+  for (std::size_t i = 0; i < visit_records_.size();) {
+    VisitRecord& record = visit_records_[i].second;
+    if (now - record.last_touched >= timeout) {
+      // Assume the outcome was Live (Section 4.6): clear the marks and
+      // answer any parked calls Live (always safe).
+      ResolveWaiters(record, BackResult::kLive);
+      ClearRecordMarks(record, visit_records_[i].first);
       ++stats_.records_expired;
-      it = visit_records_.erase(it);
+      visit_records_[i] = std::move(visit_records_.back());
+      visit_records_.pop_back();
     } else {
-      ++it;
+      ++i;
     }
   }
 }
 
 void BackTracer::DropVolatileState() {
-  frames_.clear();
+  frames_.Clear();
   for (const auto& [trace, record] : visit_records_) {
     ClearRecordMarks(record, trace);
   }
   visit_records_.clear();
+  pending_calls_.clear();
+  verdict_cache_.Clear();
 }
 
 void BackTracer::ClearRecordMarks(const VisitRecord& record, TraceId trace) {
@@ -328,6 +426,98 @@ void BackTracer::ClearRecordMarks(const VisitRecord& record, TraceId trace) {
       entry->ClearVisited(trace);
     }
   }
+}
+
+BackTracer::VisitRecord* BackTracer::FindRecord(TraceId trace) {
+  for (auto& [t, record] : visit_records_) {
+    if (t == trace) return &record;
+  }
+  return nullptr;
+}
+
+BackTracer::VisitRecord& BackTracer::TouchRecord(TraceId trace) {
+  if (VisitRecord* record = FindRecord(trace)) return *record;
+  visit_records_.emplace_back(trace, VisitRecord{});
+  return visit_records_.back().second;
+}
+
+bool BackTracer::TryCoalesce(const std::vector<TraceId>& visited,
+                             TraceId trace, FrameId caller, IorefKind kind,
+                             ObjectId ref) {
+  if (!tables_.config().coalesce_traces || visited.empty()) return false;
+  // Defer only to a *senior* trace (smaller TraceId): juniors wait for
+  // seniors, never the reverse, so waiting chains are acyclic. Pick the most
+  // senior in case several cover this ioref.
+  const TraceId* senior = nullptr;
+  for (const TraceId& t : visited) {
+    if (t < trace && (senior == nullptr || t < *senior)) senior = &t;
+  }
+  if (senior == nullptr) return false;
+  // A visited mark is always paired with a live visit record on this site
+  // (marks are cleared whenever the record is dropped); check defensively
+  // and traverse normally if the pairing is ever broken. Never park on a
+  // record already known to be stranded.
+  VisitRecord* record = FindRecord(*senior);
+  if (record == nullptr || record->stranded) return false;
+  record->waiters.push_back(Waiter{trace, caller, kind, ref});
+  record->last_touched = scheduler_.now();
+  ++stats_.branches_coalesced;
+  DGC_LOG_DEBUG("site " << site_ << ": " << trace << " coalesced onto "
+                        << *senior);
+  // Bound the wait: if the covering trace's report has not resolved this
+  // waiter within half a call timeout, assume the record is stranded (its
+  // report may never come), stop coalescing onto it, and re-dispatch the
+  // call so the waiting trace makes progress before its own caller times
+  // out. Without this bound, one stranded record poisons every later trace
+  // through the shared region into timing out, round after round.
+  const SimTime call_timeout = tables_.config().back_call_timeout;
+  if (call_timeout > 0) {
+    scheduler_.After(std::max<SimTime>(1, call_timeout / 2),
+                     [this, covering = *senior, trace, caller] {
+                       VisitRecord* rec = FindRecord(covering);
+                       if (rec == nullptr) return;
+                       for (std::size_t i = 0; i < rec->waiters.size(); ++i) {
+                         const Waiter& w = rec->waiters[i];
+                         if (w.trace != trace || w.caller != caller) continue;
+                         const Waiter expired = w;
+                         rec->waiters.erase(rec->waiters.begin() + i);
+                         rec->stranded = true;
+                         RequeueWaiter(expired);
+                         return;
+                       }
+                     });
+  }
+  return true;
+}
+
+void BackTracer::ResolveWaiters(VisitRecord& record, BackResult outcome) {
+  for (const Waiter& waiter : record.waiters) {
+    if (outcome == BackResult::kGarbage) {
+      // The covering trace proved its visited closure rootless; every
+      // backward path from the shared ioref lies inside it. Inherit.
+      Reply(waiter.trace, waiter.caller, outcome, {site_});
+      ++stats_.waiters_resolved;
+    } else {
+      // Live proves nothing about the waiter's region (some other branch of
+      // the covering trace found a root). Re-dispatch the deferred call: it
+      // is handled after the caller clears the covering trace's marks, so
+      // the waiting trace traverses the region itself instead of inheriting
+      // a verdict that could starve a garbage cycle forever.
+      RequeueWaiter(waiter);
+    }
+  }
+  record.waiters.clear();
+}
+
+void BackTracer::RequeueWaiter(const Waiter& waiter) {
+  if (waiter.kind == IorefKind::kOutref) {
+    network_.Send(site_, site_,
+                  BackLocalCallMsg{waiter.trace, waiter.ref, waiter.caller});
+  } else {
+    network_.Send(site_, site_,
+                  BackRemoteCallMsg{waiter.trace, waiter.ref, waiter.caller});
+  }
+  ++stats_.waiters_requeued;
 }
 
 }  // namespace dgc

@@ -21,16 +21,32 @@
 // outside the initiator's participant set, leaking visited marks; waiting
 // costs latency only — the message count (2E + P, Section 4.6) is identical.
 // Stranded marks from lost messages are still reclaimed via report_timeout.
+//
+// Three optimizations share the traces' work (all individually gated in
+// Config, all preserving the verdicts the seed engine computes):
+//
+//   * trace coalescing: a call that lands on an ioref already visited by a
+//     *senior* concurrent trace (smaller TraceId) does not re-traverse the
+//     shared region — it parks as a waiter on the senior trace's visit
+//     record and is answered with the senior's verdict when its report
+//     arrives (Live if the record expires instead). Juniors defer only to
+//     seniors, so waiting chains are acyclic and cannot deadlock;
+//   * verdict caching: report-phase outcomes are remembered per ioref in a
+//     VerdictCache so the trigger scan skips suspects a completed trace
+//     already settled this round (see verdict_cache.h for the invalidation
+//     rules);
+//   * call batching: inter-site back calls issued in one simulated instant
+//     to the same destination ride a single BackCallBatchMsg.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "backinfo/site_back_info.h"
+#include "backtrace/slab_table.h"
+#include "backtrace/verdict_cache.h"
 #include "common/config.h"
 #include "common/ids.h"
 #include "net/network.h"
@@ -49,6 +65,18 @@ struct BackTracerStats {
   std::uint64_t timeouts = 0;
   std::uint64_t inrefs_flagged = 0;
   std::uint64_t records_expired = 0;
+  // Verdict cache (mirrors VerdictCache::Stats for aggregation/benches).
+  std::uint64_t verdicts_recorded = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t trace_starts_skipped = 0;  // trigger scans satisfied by cache
+  // Trace coalescing.
+  std::uint64_t branches_coalesced = 0;  // calls parked on a senior trace
+  std::uint64_t waiters_resolved = 0;    // parked calls answered Garbage
+  std::uint64_t waiters_requeued = 0;    // parked calls re-dispatched on Live
+  // Call batching.
+  std::uint64_t calls_batched = 0;  // back calls that rode a multi-call batch
+  std::uint64_t call_batches_sent = 0;
 };
 
 /// Outcome of a completed back trace, delivered to the initiator's observer.
@@ -85,22 +113,29 @@ class BackTracer {
   // Message handlers, dispatched by the owning site.
   void HandleLocalCall(const Envelope& envelope, const BackLocalCallMsg& msg);
   void HandleRemoteCall(const Envelope& envelope, const BackRemoteCallMsg& msg);
+  void HandleCallBatch(const Envelope& envelope, const BackCallBatchMsg& msg);
   void HandleReply(const BackReplyMsg& msg);
   void HandleReport(const BackReportMsg& msg);
 
   /// The clean rule (Section 6.4): an ioref was just cleaned; every trace
-  /// with a call active on it must answer Live.
+  /// with a call active on it must answer Live. Also evicts the ioref's
+  /// cached verdict — it just proved reachable.
   void OnIorefCleaned(IorefKind kind, ObjectId ref);
+
+  /// A local trace's result was applied: advances the verdict cache's epoch
+  /// (entries age out after surviving one apply; see verdict_cache.h).
+  void OnLocalTraceApplied(std::uint64_t epoch);
 
   /// Expires visit records whose trace outcome never arrived (crashed
   /// initiator / lost report), assuming Live per Section 4.6.
   void ExpireStaleRecords();
 
-  /// Models a crash-restart of the hosting site: activation frames and the
-  /// per-trace visit records are volatile and vanish (their visited marks on
-  /// the persistent iorefs are cleared — equivalent to recovery-time
-  /// scrubbing); peers waiting on this site's replies recover via their
-  /// call timeouts, which safely assume Live (Section 4.6).
+  /// Models a crash-restart of the hosting site: activation frames, the
+  /// per-trace visit records, queued outbound calls and the verdict cache
+  /// are volatile and vanish (visited marks on the persistent iorefs are
+  /// cleared — equivalent to recovery-time scrubbing); peers waiting on this
+  /// site's replies recover via their call timeouts, which safely assume
+  /// Live (Section 4.6).
   void DropVolatileState();
 
   /// Observer invoked on completion of traces this site initiated.
@@ -109,6 +144,9 @@ class BackTracer {
   }
 
   [[nodiscard]] const BackTracerStats& stats() const { return stats_; }
+  [[nodiscard]] const VerdictCache& verdict_cache() const {
+    return verdict_cache_;
+  }
   [[nodiscard]] std::size_t active_frames() const { return frames_.size(); }
   [[nodiscard]] bool idle() const { return frames_.empty(); }
 
@@ -121,7 +159,7 @@ class BackTracer {
     ObjectId ioref;
     int pending = 0;
     BackResult result = BackResult::kGarbage;
-    std::set<SiteId> participants;
+    std::vector<SiteId> participants;  // sorted, unique
     bool is_root = false;
     /// Set once the frame has answered its caller (short-circuit mode may
     /// answer before all children do; the frame then lingers only to absorb
@@ -132,12 +170,37 @@ class BackTracer {
     SimTime started_at = 0;
   };
 
+  /// A coalesced call parked on another trace's visit record. When the
+  /// covering trace's report arrives with Garbage, the waiter inherits the
+  /// verdict (the covering trace proved every backward path through the
+  /// shared region rootless). On Live — which only proves *some* branch of
+  /// the covering trace found a root, not that the waiter's region is live —
+  /// the call is re-dispatched instead, so the waiting trace traverses the
+  /// region itself once the covering trace's marks are cleared. Blindly
+  /// inheriting Live would livelock: a live suspect's trace restarting every
+  /// round could shadow a garbage cycle's trace forever.
+  struct Waiter {
+    TraceId trace;
+    FrameId caller;
+    IorefKind kind = IorefKind::kOutref;
+    ObjectId ref;
+  };
+
   /// Per-trace record of the iorefs this site marked visited, so the report
-  /// phase can flag or clear them in O(|visited|).
+  /// phase can flag or clear them in O(|visited|). Stored in a flat vector
+  /// (a site has a handful of traces in flight, never enough to amortize a
+  /// hash table).
   struct VisitRecord {
     std::vector<ObjectId> inrefs;
     std::vector<ObjectId> outrefs;
+    std::vector<Waiter> waiters;
     SimTime last_touched = 0;
+    /// Set when a waiter's patience ran out before this trace's report
+    /// arrived — evidence the report may never come (short-circuited
+    /// participant sets and dropped messages strand records by design).
+    /// A stranded record accepts no further waiters, so traces fall back to
+    /// traversing alongside the stale marks exactly as without coalescing.
+    bool stranded = false;
   };
 
   Frame& CreateFrame(TraceId trace, FrameId parent, IorefKind kind,
@@ -151,6 +214,22 @@ class BackTracer {
   void ArmTimeout(std::uint64_t frame_id, TraceId trace);
   void ClearRecordMarks(const VisitRecord& record, TraceId trace);
 
+  static void AddParticipant(Frame& frame, SiteId s);
+
+  [[nodiscard]] VisitRecord* FindRecord(TraceId trace);
+  VisitRecord& TouchRecord(TraceId trace);
+  /// Parks `caller` on the most senior trace (< `trace`) among `visited`
+  /// that has a visit record here. Returns true if the call was deferred.
+  bool TryCoalesce(const std::vector<TraceId>& visited, TraceId trace,
+                   FrameId caller, IorefKind kind, ObjectId ref);
+  /// Re-dispatches a deferred call as a self-message so the waiting trace
+  /// traverses the region itself (handled after the covering marks clear).
+  void RequeueWaiter(const Waiter& waiter);
+  void ResolveWaiters(VisitRecord& record, BackResult outcome);
+
+  void QueueBackCall(SiteId dest, const BackLocalCallMsg& call);
+  void FlushPendingCalls();
+
   SiteId site_;
   RefTables& tables_;
   Network& network_;
@@ -159,9 +238,13 @@ class BackTracer {
   std::function<bool(ObjectId)> is_root_object_;
   std::function<void(const TraceOutcome&)> outcome_observer_;
 
-  std::unordered_map<std::uint64_t, Frame> frames_;
-  std::unordered_map<TraceId, VisitRecord> visit_records_;
-  std::uint64_t next_frame_ = 1;
+  SlabTable<Frame> frames_;
+  std::vector<std::pair<TraceId, VisitRecord>> visit_records_;
+  /// Inter-site calls buffered within one simulated instant, per destination
+  /// (ordered map for deterministic flush order).
+  std::map<SiteId, std::vector<BackLocalCallMsg>> pending_calls_;
+  bool flush_scheduled_ = false;
+  VerdictCache verdict_cache_;
   std::uint32_t next_trace_seq_ = 1;
   BackTracerStats stats_;
 };

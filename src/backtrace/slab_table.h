@@ -1,0 +1,120 @@
+// Slab-allocated id-to-value table for the back-trace hot path.
+//
+// Reuses the heap's slot idiom (store/heap.h): values live in fixed-size
+// slabs (stable addresses, no per-node allocation), ids encode
+// (generation << 32) | (slot + 1), and erased slots recycle LIFO with a
+// bumped generation so stale ids — e.g. a reply addressed to a frame that
+// timed out, or one that died in a crash-restart — miss cleanly in O(1)
+// instead of costing a hash probe in a node-based map.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dgc {
+
+template <typename T>
+class SlabTable {
+ public:
+  static constexpr std::size_t kSlabSize = 256;
+
+  /// Stores `value` and returns its id (never 0 in the low half).
+  std::uint64_t Insert(T value) {
+    std::uint64_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = used_slots_++;
+      if (slot / kSlabSize == slabs_.size()) {
+        slabs_.push_back(std::make_unique<Slab>());
+      }
+    }
+    Slot& s = SlotAt(slot);
+    DGC_DCHECK(!s.occupied);
+    s.occupied = true;
+    s.value = std::move(value);
+    ++size_;
+    return MakeId(s.generation, slot);
+  }
+
+  /// Finds a live value by id; stale or foreign ids return nullptr.
+  [[nodiscard]] T* Find(std::uint64_t id) {
+    const std::uint64_t biased = id & kSlotMask;
+    if (biased == 0 || biased > used_slots_) return nullptr;
+    Slot& s = SlotAt(biased - 1);
+    if (!s.occupied || s.generation != GenerationOf(id)) return nullptr;
+    return &s.value;
+  }
+
+  /// Erases a live id; stale ids are ignored.
+  void Erase(std::uint64_t id) {
+    const std::uint64_t biased = id & kSlotMask;
+    if (biased == 0 || biased > used_slots_) return;
+    const std::uint64_t slot = biased - 1;
+    Slot& s = SlotAt(slot);
+    if (!s.occupied || s.generation != GenerationOf(id)) return;
+    Release(s, slot);
+  }
+
+  /// Visits every live value in slot order (deterministic).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (std::uint64_t slot = 0; slot < used_slots_; ++slot) {
+      Slot& s = SlotAt(slot);
+      if (s.occupied) fn(s.value);
+    }
+  }
+
+  /// Drops every live value, invalidating all outstanding ids.
+  void Clear() {
+    for (std::uint64_t slot = 0; slot < used_slots_; ++slot) {
+      Slot& s = SlotAt(slot);
+      if (s.occupied) Release(s, slot);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr std::uint64_t kGenShift = 32;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kGenShift) - 1;
+
+  struct Slot {
+    T value{};
+    std::uint32_t generation = 0;
+    bool occupied = false;
+  };
+  using Slab = std::array<Slot, kSlabSize>;
+
+  static std::uint64_t MakeId(std::uint32_t generation, std::uint64_t slot) {
+    return (static_cast<std::uint64_t>(generation) << kGenShift) | (slot + 1);
+  }
+  static std::uint32_t GenerationOf(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> kGenShift);
+  }
+
+  Slot& SlotAt(std::uint64_t slot) {
+    return (*slabs_[slot / kSlabSize])[slot % kSlabSize];
+  }
+
+  void Release(Slot& s, std::uint64_t slot) {
+    s.value = T{};  // free owned storage eagerly
+    s.occupied = false;
+    ++s.generation;
+    free_slots_.push_back(slot);
+    --size_;
+  }
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<std::uint64_t> free_slots_;
+  std::uint64_t used_slots_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dgc

@@ -1,0 +1,124 @@
+// Per-site cache of completed back-trace verdicts.
+//
+// When a trace's report phase (Section 4.5) reaches a participant, the
+// participant records the trace's Garbage/Live verdict on every ioref it
+// visited for that trace. MaybeStartTraces consults the cache so a suspect
+// already covered by a completed trace does not start a redundant
+// O(2E + P) traversal of the same cycle — the principal waste the paper's
+// §5.2 memoization argument targets, applied to the back-trace hot path.
+//
+// Entries are versioned by the local-trace epoch at recording time and
+// evicted by three events, mirroring the engine's own volatility rules:
+//   * the clean rule (§6.4): a cleaned ioref's cached verdict is stale by
+//     definition — the ioref just proved reachable;
+//   * local-trace application: an entry recorded during epoch e stays
+//     actionable through the apply of epoch e+1 (so the sweep that a
+//     Garbage report triggers can run before the suspect is rescanned) and
+//     is evicted by the next one — a skip therefore delays a live-suspect
+//     retry by at most one round and can never leak a cycle;
+//   * DropVolatileState on crash-restart: the cache is volatile state.
+//
+// Skipping a trace start is always safe (no trace means no reclamation);
+// the epoch window bounds the completeness delay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "net/messages.h"
+#include "refs/tables.h"
+
+namespace dgc {
+
+class VerdictCache {
+ public:
+  struct Stats {
+    std::uint64_t recorded = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evicted_cleaned = 0;  // clean-rule evictions
+    std::uint64_t evicted_epoch = 0;    // aged out by local-trace applies
+    std::uint64_t dropped = 0;          // cleared by crash-restart
+  };
+
+  void Record(IorefKind kind, ObjectId ref, BackResult verdict) {
+    ++stats_.recorded;
+    Table(kind)[ref] = Entry{verdict, epoch_};
+  }
+
+  /// Stats-counting lookup used by the trace-trigger scan.
+  std::optional<BackResult> Lookup(IorefKind kind, ObjectId ref) {
+    const auto verdict = Peek(kind, ref);
+    if (verdict.has_value()) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    return verdict;
+  }
+
+  /// Side-effect-free probe (tests and diagnostics).
+  [[nodiscard]] std::optional<BackResult> Peek(IorefKind kind,
+                                               ObjectId ref) const {
+    const auto& table = kind == IorefKind::kInref ? inrefs_ : outrefs_;
+    const auto it = table.find(ref);
+    if (it == table.end() || !Valid(it->second)) return std::nullopt;
+    return it->second.verdict;
+  }
+
+  /// The clean rule: the ioref just proved reachable; its verdict is stale.
+  void OnIorefCleaned(IorefKind kind, ObjectId ref) {
+    stats_.evicted_cleaned += Table(kind).erase(ref);
+  }
+
+  /// A local trace applied: advance the epoch and age out entries that have
+  /// now survived one full apply.
+  void OnLocalTraceApplied(std::uint64_t epoch) {
+    epoch_ = epoch;
+    for (auto* table : {&inrefs_, &outrefs_}) {
+      for (auto it = table->begin(); it != table->end();) {
+        if (!Valid(it->second)) {
+          ++stats_.evicted_epoch;
+          it = table->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  /// Crash-restart: the cache is volatile.
+  void Clear() {
+    stats_.dropped += inrefs_.size() + outrefs_.size();
+    inrefs_.clear();
+    outrefs_.clear();
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const {
+    return inrefs_.size() + outrefs_.size();
+  }
+
+ private:
+  struct Entry {
+    BackResult verdict = BackResult::kLive;
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] bool Valid(const Entry& entry) const {
+    return entry.epoch + 1 >= epoch_;
+  }
+
+  std::unordered_map<ObjectId, Entry>& Table(IorefKind kind) {
+    return kind == IorefKind::kInref ? inrefs_ : outrefs_;
+  }
+
+  std::unordered_map<ObjectId, Entry> inrefs_;
+  std::unordered_map<ObjectId, Entry> outrefs_;
+  std::uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dgc

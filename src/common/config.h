@@ -98,6 +98,34 @@ struct CollectorConfig {
   /// historical sequential round (trace, settle, next site) bit for bit.
   std::size_t trace_threads = 1;
 
+  /// Verdict caching: when a back trace reports its outcome, every
+  /// participant records the Garbage/Live verdict on the iorefs it visited,
+  /// versioned by the local-trace epoch. MaybeStartTraces then skips
+  /// suspects already covered by a completed trace instead of re-tracing
+  /// the same cycle. Entries are evicted by the clean rule, by the second
+  /// local-trace application after recording (the verdict stays actionable
+  /// across exactly one apply, long enough for the sweep the flags trigger),
+  /// and by crash-restart. Never unsafe: a skipped start only delays a
+  /// retry by at most one round.
+  bool enable_verdict_cache = true;
+
+  /// Trace coalescing (shared back traces): when a trace's call lands on an
+  /// ioref already visited by a concurrent *senior* trace (smaller TraceId),
+  /// the junior branch does not re-traverse the shared subgraph; it parks as
+  /// a waiter and inherits the senior's verdict when the report phase
+  /// delivers it. Seniors always traverse junior-marked iorefs, so waiting
+  /// chains are acyclic and cannot deadlock. Under message loss the waiter
+  /// is reclaimed by report_timeout (assuming Live), like any stranded
+  /// visit record.
+  bool coalesce_traces = true;
+
+  /// Multi-target back calls: inter-site back-step calls queued for the
+  /// same destination during one simulated instant ride one
+  /// BackCallBatchMsg instead of separate BackLocalCallMsg payloads.
+  /// A batch of one degenerates to the plain message, so single-trace
+  /// message counts (2E + P) are unchanged.
+  bool batch_back_calls = true;
+
   /// The paper's pseudocode returns Live as soon as any branch answers Live
   /// (§4.4). With parallel branches that can strand late-reporting
   /// participants outside the initiator's report set, leaking their visited

@@ -45,6 +45,8 @@ void Site::HandleMessage(const Envelope& envelope) {
           back_tracer_.HandleReply(msg);
         } else if constexpr (std::is_same_v<T, BackReportMsg>) {
           back_tracer_.HandleReport(msg);
+        } else if constexpr (std::is_same_v<T, BackCallBatchMsg>) {
+          back_tracer_.HandleCallBatch(envelope, msg);
         } else if constexpr (std::is_same_v<T, MutatorReadMsg>) {
           HandleMutatorRead(envelope, msg);
         } else if constexpr (std::is_same_v<T, MutatorReadReplyMsg>) {
@@ -680,6 +682,7 @@ void Site::ApplyTraceResult(TraceResult result) {
   //    expire orphaned visit records, and start back traces from suspects
   //    past their back threshold (Section 4.3).
   FlushDeferredInserts();
+  back_tracer_.OnLocalTraceApplied(result.epoch);
   back_tracer_.ExpireStaleRecords();
   back_tracer_.MaybeStartTraces();
 }

@@ -286,6 +286,15 @@ BackTracerStats System::AggregateBackTracerStats() const {
     total.timeouts += stats.timeouts;
     total.inrefs_flagged += stats.inrefs_flagged;
     total.records_expired += stats.records_expired;
+    total.verdicts_recorded += stats.verdicts_recorded;
+    total.cache_hits += stats.cache_hits;
+    total.cache_misses += stats.cache_misses;
+    total.trace_starts_skipped += stats.trace_starts_skipped;
+    total.branches_coalesced += stats.branches_coalesced;
+    total.waiters_resolved += stats.waiters_resolved;
+    total.waiters_requeued += stats.waiters_requeued;
+    total.calls_batched += stats.calls_batched;
+    total.call_batches_sent += stats.call_batches_sent;
   }
   return total;
 }

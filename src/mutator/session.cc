@@ -41,6 +41,11 @@ void Session::ReleaseAll() {
   while (!holds_.empty()) Release(holds_.begin()->first);
 }
 
+void Session::Abandon() {
+  holds_.clear();
+  busy_ = false;
+}
+
 ObjectId Session::Create(std::size_t slots) {
   const ObjectId obj = system_.site(home_).heap().Allocate(slots);
   Hold(obj);

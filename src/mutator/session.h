@@ -48,6 +48,11 @@ class Session {
   /// Drops every hold (also done by the destructor).
   void ReleaseAll();
 
+  /// Forgets every hold without releasing it: the home site crashed, so the
+  /// pins and app roots these holds refer to are already gone. Releasing
+  /// them normally would unpin state the restarted site never re-created.
+  void Abandon();
+
   [[nodiscard]] bool Holds(ObjectId ref) const {
     return holds_.contains(ref);
   }

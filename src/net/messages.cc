@@ -11,12 +11,12 @@ namespace {
 constexpr std::array<const char*, kPayloadKinds> kNames = {
     "Insert",          "InsertAck",       "Update",
     "BackLocalCall",   "BackRemoteCall",  "BackReply",
-    "BackReport",      "MutatorRead",     "MutatorReadReply",
-    "MutatorWrite",    "MutatorWriteAck", "Fetch",
-    "FetchReply",      "Commit",          "CommitAck",
-    "PinRelease",      "GlobalGcControl", "GlobalGcGray",
-    "TimestampUpdate", "Migrate",         "Patch",
-    "ReachabilitySummary", "Condemn",
+    "BackReport",      "BackCallBatch",   "MutatorRead",
+    "MutatorReadReply", "MutatorWrite",   "MutatorWriteAck",
+    "Fetch",           "FetchReply",      "Commit",
+    "CommitAck",       "PinRelease",      "GlobalGcControl",
+    "GlobalGcGray",    "TimestampUpdate", "Migrate",
+    "Patch",           "ReachabilitySummary", "Condemn",
 };
 
 // Rough per-field wire costs: 8 bytes per object id or 64-bit field, 4 bytes
@@ -48,6 +48,10 @@ struct SizeVisitor {
   }
   std::size_t operator()(const BackReportMsg&) const {
     return kHeaderBytes + 8 + 1;
+  }
+  std::size_t operator()(const BackCallBatchMsg& m) const {
+    // One header for the batch; each target pays its field bytes only.
+    return kHeaderBytes + m.calls.size() * (2 * kRefBytes + 12);
   }
   std::size_t operator()(const MutatorReadMsg&) const {
     return kHeaderBytes + 8 + kRefBytes + 4;

@@ -94,6 +94,16 @@ struct BackReportMsg {
   BackResult outcome = BackResult::kGarbage;
 };
 
+/// Multi-target back call: every BackStepLocal request queued for the same
+/// destination site during one simulated instant rides one payload instead
+/// of one message per (inref, source-site) pair. The targets may belong to
+/// different frames and even different traces; the receiver handles each
+/// exactly as a standalone BackLocalCallMsg. Batches of one are sent as the
+/// plain message, so the per-trace counts of §4.6 are unchanged.
+struct BackCallBatchMsg {
+  std::vector<BackLocalCallMsg> calls;
+};
+
 // ---------------------------------------------------------------------------
 // Mutator RPCs (Section 6).
 //
@@ -261,7 +271,8 @@ struct PatchMsg {
 
 using Payload =
     std::variant<InsertMsg, InsertAckMsg, UpdateMsg, BackLocalCallMsg,
-                 BackRemoteCallMsg, BackReplyMsg, BackReportMsg, MutatorReadMsg,
+                 BackRemoteCallMsg, BackReplyMsg, BackReportMsg,
+                 BackCallBatchMsg, MutatorReadMsg,
                  MutatorReadReplyMsg, MutatorWriteMsg, MutatorWriteAckMsg,
                  FetchMsg, FetchReplyMsg, CommitMsg, CommitAckMsg,
                  PinReleaseMsg, GlobalGcControlMsg, GlobalGcGrayMsg,

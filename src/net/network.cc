@@ -73,9 +73,12 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
   }
   stats_.wire_bytes += kEnvelopeHeaderBytes + payload_bytes;
 
-  // Faults and loss hit the wire message as a whole.
+  // Faults and loss hit the wire message as a whole. Look the link up with
+  // find(): operator[] would insert an entry for every channel ever used,
+  // growing the map with traffic instead of with explicitly severed links.
+  const auto link_it = link_down_.find(LinkKey(from, to));
   const bool faulted = IsSiteDown(from) || IsSiteDown(to) ||
-                       link_down_[LinkKey(from, to)];
+                       (link_it != link_down_.end() && link_it->second);
   if (faulted || (config_.drop_probability > 0.0 &&
                   rng_.NextBool(config_.drop_probability))) {
     stats_.dropped += batch.size();

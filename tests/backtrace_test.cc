@@ -462,5 +462,214 @@ TEST(ReportPhaseTest, DeletedIorefDuringAnotherTraceIsHandled) {
   EXPECT_TRUE(system.site(1).back_tracer().idle());
 }
 
+// --- Verdict cache -----------------------------------------------------------
+
+TEST(VerdictCacheTest, GarbageReportRecordsVerdictsOnParticipants) {
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(2, config);
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  RipenSuspicion(system, 12);
+  Site& initiator = system.site(0);
+  const ObjectId start = initiator.tables().outrefs().begin()->first;
+  initiator.back_tracer().StartTrace(start);
+  system.SettleNetwork();
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_EQ(stats.traces_completed_garbage, 1u);
+  EXPECT_GT(stats.verdicts_recorded, 0u);
+  // The report phase writes the verdict back at every participant: the
+  // initiator keeps one for its start outref, the peer for its inref.
+  const auto verdict =
+      initiator.back_tracer().verdict_cache().Peek(IorefKind::kOutref, start);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, BackResult::kGarbage);
+  EXPECT_GT(system.site(1).back_tracer().verdict_cache().size(), 0u);
+}
+
+TEST(VerdictCacheTest, CleanRuleEvictsCachedVerdict) {
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(2, config);
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  RipenSuspicion(system, 12);
+  Site& initiator = system.site(0);
+  const ObjectId start = initiator.tables().outrefs().begin()->first;
+  initiator.back_tracer().StartTrace(start);
+  system.SettleNetwork();
+  ASSERT_TRUE(initiator.back_tracer()
+                  .verdict_cache()
+                  .Peek(IorefKind::kOutref, start)
+                  .has_value());
+  // The ioref proves reachable (clean rule, §6.4): its verdict is stale.
+  initiator.back_tracer().OnIorefCleaned(IorefKind::kOutref, start);
+  EXPECT_FALSE(initiator.back_tracer()
+                   .verdict_cache()
+                   .Peek(IorefKind::kOutref, start)
+                   .has_value());
+  EXPECT_GE(initiator.back_tracer().verdict_cache().stats().evicted_cleaned,
+            1u);
+}
+
+TEST(VerdictCacheTest, LocalTraceAppliesAgeOutVerdicts) {
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(2, config);
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  RipenSuspicion(system, 12);
+  Site& initiator = system.site(0);
+  const ObjectId start = initiator.tables().outrefs().begin()->first;
+  initiator.back_tracer().StartTrace(start);
+  system.SettleNetwork();
+  ASSERT_TRUE(initiator.back_tracer()
+                  .verdict_cache()
+                  .Peek(IorefKind::kOutref, start)
+                  .has_value());
+  // An entry survives exactly one local-trace apply (the one whose trigger
+  // scan it answers) and ages out on the next.
+  system.RunRound();
+  EXPECT_TRUE(initiator.back_tracer()
+                  .verdict_cache()
+                  .Peek(IorefKind::kOutref, start)
+                  .has_value());
+  system.RunRound();
+  EXPECT_FALSE(initiator.back_tracer()
+                   .verdict_cache()
+                   .Peek(IorefKind::kOutref, start)
+                   .has_value());
+}
+
+TEST(VerdictCacheTest, CachedVerdictSkipsRedundantRestarts) {
+  // A live loop sitting above a threshold that never moves (increment 0)
+  // would restart a trace at every single trigger scan: distance exceeds
+  // the threshold each round. The cached Live verdict answers the scans in
+  // between instead, skipping redundant traces without changing outcomes.
+  CollectorConfig config = Config();
+  config.suspicion_threshold = 1;
+  config.estimated_cycle_length = 1;
+  config.back_threshold_increment = 0;
+  System system(3, config);
+  const ObjectId root = system.NewObject(2, 1);
+  system.SetPersistentRoot(root);
+  const ObjectId hop = system.NewObject(1, 1);
+  const ObjectId p = system.NewObject(0, 1);
+  const ObjectId q = system.NewObject(1, 1);
+  system.Wire(root, 0, hop);
+  system.Wire(hop, 0, p);
+  system.Wire(p, 0, q);
+  system.Wire(q, 0, p);
+  system.RunRounds(30);
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_GT(stats.traces_completed_live, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.trace_starts_skipped, 0u);
+  // Skipping is an optimization only: the loop stays alive.
+  EXPECT_TRUE(system.ObjectExists(p));
+  EXPECT_TRUE(system.ObjectExists(q));
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+// --- Trace coalescing (§4.7 refined) -----------------------------------------
+
+TEST(CoalescingTest, OverlappingTracesShareOneTraversal) {
+  // All sites of one cycle trigger simultaneously on a slow network, so the
+  // traces genuinely overlap. Junior traces park on the senior's visited
+  // marks instead of timing out against them; every trace still completes
+  // and the cycle dies.
+  CollectorConfig config = Config();
+  config.estimated_cycle_length = 6;
+  config.enable_back_tracing = false;
+  NetworkConfig net;
+  net.latency = 20;
+  System system(4, config, net);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 4, .objects_per_site = 1});
+  RipenSuspicion(system, 14);
+  int completed = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    system.site(s).back_tracer().set_outcome_observer(
+        [&](const TraceOutcome&) { ++completed; });
+    system.site(s).back_tracer().StartTrace(
+        system.site(s).tables().outrefs().begin()->first);
+  }
+  system.SettleNetwork();
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_EQ(stats.traces_started, 4u);
+  EXPECT_EQ(completed, 4);
+  EXPECT_GE(stats.branches_coalesced, 1u);
+  EXPECT_GE(stats.traces_completed_garbage, 1u);
+  system.RunRounds(4);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+TEST(CoalescingTest, WaiterInheritsGarbageVerdict) {
+  // Two initiators on a two-site cycle: the junior's deferred branch is
+  // answered from the senior's Garbage report (waiters_resolved), not by
+  // re-traversing.
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  NetworkConfig net;
+  net.latency = 20;
+  System system(2, config, net);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  RipenSuspicion(system, 12);
+  for (SiteId s = 0; s < 2; ++s) {
+    system.site(s).back_tracer().StartTrace(
+        system.site(s).tables().outrefs().begin()->first);
+  }
+  system.SettleNetwork();
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_GE(stats.branches_coalesced, 1u);
+  EXPECT_GE(stats.waiters_resolved, 1u);
+  system.RunRounds(4);
+  for (const ObjectId id : cycle.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
+// --- Call batching -----------------------------------------------------------
+
+TEST(CallBatchingTest, SimultaneousCallsToOneSiteShareOneMessage) {
+  // Two disjoint cycles spanning the same site pair, traced simultaneously:
+  // each hop produces two back calls for the same destination in the same
+  // instant, which ship as one BackCallBatchMsg instead of two messages.
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;
+  System system(2, config);
+  const auto first =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  const auto second =
+      workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  RipenSuspicion(system, 12);
+  system.network().ResetStats();
+  std::vector<ObjectId> starts;
+  for (const auto& [ref, entry] : system.site(0).tables().outrefs()) {
+    (void)entry;
+    starts.push_back(ref);
+  }
+  ASSERT_EQ(starts.size(), 2u);
+  for (const ObjectId ref : starts) {
+    system.site(0).back_tracer().StartTrace(ref);
+  }
+  system.SettleNetwork();
+  const NetworkStats& net_stats = system.network().stats();
+  const BackTracerStats stats = system.AggregateBackTracerStats();
+  EXPECT_GE(net_stats.count_of<BackCallBatchMsg>(), 1u);
+  EXPECT_GE(stats.calls_batched, 2u);
+  EXPECT_EQ(stats.traces_completed_garbage, 2u);
+  system.RunRounds(4);
+  for (const ObjectId id : first.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+  for (const ObjectId id : second.objects) {
+    EXPECT_FALSE(system.ObjectExists(id));
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
+}
+
 }  // namespace
 }  // namespace dgc

@@ -118,8 +118,9 @@ TEST(CrashRestartTest, SessionsDieAndTheirGarbageIsCollected) {
   EXPECT_TRUE(system.ObjectExists(local_held));
 
   system.site(0).CrashRestart();  // app roots and pins vanish
-  // The session object is dangling now; never touch it again.
-  session.release();  // leak deliberately: its destructor would unpin twice
+  // The session's holds died with the site; releasing them would unpin twice.
+  session->Abandon();
+  session.reset();
   system.RunRounds(4);
   EXPECT_FALSE(system.ObjectExists(local_held));  // no app root anymore
   EXPECT_TRUE(system.ObjectExists(remote));       // still tethered at 1
@@ -181,6 +182,31 @@ TEST(CrashRestartTest, ReRegistrationToCondemnedInrefIsIgnored) {
   system.RunRounds(4);
   EXPECT_FALSE(system.ObjectExists(obj));
   EXPECT_FALSE(system.ObjectExists(holder));
+}
+
+TEST(CrashRestartTest, CrashDropsCachedVerdicts) {
+  // The verdict cache is volatile: after a restart no stale verdict may
+  // suppress a fresh trace (the tables it summarized were rebuilt around it).
+  CollectorConfig config = Config();
+  config.enable_back_tracing = false;  // trigger the one trace by hand
+  System system(2, config);
+  workload::BuildCycle(system, {.sites = 2, .objects_per_site = 1});
+  system.RunRounds(12);
+  Site& initiator = system.site(0);
+  const ObjectId start = initiator.tables().outrefs().begin()->first;
+  initiator.back_tracer().StartTrace(start);
+  system.SettleNetwork();
+  ASSERT_TRUE(initiator.back_tracer()
+                  .verdict_cache()
+                  .Peek(IorefKind::kOutref, start)
+                  .has_value());
+  initiator.CrashRestart();
+  EXPECT_EQ(initiator.back_tracer().verdict_cache().size(), 0u);
+  EXPECT_FALSE(initiator.back_tracer()
+                   .verdict_cache()
+                   .Peek(IorefKind::kOutref, start)
+                   .has_value());
+  EXPECT_GE(initiator.back_tracer().verdict_cache().stats().dropped, 1u);
 }
 
 }  // namespace
