@@ -12,7 +12,9 @@ Compares every benchmark present in both files. Gated user counters:
 * ``cache_hit_rate``   (higher is better) — verdict-cache hits over lookups
   in the back-trace trigger scan;
 * ``msgs_per_cycle``   (lower is better) — inter-site back-trace messages
-  spent per collected cycle.
+  spent per collected cycle;
+* ``reuse_hit_rate``   (higher is better) — local traces served from the
+  incremental collector's cache over traces run.
 
 Any benchmark whose candidate value worsens by more than ``--threshold``
 (default 10%) relative to the baseline fails the run. Benchmarks with none
@@ -60,6 +62,7 @@ GATED_COUNTERS = (
     ("objects_per_sec", True),
     ("cache_hit_rate", True),
     ("msgs_per_cycle", False),
+    ("reuse_hit_rate", True),
 )
 
 
@@ -134,6 +137,8 @@ _FIXTURE_BASE = {
         {"name": "BM_Rounds/8", "run_type": "iteration", "real_time": 9.0},
         {"name": "BM_Trace/4/4", "run_type": "iteration", "real_time": 3.0,
          "msgs_per_cycle": 20.0, "cache_hit_rate": 0.5},
+        {"name": "BM_Soak/16", "run_type": "iteration", "real_time": 5.0,
+         "reuse_hit_rate": 0.8},
     ]
 }
 
@@ -185,6 +190,11 @@ def _self_test():
     cold = copy.deepcopy(_FIXTURE_BASE)
     cold["benchmarks"][3]["cache_hit_rate"] = 0.3
     assert run_with(cold) == 1, "cache_hit_rate drop must fail"
+
+    # reuse_hit_rate is higher-is-better: losing the incremental cache fails.
+    stale = copy.deepcopy(_FIXTURE_BASE)
+    stale["benchmarks"][4]["reuse_hit_rate"] = 0.4
+    assert run_with(stale) == 1, "reuse_hit_rate drop must fail"
 
     print("bench_compare self-test: all cases passed")
     return 0

@@ -126,6 +126,28 @@ struct CollectorConfig {
   /// message counts (2E + P) are unchanged.
   bool batch_back_calls = true;
 
+  /// Incremental local traces: reuse the previous trace's result when the
+  /// site's collector inputs (heap contents, roots, ioref tables) are
+  /// provably unchanged since that trace was computed. A fully quiescent
+  /// site short-circuits the whole trace and re-serves the cached
+  /// TraceResult; a site whose only change is suspected-inref distance
+  /// drift (the steady ripening the distance heuristic produces every
+  /// epoch) reuses all marks and memoized outsets and re-folds only the
+  /// distance aggregation. Dirty tracking is strictly conservative — any
+  /// mutation the barriers or tables observe forces a full trace — so the
+  /// reused result is byte-identical to what a full trace would compute.
+  /// Default off preserves the historical always-full-trace behavior
+  /// bit for bit.
+  bool incremental_trace = false;
+
+  /// Differential self-check for incremental traces: every time the
+  /// collector reuses cached state it ALSO runs the full trace and checks
+  /// the two results are semantically identical (snapshots, distances,
+  /// cleanliness, sweep set, back information), aborting on divergence.
+  /// Costs a full trace per reuse — a correctness harness for tests, not a
+  /// production mode. Ignored unless incremental_trace is on.
+  bool incremental_differential = false;
+
   /// The paper's pseudocode returns Live as soon as any branch answers Live
   /// (§4.4). With parallel branches that can strand late-reporting
   /// participants outside the initiator's report set, leaking their visited

@@ -71,6 +71,13 @@ std::string DescribeSite(const Site& site) {
      << stats.traces_completed_garbage << " garbage, "
      << stats.traces_completed_live << " live, "
      << site.back_tracer().active_frames() << " active frames\n";
+  if (site.config().incremental_trace) {
+    os << "  incremental: " << site.stats().quiescent_skips
+       << " quiescent skips, " << site.stats().objects_retraced
+       << " objects retraced, " << site.stats().outsets_reused
+       << " outsets reused, " << site.heap().dirty_object_count()
+       << " dirty objects\n";
+  }
   return os.str();
 }
 

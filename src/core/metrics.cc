@@ -22,6 +22,9 @@ void MetricsRecorder::Capture(const System& system) {
       (void)ref;
       if (!entry.clean()) ++sample.suspected_outrefs;
     }
+    sample.quiescent_skips += site.stats().quiescent_skips;
+    sample.objects_retraced += site.stats().objects_retraced;
+    sample.outsets_reused += site.stats().outsets_reused;
   }
   sample.messages_sent = system.network().stats().inter_site_sent;
   sample.wire_messages = system.network().stats().wire_messages;
@@ -56,7 +59,8 @@ std::string MetricsRecorder::ToCsv() const {
         "wire_messages,traces_started,traces_garbage,traces_live,"
         "local_traces,trace_wall_ns,trace_objects_marked,"
         "trace_objects_per_sec,slab_count,slab_slot_capacity,"
-        "slab_free_slots,slab_occupancy\n";
+        "slab_free_slots,slab_occupancy,quiescent_skips,objects_retraced,"
+        "outsets_reused\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -66,7 +70,9 @@ std::string MetricsRecorder::ToCsv() const {
        << ',' << s.local_traces << ',' << s.trace_wall_ns << ','
        << s.trace_objects_marked << ',' << s.trace_objects_per_sec << ','
        << s.slab_count << ',' << s.slab_slot_capacity << ','
-       << s.slab_free_slots << ',' << s.slab_occupancy << '\n';
+       << s.slab_free_slots << ',' << s.slab_occupancy << ','
+       << s.quiescent_skips << ',' << s.objects_retraced << ','
+       << s.outsets_reused << '\n';
   }
   return os.str();
 }

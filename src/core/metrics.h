@@ -35,6 +35,11 @@ struct MetricsSample {
   std::size_t slab_slot_capacity = 0;
   std::size_t slab_free_slots = 0;
   double slab_occupancy = 1.0;
+  // Incremental local traces (cumulative across sites; zero with the knob
+  // off).
+  std::uint64_t quiescent_skips = 0;
+  std::uint64_t objects_retraced = 0;
+  std::uint64_t outsets_reused = 0;
 };
 
 class MetricsRecorder {

@@ -45,6 +45,10 @@ struct SiteStats {
   std::uint64_t outrefs_trimmed = 0;
   std::uint64_t trace_wall_ns = 0;     // cumulative real trace-compute time
   std::uint64_t objects_marked = 0;    // cumulative clean + suspect marks
+  // Incremental-trace accounting (all zero while incremental_trace is off).
+  std::uint64_t quiescent_skips = 0;   // traces served verbatim from cache
+  std::uint64_t objects_retraced = 0;  // cumulative objects full traces visited
+  std::uint64_t outsets_reused = 0;    // cumulative memoized outsets served
 };
 
 class Site {
@@ -63,6 +67,7 @@ class Site {
   [[nodiscard]] BackTracer& back_tracer() { return back_tracer_; }
   [[nodiscard]] const BackTracer& back_tracer() const { return back_tracer_; }
   [[nodiscard]] const SiteBackInfo& back_info() const { return back_info_; }
+  [[nodiscard]] const LocalCollector& collector() const { return collector_; }
   [[nodiscard]] const SiteStats& stats() const { return stats_; }
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
 

@@ -44,6 +44,14 @@ class SuspectEnv {
   const TraceResult& result_;
 };
 
+std::uint64_t WallNanosSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
 void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
@@ -86,11 +94,118 @@ void LocalCollector::MarkCleanFrom(ObjectId root, Distance distance,
   }
 }
 
-TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
-  const auto wall_start = std::chrono::steady_clock::now();
+LocalCollector::TraceInputs LocalCollector::SnapshotInputs(
+    const std::vector<ObjectId>& app_roots) const {
+  TraceInputs inputs;
+  inputs.heap_mutation_epoch = heap_.mutation_epoch();
+  inputs.persistent_roots = heap_.persistent_roots();
+  inputs.app_roots = app_roots;
+  inputs.inrefs.reserve(tables_.inrefs().size());
+  for (const auto& [obj, entry] : tables_.inrefs()) {
+    inputs.inrefs.push_back(
+        TraceInputs::Inref{obj, entry.distance(), entry.garbage_flagged});
+  }
+  inputs.outrefs.reserve(tables_.outrefs().size());
+  for (const auto& [ref, entry] : tables_.outrefs()) {
+    inputs.outrefs.push_back(TraceInputs::Outref{ref, entry.pin_count > 0});
+  }
+  return inputs;
+}
+
+LocalCollector::ReuseLevel LocalCollector::ClassifyReuse(
+    const TraceInputs& inputs) const {
+  if (!cache_.valid) return ReuseLevel::kNone;
+  if (inputs == cache_.inputs) return ReuseLevel::kQuiescent;
+  // Level 1 requires everything except suspected-inref distances to be
+  // identical: the clean phase then reruns bit-identically (same roots, same
+  // clean inrefs at the same distances, same heap), the suspect SET and its
+  // outsets are unchanged (outsets do not depend on suspect distances), and
+  // only the distance fold over those outsets needs redoing.
+  if (inputs.heap_mutation_epoch != cache_.inputs.heap_mutation_epoch ||
+      inputs.persistent_roots != cache_.inputs.persistent_roots ||
+      inputs.app_roots != cache_.inputs.app_roots ||
+      inputs.outrefs != cache_.inputs.outrefs ||
+      inputs.inrefs.size() != cache_.inputs.inrefs.size()) {
+    return ReuseLevel::kNone;
+  }
+  const Distance threshold = tables_.config().suspicion_threshold;
+  for (std::size_t i = 0; i < inputs.inrefs.size(); ++i) {
+    const TraceInputs::Inref& past = cache_.inputs.inrefs[i];
+    const TraceInputs::Inref& now = inputs.inrefs[i];
+    if (past.obj != now.obj || past.garbage_flagged != now.garbage_flagged) {
+      return ReuseLevel::kNone;
+    }
+    const bool was_clean = past.distance <= threshold;
+    const bool is_clean = now.distance <= threshold;
+    // Classification flips change the root set / suspect set; a *clean*
+    // inref's distance feeds the clean phase's first-touch minima, so it
+    // must match exactly. Suspect distances are free to drift.
+    if (was_clean != is_clean) return ReuseLevel::kNone;
+    if (is_clean && past.distance != now.distance) return ReuseLevel::kNone;
+  }
+  return ReuseLevel::kRefold;
+}
+
+TraceResult LocalCollector::RefoldDistances(const TraceInputs& inputs) const {
+  TraceResult result = cache_.result;
+  result.epoch = epoch_;
+  result.outref_distances = cache_.clean_distances;
+  result.stats.objects_retraced = 0;
+  result.stats.quiescent_skips = 0;
+  std::uint64_t reused = 0;
+  const Distance threshold = tables_.config().suspicion_threshold;
+  for (const TraceInputs::Inref& in : inputs.inrefs) {
+    if (in.garbage_flagged || in.distance <= threshold) continue;
+    // Suspects absent from the cached back info contributed nothing to the
+    // fold last time either: they were clean-marked by phase 1 (dropped by
+    // the auxiliary invariant of §6.1.1) or their outset was empty.
+    const auto it = cache_.result.back_info.inref_outsets.find(in.obj);
+    if (it == cache_.result.back_info.inref_outsets.end()) continue;
+    ++reused;
+    const Distance outref_distance = NextDistance(in.distance);
+    for (const ObjectId outref : it->second) {
+      auto [dit, inserted] =
+          result.outref_distances.emplace(outref, outref_distance);
+      if (!inserted) dit->second = std::min(dit->second, outref_distance);
+    }
+  }
+  result.stats.outsets_reused = reused;
+  return result;
+}
+
+void LocalCollector::CheckEquivalent(const TraceResult& reused,
+                                     const TraceResult& full) const {
+  const SiteId site = heap_.site();
+#define DGC_DIFF_FIELD(field)                                               \
+  DGC_CHECK_MSG(reused.field == full.field,                                 \
+                "incremental trace diverged from full trace on site "       \
+                    << site << " epoch " << epoch_ << ": field " << #field)
+  DGC_DIFF_FIELD(epoch);
+  DGC_DIFF_FIELD(snapshot_outrefs);
+  DGC_DIFF_FIELD(snapshot_inrefs);
+  DGC_DIFF_FIELD(outref_distances);
+  DGC_DIFF_FIELD(outrefs_clean);
+  DGC_DIFF_FIELD(outrefs_untraced);
+  DGC_DIFF_FIELD(objects_to_free);
+  DGC_DIFF_FIELD(back_info);
+#undef DGC_DIFF_FIELD
+}
+
+void LocalCollector::InvalidateCache() {
+  cache_.valid = false;
+  cache_.result = TraceResult{};
+  cache_.inputs = TraceInputs{};
+  cache_.clean_distances.clear();
+  heap_.InvalidateDirtyTracking();
+}
+
+TraceResult LocalCollector::RunFullTrace(
+    const std::vector<ObjectId>& app_roots,
+    const TraceInputs* inputs_for_cache) {
   const CollectorConfig& config = tables_.config();
+  const bool incremental = config.incremental_trace;
   TraceResult result;
-  result.epoch = ++epoch_;
+  result.epoch = epoch_;
 
   // Worst-case mark-stack depth is the live-object count; reserving up front
   // keeps the hot loop free of reallocation (the buffer persists across
@@ -134,18 +249,25 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
     MarkCleanFrom(it->second, it->first, result);
   }
 
+  // The refold reuse level rebuilds distances from this phase-1 base, so
+  // capture it before suspect contributions land on top.
+  std::map<ObjectId, Distance> clean_distances;
+  if (inputs_for_cache != nullptr) clean_distances = result.outref_distances;
+
   // ---- Phase 2: suspected inrefs — bottom-up outset computation (§5.2).
-  OutsetStore store;
-  store.Reserve(
+  // store_ persists across traces: recurring outsets intern to their old
+  // ids and previously memoized unions stay hits, so intern_bytes_saved
+  // accumulates across epochs.
+  store_.Reserve(
       static_cast<std::size_t>(ordered_inrefs.end() - clean_limit));
   SuspectEnv env(heap_, tables_, epoch_, result);
-  BottomUpOutsetComputer<SuspectEnv> computer(heap_, store, env);
+  BottomUpOutsetComputer<SuspectEnv> computer(heap_, store_, env);
   for (auto it = clean_limit; it != ordered_inrefs.end(); ++it) {
     const auto [distance, obj] = *it;
     ++result.stats.suspected_inrefs;
     DGC_CHECK_MSG(heap_.Exists(obj), "inref names a swept object " << obj);
     const OutsetStore::OutsetId outset_id = computer.TraceFrom(obj);
-    const std::vector<ObjectId>& outset = store.Get(outset_id);
+    const std::vector<ObjectId>& outset = store_.Get(outset_id);
     // An inref whose object was reached by the clean phase contributes an
     // empty outset and is dropped from the back information: it can never
     // appear in a suspected outref's inset (auxiliary invariant of §6.1.1).
@@ -160,14 +282,53 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
       result.back_info.inref_outsets.emplace(obj, outset);
     }
   }
-  result.back_info.RecomputeInsets();
+
+  // Inverse (inset) view: with a cached previous trace, patch it forward by
+  // the per-inref outset deltas instead of rebuilding it — O(changed
+  // memberships) plus two flat copies, and it counts how many suspects kept
+  // their outset verbatim (outsets_reused).
+  if (incremental && cache_.valid && inputs_for_cache != nullptr) {
+    SiteBackInfo patched;
+    patched.inref_outsets = cache_.result.back_info.inref_outsets;
+    patched.outref_insets = cache_.result.back_info.outref_insets;
+    for (const auto& [obj, outset] : cache_.result.back_info.inref_outsets) {
+      (void)outset;
+      if (!result.back_info.inref_outsets.contains(obj)) {
+        patched.ApplyOutsetDelta(obj, {});
+      }
+    }
+    for (const auto& [obj, outset] : result.back_info.inref_outsets) {
+      const auto prev = cache_.result.back_info.inref_outsets.find(obj);
+      if (prev != cache_.result.back_info.inref_outsets.end() &&
+          prev->second == outset) {
+        ++result.stats.outsets_reused;
+        continue;
+      }
+      patched.ApplyOutsetDelta(obj, outset);
+    }
+    DGC_DCHECK(patched.inref_outsets == result.back_info.inref_outsets);
+    result.back_info = std::move(patched);
+#if !defined(NDEBUG)
+    SiteBackInfo rebuilt;
+    rebuilt.inref_outsets = result.back_info.inref_outsets;
+    rebuilt.RecomputeInsets();
+    DGC_DCHECK(rebuilt.outref_insets == result.back_info.outref_insets);
+#endif
+  } else {
+    result.back_info.RecomputeInsets();
+  }
+
   result.stats.suspect_objects_traced = computer.stats().objects_traced;
   result.stats.suspect_edges_scanned = computer.stats().edges_scanned;
   result.stats.objects_marked_suspect = computer.stats().objects_traced;
-  result.stats.outset_stats = store.stats();
-  result.stats.distinct_outsets = store.distinct_outsets();
+  result.stats.outset_stats = store_.stats();
+  result.stats.distinct_outsets = store_.distinct_outsets();
   result.stats.back_info_elements = result.back_info.stored_elements();
   result.stats.suspected_outrefs = result.back_info.outref_insets.size();
+  if (incremental) {
+    result.stats.objects_retraced = result.stats.objects_marked_clean +
+                                    result.stats.objects_marked_suspect;
+  }
 
   // ---- Phase 3: sweep list and untraced outrefs. ----
   heap_.ForEachWithEpochs([&](ObjectId id, const Object&, std::uint64_t mark,
@@ -181,10 +342,59 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
     }
   }
 
-  result.stats.trace_wall_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count());
+  if (inputs_for_cache != nullptr) {
+    // This trace observed the whole heap: the dirty sets are consumed, and
+    // the cache now describes the present input state exactly.
+    heap_.ClearDirty();
+    cache_.valid = true;
+    cache_.inputs = *inputs_for_cache;
+    cache_.result = result;
+    cache_.clean_distances = std::move(clean_distances);
+  }
+  return result;
+}
+
+TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const CollectorConfig& config = tables_.config();
+  ++epoch_;
+
+  TraceResult result;
+  if (!config.incremental_trace) {
+    result = RunFullTrace(app_roots, nullptr);
+  } else {
+    TraceInputs inputs = SnapshotInputs(app_roots);
+    const ReuseLevel level = ClassifyReuse(inputs);
+    switch (level) {
+      case ReuseLevel::kQuiescent:
+        result = cache_.result;
+        result.epoch = epoch_;
+        result.stats.objects_retraced = 0;
+        result.stats.outsets_reused = result.back_info.inref_outsets.size();
+        result.stats.quiescent_skips = 1;
+        break;
+      case ReuseLevel::kRefold:
+        result = RefoldDistances(inputs);
+        break;
+      case ReuseLevel::kNone:
+        result = RunFullTrace(app_roots, &inputs);
+        break;
+    }
+    if (level != ReuseLevel::kNone) {
+      if (config.incremental_differential) {
+        // Shadow full trace at the same epoch (mark stamps are scratch);
+        // must not clobber the cache the reuse was built from.
+        const TraceResult full = RunFullTrace(app_roots, nullptr);
+        CheckEquivalent(result, full);
+      }
+      cache_.inputs = std::move(inputs);
+      cache_.result = result;
+      // clean_distances is unchanged: both reuse levels require an
+      // identical clean phase.
+    }
+  }
+
+  result.stats.trace_wall_ns = WallNanosSince(wall_start);
 
   DGC_LOG_DEBUG("site " << heap_.site() << " trace " << epoch_ << ": "
                         << result.stats.objects_marked_clean << " clean, "
@@ -192,7 +402,10 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
                         << result.stats.objects_swept << " swept, "
                         << result.stats.suspected_inrefs << " suspected inrefs, "
                         << result.stats.suspected_outrefs
-                        << " suspected outrefs");
+                        << " suspected outrefs"
+                        << (result.stats.quiescent_skips != 0
+                                ? " (quiescent reuse)"
+                                : ""));
   return result;
 }
 

@@ -15,10 +15,36 @@
 //
 // Garbage-flagged inrefs (confirmed by a completed back trace) are not roots,
 // which is how a confirmed cycle actually dies (Section 4.5).
+//
+// Incremental traces (CollectorConfig::incremental_trace): a trace is a pure
+// function of a small, exactly snapshotable input set — heap contents +
+// persistent/application roots, each inref's (distance, garbage_flagged),
+// and each outref's pinned bit. Nothing else feeds Run: barrier overrides,
+// visited marks and back thresholds are consumed elsewhere. The collector
+// snapshots those inputs every run and compares them with the previous
+// trace's snapshot (heap equality is one integer — the Heap's monotone
+// mutation epoch, maintained by the dirty-tracking barriers):
+//
+//   * all inputs identical  -> quiescent skip: the cached TraceResult is
+//     re-served verbatim with only the epoch bumped;
+//   * only *suspected* inref distances drifted (the steady ripening the
+//     distance heuristic produces every epoch) -> marks, sweep set, back
+//     information and memoized outsets are reused and only the distance
+//     aggregation is re-folded from the cached outsets;
+//   * anything else -> full trace (conservative), which also delta-patches
+//     the inverse inset view from the previous back info instead of
+//     rebuilding it, and refreshes the cache.
+//
+// Both reuse levels are exact, not approximate: phase-2 outsets are
+// graph-theoretic (order-independent), so every reused field is what the
+// full trace would have computed — incremental_differential asserts exactly
+// that by running both and comparing.
 #pragma once
 
+#include <map>
 #include <vector>
 
+#include "backinfo/outset_store.h"
 #include "localgc/trace_result.h"
 #include "refs/tables.h"
 #include "store/heap.h"
@@ -42,10 +68,69 @@ class LocalCollector {
   /// Epoch of the most recent trace (0 before the first).
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
+  /// Everything the trace's outcome depends on, captured exactly. Two equal
+  /// snapshots prove two traces would compute identical results.
+  struct TraceInputs {
+    std::uint64_t heap_mutation_epoch = 0;
+    std::vector<ObjectId> persistent_roots;
+    std::vector<ObjectId> app_roots;
+    struct Inref {
+      ObjectId obj;
+      Distance distance = 0;
+      bool garbage_flagged = false;
+      friend bool operator==(const Inref&, const Inref&) = default;
+    };
+    std::vector<Inref> inrefs;  // table order (sorted by object id)
+    struct Outref {
+      ObjectId ref;
+      bool pinned = false;
+      friend bool operator==(const Outref&, const Outref&) = default;
+    };
+    std::vector<Outref> outrefs;  // table order (sorted by ref id)
+    friend bool operator==(const TraceInputs&, const TraceInputs&) = default;
+  };
+
+  /// Drops the previous-trace cache and the heap's dirty tracking (crash
+  /// restart: both are volatile acceleration state; the persistent
+  /// OutsetStore is a pure content-keyed memo and survives).
+  void InvalidateCache();
+
+  /// True when a previous trace is cached and eligible for reuse checks.
+  [[nodiscard]] bool cache_valid() const { return cache_.valid; }
+
+  /// The persistent outset store (interning/memo tables survive across
+  /// traces, so intern_bytes_saved accumulates across epochs).
+  [[nodiscard]] const OutsetStore& outset_store() const { return store_; }
+
  private:
+  enum class ReuseLevel {
+    kNone,        // inputs changed: full trace
+    kRefold,      // only suspected-inref distances drifted
+    kQuiescent,   // all inputs identical
+  };
+
   /// Marks everything reachable from `root` as clean, recording first-touch
   /// distances of outrefs. `distance` is the root's estimated distance.
   void MarkCleanFrom(ObjectId root, Distance distance, TraceResult& result);
+
+  [[nodiscard]] TraceInputs SnapshotInputs(
+      const std::vector<ObjectId>& app_roots) const;
+  [[nodiscard]] ReuseLevel ClassifyReuse(const TraceInputs& inputs) const;
+
+  /// The classic three-phase trace. When `inputs_for_cache` is non-null the
+  /// run also refreshes the reuse cache (and consumes the heap's dirty sets);
+  /// null = plain run (incremental off, or the differential shadow trace).
+  TraceResult RunFullTrace(const std::vector<ObjectId>& app_roots,
+                           const TraceInputs* inputs_for_cache);
+
+  /// Level-1 reuse: cached marks/outsets/back info, distances re-folded from
+  /// the cached clean-phase distances plus each suspect's cached outset.
+  [[nodiscard]] TraceResult RefoldDistances(const TraceInputs& inputs) const;
+
+  /// Differential harness: aborts unless the two results agree on every
+  /// semantic field (snapshots, distances, cleanliness, sweep, back info).
+  void CheckEquivalent(const TraceResult& reused,
+                       const TraceResult& full) const;
 
   Heap& heap_;
   RefTables& tables_;
@@ -53,6 +138,19 @@ class LocalCollector {
   /// Scratch mark stack, reused across traces so the hot loop never
   /// reallocates once the heap's size has been seen.
   std::vector<ObjectId> mark_stack_;
+  /// Persistent across traces: suspects with outsets already seen in any
+  /// earlier epoch intern to the same id, and union memo hits carry over.
+  OutsetStore store_;
+
+  struct TraceCache {
+    bool valid = false;
+    TraceInputs inputs;
+    TraceResult result;
+    /// outref_distances as of the end of phase 1 (pins + clean marking),
+    /// before suspect contributions — the base the refold starts from.
+    std::map<ObjectId, Distance> clean_distances;
+  };
+  TraceCache cache_;
 };
 
 }  // namespace dgc

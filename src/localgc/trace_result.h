@@ -34,6 +34,18 @@ struct LocalTraceStats {
   /// Real (wall-clock) duration of the trace computation, for throughput
   /// instrumentation only — never fed back into simulated time.
   std::uint64_t trace_wall_ns = 0;
+
+  // --- Incremental-trace accounting (zero when incremental_trace is off) --
+  /// Objects actually visited by this trace. A full trace re-traces every
+  /// live object; a level-1 reuse re-traces none (marks are reused); a
+  /// quiescent skip re-traces none and also bumps quiescent_skips.
+  std::uint64_t objects_retraced = 0;
+  /// Suspect outsets served from the previous trace's memoized back info
+  /// instead of being recomputed.
+  std::uint64_t outsets_reused = 0;
+  /// 1 when this result is a verbatim reuse of the previous epoch's trace
+  /// on a provably quiescent site (sites aggregate it into a counter).
+  std::uint64_t quiescent_skips = 0;
 };
 
 struct TraceResult {

@@ -139,7 +139,10 @@ void Session::StartWrite(ObjectId target, std::size_t slot, ObjectId value,
   if (target.site == home_) {
     // Local copy (§6.1.1): safe without a barrier here because obtaining
     // `value` already applied the transfer barrier on arrival, and variables
-    // are roots.
+    // are roots. SetSlot is also the incremental collector's write barrier:
+    // it dirties the written object and the overwritten target, so every
+    // mutator write (this local path, the remote MutatorWriteMsg path, and
+    // transaction commit slices) is observed without extra hooks here.
     home_site.heap().SetSlot(target, slot, value);
     done();
     return;

@@ -58,9 +58,14 @@ void Network::Send(SiteId from, SiteId to, Payload payload) {
 
 void Network::FlushChannel(SiteId from, SiteId to) {
   const auto it = pending_batches_.find(ChannelKey(from, to));
-  if (it == pending_batches_.end() || it->second.envelopes.empty()) return;
+  if (it == pending_batches_.end()) return;
   std::vector<Envelope> batch = std::move(it->second.envelopes);
-  it->second.envelopes.clear();
+  // The window closed and the channel went quiet: erase the entry rather
+  // than parking an empty slot forever — Send re-creates it (and re-arms the
+  // flush timer) on the channel's next payload, so long-running sims track
+  // active channels instead of every pair that ever talked.
+  pending_batches_.erase(it);
+  if (batch.empty()) return;
   ShipBatch(from, to, std::move(batch));
 }
 
@@ -94,6 +99,15 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
     latency += static_cast<SimTime>(
         rng_.NextBelow(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
   }
+  // Amortized purge of inert FIFO-clamp entries: a channel whose last
+  // delivery is in the past can never lift max(now + latency, last), so its
+  // entry is dead weight until the channel speaks again.
+  if (stats_.wire_messages % kChannelPurgePeriod == 0) {
+    const SimTime now = scheduler_.now();
+    std::erase_if(channel_last_delivery_,
+                  [now](const auto& entry) { return entry.second <= now; });
+  }
+
   // Clamp to preserve per-channel FIFO order (assumption R1 of Section 6.4).
   SimTime& last = channel_last_delivery_[ChannelKey(from, to)];
   const SimTime deliver_at = std::max(scheduler_.now() + latency, last);

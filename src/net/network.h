@@ -94,6 +94,24 @@ class Network {
   /// Number of messages handed to the scheduler but not yet delivered.
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
 
+  /// Channels currently holding a batching window open. Flushing erases the
+  /// entry, so in steady state this tracks active channels, not every
+  /// channel pair ever used.
+  [[nodiscard]] std::size_t pending_batch_channels() const {
+    return pending_batches_.size();
+  }
+  /// FIFO-clamp entries currently retained (inert ones are purged
+  /// periodically).
+  [[nodiscard]] std::size_t channel_clamp_entries() const {
+    return channel_last_delivery_.size();
+  }
+
+  /// Every this-many wire messages, FIFO-clamp entries whose delivery time
+  /// has passed (<= now) are purged: they can never raise a future
+  /// max(now + latency, last) and only grow the map with every channel pair
+  /// ever used.
+  static constexpr std::uint64_t kChannelPurgePeriod = 1024;
+
  private:
   [[nodiscard]] std::uint64_t ChannelKey(SiteId from, SiteId to) const {
     return (static_cast<std::uint64_t>(from) << 32) | to;

@@ -19,6 +19,7 @@ InrefEntry& RefTables::EnsureInref(ObjectId local_ref) {
   auto [it, created] = inrefs_.try_emplace(local_ref);
   if (created) {
     it->second.back_threshold = config_.initial_back_threshold();
+    ++mutation_count_;
   }
   return it->second;
 }
@@ -28,13 +29,14 @@ InrefEntry& RefTables::AddInrefSource(ObjectId local_ref, SiteId source,
   DGC_CHECK_MSG(source != site_, "a site cannot be its own inref source");
   InrefEntry& entry = EnsureInref(local_ref);
   entry.sources[source] = SourceInfo{distance, now};
+  ++mutation_count_;
   return entry;
 }
 
 bool RefTables::RemoveInrefSource(ObjectId local_ref, SiteId source) {
   InrefEntry* entry = FindInref(local_ref);
   if (entry == nullptr) return false;
-  entry->sources.erase(source);
+  if (entry->sources.erase(source) != 0) ++mutation_count_;
   if (entry->sources.empty()) {
     inrefs_.erase(local_ref);
     return true;
@@ -42,7 +44,9 @@ bool RefTables::RemoveInrefSource(ObjectId local_ref, SiteId source) {
   return false;
 }
 
-void RefTables::RemoveInref(ObjectId local_ref) { inrefs_.erase(local_ref); }
+void RefTables::RemoveInref(ObjectId local_ref) {
+  if (inrefs_.erase(local_ref) != 0) ++mutation_count_;
+}
 
 OutrefEntry* RefTables::FindOutref(ObjectId remote_ref) {
   const auto it = outrefs_.find(remote_ref);
@@ -60,6 +64,7 @@ std::pair<OutrefEntry*, bool> RefTables::EnsureOutref(ObjectId remote_ref) {
   auto [it, created] = outrefs_.try_emplace(remote_ref);
   if (created) {
     it->second.back_threshold = config_.initial_back_threshold();
+    ++mutation_count_;
   }
   return {&it->second, created};
 }
@@ -70,6 +75,7 @@ void RefTables::RemoveOutref(ObjectId remote_ref) {
   DGC_CHECK_MSG(it->second.pin_count == 0,
                 "removing pinned outref " << remote_ref);
   outrefs_.erase(it);
+  ++mutation_count_;
 }
 
 }  // namespace dgc

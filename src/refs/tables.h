@@ -181,11 +181,22 @@ class RefTables {
 
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
 
+  /// Advisory mutation counter bumped by the structural operations above
+  /// (entry add/remove, source add/remove). Advisory only: callers holding a
+  /// Find* pointer mutate entry fields without going through RefTables, so
+  /// an unchanged count does NOT prove quiescence — the incremental
+  /// collector's authoritative check is its exact ioref input snapshot. The
+  /// counter exists for cheap instrumentation ("did the table churn?").
+  [[nodiscard]] std::uint64_t mutation_count() const {
+    return mutation_count_;
+  }
+
  private:
   SiteId site_;
   const CollectorConfig& config_;
   std::map<ObjectId, InrefEntry> inrefs_;
   std::map<ObjectId, OutrefEntry> outrefs_;
+  std::uint64_t mutation_count_ = 0;
 };
 
 }  // namespace dgc

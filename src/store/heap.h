@@ -14,9 +14,21 @@
 // loop touches dense memory instead of chasing per-object nodes; this is what
 // makes the local trace cache-friendly and, with per-site traces being
 // independent, embarrassingly parallel.
+//
+// Mutation-driven dirty tracking: every state change that could alter a local
+// trace's outcome — allocation, reclamation, a slot write (including the slot's
+// previous target, whose reachability the overwrite may have severed), a
+// root-set change — bumps a monotone mutation epoch and records the touched
+// objects in per-slab dirty sets. The incremental local collector consumes
+// both: an unchanged mutation epoch proves the heap quiescent since the last
+// trace, and the dirty sets bound how much of the heap a future partial
+// re-trace must visit. Dirtying is strictly conservative (false positives only
+// cost re-tracing), and the tracking is volatile acceleration state: after a
+// crash-restart the site invalidates it wholesale rather than trusting it.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -112,7 +124,10 @@ class Heap {
   }
 
   /// Stores `target` (or null) into a slot. Purely mechanical; reference-
-  /// tracking bookkeeping is the caller's job.
+  /// tracking bookkeeping is the caller's job. Dirties the written object and
+  /// the slot's previous local target (severing an edge can change the old
+  /// target's reachability; the new target is reachable through the now-dirty
+  /// source, so tracing from dirty objects covers it).
   void SetSlot(ObjectId id, std::size_t slot, ObjectId target);
 
   [[nodiscard]] ObjectId GetSlot(ObjectId id, std::size_t slot) const;
@@ -132,6 +147,53 @@ class Heap {
 
   [[nodiscard]] std::size_t object_count() const { return live_count_; }
   [[nodiscard]] const HeapStats& stats() const { return stats_; }
+
+  // --- Mutation-driven dirty tracking (incremental local traces) --------
+
+  /// Monotone counter bumped by every mutation that can change a local
+  /// trace's outcome: Allocate, Free, SetSlot, root-set changes, and
+  /// explicit MarkDirty calls. A collector that records this value at trace
+  /// time and sees it unchanged later has proof the heap is quiescent.
+  [[nodiscard]] std::uint64_t mutation_epoch() const {
+    return mutation_epoch_;
+  }
+
+  /// Conservatively records `id` as touched (barrier hooks; no-op for ids
+  /// that no longer exist). Bumps the mutation epoch.
+  void MarkDirty(ObjectId id);
+
+  /// Invalidates the tracking wholesale (crash-restart: the dirty sets are
+  /// volatile, so the restarted collector must not trust them). Bumps the
+  /// mutation epoch so any cached trace keyed on it is discarded.
+  void InvalidateDirtyTracking();
+
+  /// Objects dirtied since the last ClearDirty (live ones only; a freed
+  /// object's dirt is subsumed by the mutation epoch).
+  [[nodiscard]] std::size_t dirty_object_count() const {
+    return dirty_count_;
+  }
+  /// Dirty objects in one slab — the per-slab dirty set's cardinality.
+  [[nodiscard]] std::size_t SlabDirtyCount(std::size_t slab) const {
+    return slab < slab_dirty_.size() ? slab_dirty_[slab] : 0;
+  }
+
+  /// Visits every dirty live object's id, in storage-slot order.
+  template <typename Fn>
+  void ForEachDirty(Fn&& fn) const {
+    for (std::size_t word = 0; word < dirty_bits_.size(); ++word) {
+      std::uint64_t bits = dirty_bits_[word];
+      while (bits != 0) {
+        const std::uint64_t slot =
+            word * 64 + static_cast<std::uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (slot < used_slots_ && live_[slot] != 0) fn(IdAt(slot));
+      }
+    }
+  }
+
+  /// Consumes the dirty sets (called by the collector once a trace has
+  /// observed them). The mutation epoch is NOT reset — it is monotone.
+  void ClearDirty();
 
   // --- Occupancy (instrumentation) --------------------------------------
 
@@ -197,6 +259,9 @@ class Heap {
 
   using Slab = std::array<Object, kSlabSize>;
 
+  /// Sets the slot's dirty bit and maintains the per-slab / total counts.
+  void MarkDirtySlot(std::uint64_t slot);
+
   SiteId site_;
   std::vector<std::unique_ptr<Slab>> slabs_;
   // Side arrays indexed by storage slot, contiguous across slabs.
@@ -209,6 +274,12 @@ class Heap {
   std::size_t live_count_ = 0;
   std::vector<ObjectId> persistent_roots_;
   HeapStats stats_;
+  // Dirty tracking: one bit per storage slot (words grown with the side
+  // arrays), per-slab cardinalities, and the monotone mutation epoch.
+  std::vector<std::uint64_t> dirty_bits_;
+  std::vector<std::uint32_t> slab_dirty_;
+  std::size_t dirty_count_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace dgc

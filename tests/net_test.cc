@@ -226,6 +226,42 @@ TEST_F(NetFixture, BatchingPreservesCrossBatchFifo) {
   EXPECT_LT(net->stats().wire_messages, 30u);
 }
 
+TEST_F(NetFixture, FlushedBatchEntriesAreErasedNotParked) {
+  config.batch_window = 10;
+  auto net = MakeNetwork(3);
+  net->Send(0, 1, Probe(1));
+  net->Send(0, 2, Probe(2));
+  EXPECT_EQ(net->pending_batch_channels(), 2u);
+  scheduler.RunUntilIdle();
+  // Flushing removes the channel entry entirely; the map tracks channels
+  // with an open window, not every pair that ever talked.
+  EXPECT_EQ(net->pending_batch_channels(), 0u);
+  net->Send(0, 1, Probe(3));  // re-creates the entry and re-arms the timer
+  EXPECT_EQ(net->pending_batch_channels(), 1u);
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->pending_batch_channels(), 0u);
+  EXPECT_EQ(received[1].size(), 2u);
+  EXPECT_EQ(received[2].size(), 1u);
+}
+
+TEST_F(NetFixture, InertFifoClampEntriesArePurgedPeriodically) {
+  config.latency = 3;
+  auto net = MakeNetwork(2);
+  // Talk on both directions, then let everything deliver: both clamp
+  // entries are now inert (last delivery <= now).
+  net->Send(0, 1, Probe(1));
+  net->Send(1, 0, Probe(2));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->channel_clamp_entries(), 2u);
+  // Drive one channel past the purge period; the idle channels' inert
+  // entries must be swept rather than retained forever.
+  for (std::uint64_t i = 0; i < Network::kChannelPurgePeriod + 1; ++i) {
+    net->Send(0, 1, Probe(i));
+    scheduler.RunUntilIdle();
+  }
+  EXPECT_LE(net->channel_clamp_entries(), 1u);
+}
+
 TEST(PayloadTest, KindNamesCoverAllAlternatives) {
   for (std::size_t i = 0; i < kPayloadKinds; ++i) {
     EXPECT_NE(PayloadKindName(i), nullptr);
