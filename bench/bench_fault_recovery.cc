@@ -1,0 +1,78 @@
+// Fault recovery: time-to-collect for a 4-site garbage ring over reliable
+// channels, at 0% loss (the retransmit machinery must be nearly free) and
+// under sustained message loss (retransmission must keep the collection
+// finite and within a small factor of the lossless baseline).
+//
+// Emits BENCH_fault_recovery.json; scripts/bench_compare.py gates the
+// counters both relatively (rounds/time vs a stored baseline) and absolutely
+// (--check-fault-recovery: retransmit_overhead at 0% loss, collected and
+// ttc_ratio_vs_lossless under loss).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dgc;
+
+struct RecoveryRun {
+  std::size_t rounds = 0;
+  SimTime ticks = 0;
+  bool collected = false;
+  double retransmit_overhead = 0.0;
+};
+
+RecoveryRun CollectRingUnderLoss(double loss) {
+  CollectorConfig config = dgc::bench::DefaultConfig();
+  config.update_refresh_period = 3;
+  NetworkConfig net;
+  net.latency = 5;
+  net.reliable_delivery = true;  // timeouts derived from the latency profile
+  net.drop_probability = loss;
+  System system(4, config, net, /*seed=*/42);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 4, .objects_per_site = 1});
+  const ObjectId live = system.NewObject(0, 0);
+  system.SetPersistentRoot(live);
+
+  RecoveryRun run;
+  run.rounds = dgc::bench::RoundsUntilCollected(system, cycle, 120);
+  run.collected = !system.ObjectExists(cycle.head());
+  run.ticks = system.scheduler().now();
+  const NetworkStats& stats = system.network().stats();
+  run.retransmit_overhead =
+      static_cast<double>(stats.retransmits) /
+      static_cast<double>(stats.inter_site_sent > 0 ? stats.inter_site_sent
+                                                    : 1);
+  return run;
+}
+
+void BM_FaultRecovery_GarbageRing(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  RecoveryRun run;
+  RecoveryRun lossless;
+  for (auto _ : state) {
+    run = CollectRingUnderLoss(loss);
+    lossless = loss > 0.0 ? CollectRingUnderLoss(0.0) : run;
+  }
+  state.counters["loss_pct"] = static_cast<double>(state.range(0));
+  state.counters["rounds_to_collect"] = static_cast<double>(run.rounds);
+  state.counters["time_to_collect"] = static_cast<double>(run.ticks);
+  state.counters["collected"] = run.collected ? 1.0 : 0.0;
+  state.counters["retransmit_overhead"] = run.retransmit_overhead;
+  if (loss > 0.0) {
+    state.counters["ttc_ratio_vs_lossless"] =
+        lossless.ticks > 0
+            ? static_cast<double>(run.ticks) /
+                  static_cast<double>(lossless.ticks)
+            : 0.0;
+  }
+}
+BENCHMARK(BM_FaultRecovery_GarbageRing)->Arg(0)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_fault_recovery.json");
+}

@@ -7,6 +7,8 @@
 // down.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "baselines/global_trace.h"
 #include "baselines/hughes.h"
 #include "bench_util.h"
@@ -118,6 +120,100 @@ void BM_Faults_BackTracingUnderLoss(benchmark::State& state) {
   state.counters["safe"] = safe ? 1.0 : 0.0;
 }
 BENCHMARK(BM_Faults_BackTracingUnderLoss)->Arg(0)->Arg(2)->Arg(10)->Arg(25);
+
+// Parking vs timeout-only recovery: a back trace is forced while a site on
+// its path is down long enough for the failure detector to suspect it. With
+// parking off, the remote step is dispatched into the void — the retransmit
+// budget exhausts and the waiting frames burn the full back_call_timeout
+// into spurious Live verdicts that bump thresholds and delay collection.
+// With parking on, the step waits out the outage and resumes into a prompt
+// Garbage verdict.
+struct ParkingOutcome {
+  std::uint64_t spurious_live = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t calls_parked = 0;
+  std::size_t rounds_after_heal = 0;
+  bool collected = false;
+};
+
+ParkingOutcome RunOutageWithParking(bool parking) {
+  CollectorConfig config = dgc::bench::DefaultConfig();
+  config.park_on_suspected_failure = parking;
+  // Wide band between "suspected" and "auto-traced": distances propagate up
+  // to a full ring circumference per round, so a narrow band would let the
+  // scan start (and finish) the trace before the outage is staged.
+  config.estimated_cycle_length = 16;
+  // Generous, identical timeouts in both modes: a timeout then only fires
+  // for a genuinely unrecoverable loss, which is exactly what the
+  // timeout-only mode produces by dispatching into the outage.
+  config.back_call_timeout = 200'000;
+  config.report_timeout = 500'000;
+  config.update_refresh_period = 3;
+  NetworkConfig net;
+  net.latency = 5;
+  net.reliable_delivery = true;
+  net.max_retransmit_attempts = 6;
+  net.heartbeat_period = 50;
+  net.heartbeat_timeout = 60;
+  System system(4, config, net, /*seed=*/17);
+  const auto cycle =
+      workload::BuildCycle(system, {.sites = 4, .objects_per_site = 1});
+
+  // Ripen until every ring outref is suspected (but still below its back
+  // threshold, so no trace starts on its own).
+  for (int round = 0; round < 10; ++round) {
+    system.RunRounds(1);
+    Distance min_distance = kDistanceInfinity;
+    for (SiteId s = 0; s < 4; ++s) {
+      for (const auto& [ref, entry] : system.site(s).tables().outrefs()) {
+        (void)ref;
+        min_distance = std::min(min_distance, entry.distance);
+      }
+    }
+    if (min_distance > config.suspicion_threshold) break;
+  }
+
+  system.network().SetSiteDown(2, true);
+  system.AdvanceTime(100);  // past heartbeat_timeout: site 2 is suspected
+  // Force the trace from site 0's ring outref: its first remote step goes
+  // to site 3, whose back step must then call into the downed site 2.
+  system.site(0).back_tracer().StartTrace(cycle.objects[1]);
+  system.AdvanceTime(2000);  // park (parking) or exhaust retransmits (not)
+  system.network().SetSiteDown(2, false);
+  system.SettleNetwork();
+
+  ParkingOutcome outcome;
+  outcome.rounds_after_heal =
+      dgc::bench::RoundsUntilCollected(system, cycle, 60);
+  outcome.collected = !system.ObjectExists(cycle.head());
+  const BackTracerStats bt = system.AggregateBackTracerStats();
+  outcome.spurious_live = bt.traces_completed_live;
+  outcome.timeouts = bt.timeouts;
+  outcome.calls_parked = bt.calls_parked;
+  return outcome;
+}
+
+void BM_Faults_ParkingVsTimeoutOnly(benchmark::State& state) {
+  ParkingOutcome parked, timeout_only;
+  for (auto _ : state) {
+    parked = RunOutageWithParking(true);
+    timeout_only = RunOutageWithParking(false);
+  }
+  state.counters["spurious_live_timeout_only"] =
+      static_cast<double>(timeout_only.spurious_live);
+  state.counters["spurious_live_with_parking"] =
+      static_cast<double>(parked.spurious_live);
+  state.counters["spurious_live_avoided"] = static_cast<double>(
+      timeout_only.spurious_live - parked.spurious_live);
+  state.counters["calls_parked"] = static_cast<double>(parked.calls_parked);
+  state.counters["rounds_after_heal_timeout_only"] =
+      static_cast<double>(timeout_only.rounds_after_heal);
+  state.counters["rounds_after_heal_with_parking"] =
+      static_cast<double>(parked.rounds_after_heal);
+  state.counters["both_collected"] =
+      parked.collected && timeout_only.collected ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Faults_ParkingVsTimeoutOnly);
 
 }  // namespace
 

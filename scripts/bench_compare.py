@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    bench_compare.py --check-fault-recovery BENCH_fault_recovery.json
     bench_compare.py --self-test
 
 Compares every benchmark present in both files. Gated user counters:
@@ -14,12 +15,23 @@ Compares every benchmark present in both files. Gated user counters:
 * ``msgs_per_cycle``   (lower is better) — inter-site back-trace messages
   spent per collected cycle;
 * ``reuse_hit_rate``   (higher is better) — local traces served from the
-  incremental collector's cache over traces run.
+  incremental collector's cache over traces run;
+* ``rounds_to_collect`` (lower is better) — collection rounds until a
+  garbage cycle is reclaimed under faults;
+* ``time_to_collect``  (lower is better) — simulated ticks until the cycle
+  is reclaimed under faults.
 
 Any benchmark whose candidate value worsens by more than ``--threshold``
 (default 10%) relative to the baseline fails the run. Benchmarks with none
 of these counters are compared on ``real_time`` and reported for
 information only — wall time on shared CI hardware is too noisy to gate on.
+
+``--check-fault-recovery`` gates a single BENCH_fault_recovery.json on
+absolute bounds instead of a baseline: lossless rows (loss_pct == 0) must
+show retransmit_overhead <= 0.01 (the reliable machinery is nearly free on a
+clean network), and lossy rows must show collected == 1 with
+ttc_ratio_vs_lossless <= 5.0 (collection stays finite and within 5x of the
+lossless twin run).
 
 Exit codes: 0 = no regression, 1 = regression detected, 2 = usage/input error.
 """
@@ -63,6 +75,8 @@ GATED_COUNTERS = (
     ("cache_hit_rate", True),
     ("msgs_per_cycle", False),
     ("reuse_hit_rate", True),
+    ("rounds_to_collect", False),
+    ("time_to_collect", False),
 )
 
 
@@ -126,6 +140,62 @@ def run_compare(baseline_path, candidate_path, threshold):
     return 0
 
 
+# --- fault-recovery absolute gate -------------------------------------------
+
+# Absolute acceptance bounds for BENCH_fault_recovery.json (no baseline
+# needed; a fresh checkout can gate its own run).
+MAX_LOSSLESS_RETRANSMIT_OVERHEAD = 0.01
+MAX_TTC_RATIO_VS_LOSSLESS = 5.0
+
+
+def check_fault_recovery(path):
+    """Gate BENCH_fault_recovery.json rows on absolute fault-recovery bounds.
+
+    Lossless rows must show (nearly) no retransmit overhead; lossy rows must
+    still collect, within a bounded slowdown of the lossless twin run.
+    """
+    rows = load_benchmarks(path)
+    failures = []
+    checked = 0
+    for name in sorted(rows):
+        row = rows[name]
+        if "loss_pct" not in row:
+            continue
+        checked += 1
+        loss = float(row["loss_pct"])
+        if loss == 0.0:
+            overhead = float(row.get("retransmit_overhead", 0.0))
+            ok = overhead <= MAX_LOSSLESS_RETRANSMIT_OVERHEAD
+            print(f"{'ok' if ok else 'FAIL':>10}  {name}: lossless "
+                  f"retransmit_overhead {overhead:.4g} "
+                  f"(max {MAX_LOSSLESS_RETRANSMIT_OVERHEAD})")
+            if not ok:
+                failures.append(f"{name} (retransmit_overhead)")
+            continue
+        collected = float(row.get("collected", 0.0))
+        if collected != 1.0:
+            print(f"{'FAIL':>10}  {name}: loss {loss:g}% did not collect")
+            failures.append(f"{name} (collected)")
+            continue
+        ratio = float(row.get("ttc_ratio_vs_lossless", float("inf")))
+        ok = ratio <= MAX_TTC_RATIO_VS_LOSSLESS
+        print(f"{'ok' if ok else 'FAIL':>10}  {name}: loss {loss:g}% "
+              f"ttc_ratio_vs_lossless {ratio:.4g} "
+              f"(max {MAX_TTC_RATIO_VS_LOSSLESS})")
+        if not ok:
+            failures.append(f"{name} (ttc_ratio_vs_lossless)")
+    if checked == 0:
+        _die(f"error: {path} has no rows with a loss_pct counter "
+             "(not a fault-recovery benchmark file?)")
+    if failures:
+        print(f"\n{len(failures)} fault-recovery bound(s) violated:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nall fault-recovery bounds hold across {checked} row(s)")
+    return 0
+
+
 # --- self test --------------------------------------------------------------
 
 _FIXTURE_BASE = {
@@ -139,6 +209,19 @@ _FIXTURE_BASE = {
          "msgs_per_cycle": 20.0, "cache_hit_rate": 0.5},
         {"name": "BM_Soak/16", "run_type": "iteration", "real_time": 5.0,
          "reuse_hit_rate": 0.8},
+        {"name": "BM_FaultRecovery_GarbageRing/10", "run_type": "iteration",
+         "real_time": 6.0, "rounds_to_collect": 5.0, "time_to_collect": 300.0},
+    ]
+}
+
+_FIXTURE_FAULT_RECOVERY = {
+    "benchmarks": [
+        {"name": "BM_FaultRecovery_GarbageRing/0", "run_type": "iteration",
+         "real_time": 4.0, "loss_pct": 0.0, "collected": 1.0,
+         "retransmit_overhead": 0.0},
+        {"name": "BM_FaultRecovery_GarbageRing/10", "run_type": "iteration",
+         "real_time": 6.0, "loss_pct": 10.0, "collected": 1.0,
+         "retransmit_overhead": 0.15, "ttc_ratio_vs_lossless": 1.3},
     ]
 }
 
@@ -196,6 +279,42 @@ def _self_test():
     stale["benchmarks"][4]["reuse_hit_rate"] = 0.4
     assert run_with(stale) == 1, "reuse_hit_rate drop must fail"
 
+    # rounds_to_collect / time_to_collect are lower-is-better: a fault-recovery
+    # slowdown beyond threshold fails, a speedup passes.
+    slower = copy.deepcopy(_FIXTURE_BASE)
+    slower["benchmarks"][5]["time_to_collect"] = 400.0
+    assert run_with(slower) == 1, "time_to_collect increase must fail"
+    faster = copy.deepcopy(_FIXTURE_BASE)
+    faster["benchmarks"][5]["rounds_to_collect"] = 4.0
+    faster["benchmarks"][5]["time_to_collect"] = 250.0
+    assert run_with(faster) == 0, "faster recovery must pass"
+
+    def check_with(fixture):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "fault.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fixture, fh)
+            return check_fault_recovery(path)
+
+    # Absolute fault-recovery bounds: the healthy fixture passes.
+    assert check_with(copy.deepcopy(_FIXTURE_FAULT_RECOVERY)) == 0, \
+        "healthy fault-recovery run must pass"
+
+    # Retransmit overhead on a lossless network fails.
+    noisy = copy.deepcopy(_FIXTURE_FAULT_RECOVERY)
+    noisy["benchmarks"][0]["retransmit_overhead"] = 0.2
+    assert check_with(noisy) == 1, "lossless retransmit overhead must fail"
+
+    # A lossy run that never collects fails.
+    stuck = copy.deepcopy(_FIXTURE_FAULT_RECOVERY)
+    stuck["benchmarks"][1]["collected"] = 0.0
+    assert check_with(stuck) == 1, "uncollected lossy run must fail"
+
+    # A lossy run more than 5x slower than its lossless twin fails.
+    crawl = copy.deepcopy(_FIXTURE_FAULT_RECOVERY)
+    crawl["benchmarks"][1]["ttc_ratio_vs_lossless"] = 7.5
+    assert check_with(crawl) == 1, "5x time-to-collect blowup must fail"
+
     print("bench_compare self-test: all cases passed")
     return 0
 
@@ -209,10 +328,15 @@ def main(argv=None):
                              "(fraction, default 0.10)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded fixture tests and exit")
+    parser.add_argument("--check-fault-recovery", metavar="FILE",
+                        help="gate a BENCH_fault_recovery.json on absolute "
+                             "bounds (no baseline needed)")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return _self_test()
+    if args.check_fault_recovery:
+        return check_fault_recovery(args.check_fault_recovery)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2

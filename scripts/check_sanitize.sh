@@ -3,13 +3,28 @@
 # directory and runs the full test suite under it. Slab recycling, flat visit
 # records, and the message batching paths all juggle raw slots and ids — this
 # is the cheap way to prove none of them touch freed or uninitialized memory.
+#
+# Usage:
+#   check_sanitize.sh             # full suite (includes the chaos tests)
+#   check_sanitize.sh --chaos     # only the chaos suite (ctest -L chaos):
+#                                 # fault plans exercise the retransmit,
+#                                 # parking, and restart-purge paths hardest,
+#                                 # so this is the fast sanitizer smoke run
+#   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-asan}
 
+CTEST_ARGS=()
+if [[ "${1:-}" == "--chaos" ]]; then
+  CTEST_ARGS+=(-L chaos)
+  shift
+fi
+CTEST_ARGS+=("$@")
+
 cmake -B "$BUILD_DIR" -G Ninja -DDGC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$BUILD_DIR"
 ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1} \
 UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
-  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "${CTEST_ARGS[@]}"

@@ -180,7 +180,9 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
     // Remote step: one inter-site call per source holding the reference —
     // the "2" in the 2E + P message bound (Section 4.6).
     const BackLocalCallMsg call{msg.trace, msg.ref, FrameId{site_, frame.id}};
-    if (batch && source != site_) {
+    if (source != site_ && ShouldPark(source)) {
+      ParkCall(source, call, frame);
+    } else if (batch && source != site_) {
       QueueBackCall(source, call);
     } else {
       network_.Send(site_, source, call);
@@ -188,6 +190,50 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
   }
   ArmTimeout(frame.id, msg.trace);
   (void)envelope;
+}
+
+bool BackTracer::ShouldPark(SiteId dest) const {
+  return tables_.config().park_on_suspected_failure &&
+         network_.failure_detection_enabled() &&
+         network_.IsPeerSuspected(site_, dest);
+}
+
+void BackTracer::ParkCall(SiteId dest, const BackLocalCallMsg& call,
+                          Frame& frame) {
+  parked_calls_[dest].push_back(ParkedCall{call, frame.id});
+  ++frame.parked;
+  ++stats_.calls_parked;
+  DGC_LOG_DEBUG("site " << site_ << ": " << call.trace
+                        << " parks remote step to suspected site " << dest);
+}
+
+void BackTracer::OnPeerRecovered(SiteId peer) {
+  const auto it = parked_calls_.find(peer);
+  if (it == parked_calls_.end()) return;
+  std::vector<ParkedCall> resumed = std::move(it->second);
+  parked_calls_.erase(it);
+  const bool batch = tables_.config().batch_back_calls;
+  for (const ParkedCall& parked : resumed) {
+    Frame* frame = frames_.Find(parked.frame_id);
+    if (frame == nullptr || frame->trace != parked.call.trace) {
+      // The frame died while its child was parked (crash-restart dropped
+      // the volatile state, or a concurrent clean-rule answer completed
+      // it); the resumed step has no caller left to answer.
+      continue;
+    }
+    DGC_CHECK(frame->parked > 0);
+    --frame->parked;
+    ++stats_.calls_unparked;
+    if (batch) {
+      QueueBackCall(peer, parked.call);
+    } else {
+      network_.Send(site_, peer, parked.call);
+    }
+    if (frame->parked == 0 && frame->timeout_deferred) {
+      frame->timeout_deferred = false;
+      ArmTimeout(frame->id, frame->trace);
+    }
+  }
 }
 
 void BackTracer::HandleCallBatch(const Envelope& envelope,
@@ -321,6 +367,16 @@ void BackTracer::ArmTimeout(std::uint64_t frame_id, TraceId trace) {
     if (found == nullptr || found->trace != trace) return;
     Frame& frame = *found;
     if (frame.pending <= 0) return;
+    if (frame.parked > 0) {
+      // Children are parked on a suspected peer: the silence is explained
+      // by the outage, not by a lost reply, so assuming Live now would
+      // manufacture exactly the spurious verdict parking exists to avoid.
+      // OnPeerRecovered arms a fresh timeout when the calls resume. (Not
+      // re-armed here: a perpetual re-check chain would keep the
+      // drain-to-idle scheduler from ever going idle.)
+      frame.timeout_deferred = true;
+      return;
+    }
     // A missing reply is safely assumed Live (Section 4.6).
     ++stats_.timeouts;
     frame.result = BackResult::kLive;
@@ -412,6 +468,7 @@ void BackTracer::DropVolatileState() {
   }
   visit_records_.clear();
   pending_calls_.clear();
+  parked_calls_.clear();
   verdict_cache_.Clear();
 }
 

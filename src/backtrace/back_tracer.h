@@ -77,6 +77,9 @@ struct BackTracerStats {
   // Call batching.
   std::uint64_t calls_batched = 0;  // back calls that rode a multi-call batch
   std::uint64_t call_batches_sent = 0;
+  // Failure-detector parking (zero unless the detector is enabled).
+  std::uint64_t calls_parked = 0;    // remote steps held for a suspect peer
+  std::uint64_t calls_unparked = 0;  // parked calls resumed on heal
 };
 
 /// Outcome of a completed back trace, delivered to the initiator's observer.
@@ -126,6 +129,11 @@ class BackTracer {
   /// (entries age out after surviving one apply; see verdict_cache.h).
   void OnLocalTraceApplied(std::uint64_t epoch);
 
+  /// The failure detector reports `peer` healed: re-dispatches every back
+  /// call parked on it (for frames still alive) and re-arms the call
+  /// timeouts that were deferred while the frames had parked children.
+  void OnPeerRecovered(SiteId peer);
+
   /// Expires visit records whose trace outcome never arrived (crashed
   /// initiator / lost report), assuming Live per Section 4.6.
   void ExpireStaleRecords();
@@ -149,6 +157,16 @@ class BackTracer {
   }
   [[nodiscard]] std::size_t active_frames() const { return frames_.size(); }
   [[nodiscard]] bool idle() const { return frames_.empty(); }
+  /// Visit records currently held (traces whose report has not arrived).
+  [[nodiscard]] std::size_t visit_record_count() const {
+    return visit_records_.size();
+  }
+  /// Back calls currently parked on suspected peers.
+  [[nodiscard]] std::size_t parked_call_count() const {
+    std::size_t total = 0;
+    for (const auto& [peer, calls] : parked_calls_) total += calls.size();
+    return total;
+  }
 
  private:
   struct Frame {
@@ -165,6 +183,12 @@ class BackTracer {
     /// answer before all children do; the frame then lingers only to absorb
     /// straggler replies).
     bool replied = false;
+    /// Children whose calls are parked on a suspected peer. While positive,
+    /// the frame's call timeout defers instead of assuming Live.
+    int parked = 0;
+    /// The call timeout fired while children were parked; a fresh timeout
+    /// is armed when the last parked call resumes.
+    bool timeout_deferred = false;
     // Root-frame bookkeeping for the outcome report.
     ObjectId start_outref;
     SimTime started_at = 0;
@@ -230,6 +254,19 @@ class BackTracer {
   void QueueBackCall(SiteId dest, const BackLocalCallMsg& call);
   void FlushPendingCalls();
 
+  /// A remote step held back because the failure detector suspects its
+  /// destination; resumed (for frames still alive) by OnPeerRecovered.
+  struct ParkedCall {
+    BackLocalCallMsg call;
+    std::uint64_t frame_id = 0;
+  };
+  /// Parks a remote step instead of dispatching it into a suspected outage,
+  /// where it would burn a full back_call_timeout into a spurious
+  /// threshold-bumping Live verdict.
+  void ParkCall(SiteId dest, const BackLocalCallMsg& call, Frame& frame);
+  /// True when the next remote step to `dest` should park.
+  [[nodiscard]] bool ShouldPark(SiteId dest) const;
+
   SiteId site_;
   RefTables& tables_;
   Network& network_;
@@ -244,6 +281,10 @@ class BackTracer {
   /// (ordered map for deterministic flush order).
   std::map<SiteId, std::vector<BackLocalCallMsg>> pending_calls_;
   bool flush_scheduled_ = false;
+  /// Remote steps parked per suspected destination (ordered map for
+  /// deterministic resume order). Volatile: a crash drops them with the
+  /// frames they belong to.
+  std::map<SiteId, std::vector<ParkedCall>> parked_calls_;
   VerdictCache verdict_cache_;
   std::uint32_t next_trace_seq_ = 1;
   BackTracerStats stats_;

@@ -61,12 +61,24 @@ struct CollectorConfig {
   SimTime local_trace_duration = 0;
 
   /// Timeout for a pending back-step call; on expiry the waiting frame
-  /// assumes the answer is Live (Section 4.6). Zero disables timeouts.
+  /// assumes the answer is Live (Section 4.6). Zero disables timeouts —
+  /// except when NetworkConfig::reliable_delivery is on, where System
+  /// derives 20 × (latency + latency_jitter + batch_window + 1) instead:
+  /// with retransmission a lost call is a latency event, not a permanent
+  /// loss, so "no timeout" would let a trace strand forever behind the one
+  /// message whose retransmit budget ran out. The factor 20 dominates the
+  /// exponential-backoff retransmit schedule for the first few attempts, so
+  /// a call only times out (spurious Live) once a loss is effectively
+  /// unrecoverable.
   SimTime back_call_timeout = 0;
 
   /// How long a participant waits for a trace's final outcome before
   /// assuming Live and clearing its visited marks (Section 4.6). Checked
-  /// lazily at each local trace. Zero disables expiry.
+  /// lazily at each local trace. Zero disables expiry — except when
+  /// NetworkConfig::reliable_delivery is on, where System derives
+  /// 10 × back_call_timeout (after deriving back_call_timeout as above):
+  /// the report phase waits on a whole trace, which spans many call
+  /// round-trips.
   SimTime report_timeout = 0;
 
   /// Every this-many local traces, a site resends ALL outref distances in
@@ -148,6 +160,18 @@ struct CollectorConfig {
   /// production mode. Ignored unless incremental_trace is on.
   bool incremental_differential = false;
 
+  /// Graceful degradation under failures: when the network's failure
+  /// detector (NetworkConfig::heartbeat_period) suspects the destination of
+  /// a back trace's next remote step, the call is *parked* instead of being
+  /// dispatched into the void — where it would burn a full
+  /// back_call_timeout and yield a spurious Live verdict that bumps the
+  /// suspect's back threshold and delays collection. Parked calls resume
+  /// when the failure detector reports the peer healed; the waiting frame's
+  /// call timeout is deferred while any child is parked (re-armed fresh on
+  /// resume), so parking never converts into a timeout by itself. Inert
+  /// unless the failure detector is enabled.
+  bool park_on_suspected_failure = true;
+
   /// The paper's pseudocode returns Live as soon as any branch answers Live
   /// (§4.4). With parallel branches that can strand late-reporting
   /// participants outside the initiator's report set, leaking their visited
@@ -171,6 +195,41 @@ struct NetworkConfig {
   /// long and flushed together as one wire message. Zero disables batching
   /// (every payload is its own wire message).
   SimTime batch_window = 0;
+
+  /// Reliable channels: per-channel sequence numbers, cumulative acks,
+  /// retransmission with exponential backoff + jitter and bounded attempts,
+  /// and duplicate suppression on delivery. Loss injected by
+  /// drop_probability (or a chaos plan's drop bursts) then costs latency
+  /// instead of a permanent drop; the per-channel FIFO order of R1 is
+  /// preserved by delivering in sequence-number order at the receiver.
+  /// Default off keeps the unreliable datagram transport bit-for-bit.
+  bool reliable_delivery = false;
+
+  /// Base delay before the first retransmission of an unacked wire message;
+  /// doubles per attempt (plus deterministic jitter of up to a quarter of
+  /// the delay). Zero derives 2 × (latency + latency_jitter) +
+  /// batch_window + 1 — just past one worst-case round trip, so an ack in
+  /// flight usually beats the timer.
+  SimTime retransmit_base = 0;
+
+  /// Transmission attempts per wire message before it is abandoned as
+  /// undeliverable (counted as dropped; the protocol timeouts then recover
+  /// exactly as for an unreliable loss). Bounded so a crashed peer cannot
+  /// accumulate retransmit state forever.
+  int max_retransmit_attempts = 8;
+
+  /// Heartbeat failure detector period; zero disables detection. The
+  /// simulation models the detector analytically: each site is assumed to
+  /// heartbeat every peer at this period, so an outage is "suspected" by
+  /// everyone once it has lasted heartbeat_timeout, and "healed" one period
+  /// plus a round trip after connectivity returns — without flooding the
+  /// event queue with literal heartbeat messages (which would keep the
+  /// drain-to-idle simulation from ever going idle).
+  SimTime heartbeat_period = 0;
+
+  /// Outage duration after which a down site or severed link is suspected.
+  /// Zero derives 4 × heartbeat_period (four missed heartbeats).
+  SimTime heartbeat_timeout = 0;
 };
 
 }  // namespace dgc

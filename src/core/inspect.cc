@@ -110,11 +110,24 @@ std::string DescribeSystem(const System& system) {
   os << "  network: " << net.inter_site_sent << " logical msgs ("
      << net.wire_messages << " wire), " << net.approx_bytes << " bytes, "
      << net.dropped << " dropped\n";
+  if (net.retransmits + net.dup_suppressed + net.acks_sent +
+          net.stale_incarnation_rejected >
+      0) {
+    os << "  reliable channels: " << net.retransmits << " retransmits ("
+       << net.retransmits_exhausted << " exhausted), " << net.dup_suppressed
+       << " dup-suppressed, " << net.acks_sent << " acks, "
+       << net.stale_incarnation_rejected << " stale-incarnation rejects\n";
+  }
   const BackTracerStats bt = system.AggregateBackTracerStats();
   os << "  back traces: " << bt.traces_started << " started, "
      << bt.traces_completed_garbage << " garbage, "
      << bt.traces_completed_live << " live, " << bt.clean_rule_hits
      << " clean-rule hits, " << bt.timeouts << " timeouts\n";
+  if (net.fd_suspicions + bt.calls_parked > 0) {
+    os << "  failure detector: " << net.fd_suspicions << " suspected outages, "
+       << net.fd_recoveries << " recoveries, " << bt.calls_parked
+       << " calls parked (" << bt.calls_unparked << " resumed)\n";
+  }
   return os.str();
 }
 

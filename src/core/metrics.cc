@@ -26,12 +26,18 @@ void MetricsRecorder::Capture(const System& system) {
     sample.objects_retraced += site.stats().objects_retraced;
     sample.outsets_reused += site.stats().outsets_reused;
   }
-  sample.messages_sent = system.network().stats().inter_site_sent;
-  sample.wire_messages = system.network().stats().wire_messages;
+  const NetworkStats& net = system.network().stats();
+  sample.messages_sent = net.inter_site_sent;
+  sample.wire_messages = net.wire_messages;
+  sample.retransmits = net.retransmits;
+  sample.dup_suppressed = net.dup_suppressed;
+  sample.stale_incarnation_rejected = net.stale_incarnation_rejected;
+  sample.fd_suspicions = net.fd_suspicions;
   const BackTracerStats bt = system.AggregateBackTracerStats();
   sample.traces_started = bt.traces_started;
   sample.traces_garbage = bt.traces_completed_garbage;
   sample.traces_live = bt.traces_completed_live;
+  sample.calls_parked = bt.calls_parked;
   const System::TraceThroughput throughput = system.AggregateTraceThroughput();
   sample.local_traces = throughput.traces;
   sample.trace_wall_ns = throughput.wall_ns;
@@ -60,7 +66,8 @@ std::string MetricsRecorder::ToCsv() const {
         "local_traces,trace_wall_ns,trace_objects_marked,"
         "trace_objects_per_sec,slab_count,slab_slot_capacity,"
         "slab_free_slots,slab_occupancy,quiescent_skips,objects_retraced,"
-        "outsets_reused\n";
+        "outsets_reused,retransmits,dup_suppressed,"
+        "stale_incarnation_rejected,calls_parked,fd_suspicions\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -72,7 +79,9 @@ std::string MetricsRecorder::ToCsv() const {
        << s.slab_count << ',' << s.slab_slot_capacity << ','
        << s.slab_free_slots << ',' << s.slab_occupancy << ','
        << s.quiescent_skips << ',' << s.objects_retraced << ','
-       << s.outsets_reused << '\n';
+       << s.outsets_reused << ',' << s.retransmits << ','
+       << s.dup_suppressed << ',' << s.stale_incarnation_rejected << ','
+       << s.calls_parked << ',' << s.fd_suspicions << '\n';
   }
   return os.str();
 }

@@ -40,6 +40,13 @@ struct MetricsSample {
   std::uint64_t quiescent_skips = 0;
   std::uint64_t objects_retraced = 0;
   std::uint64_t outsets_reused = 0;
+  // Fault tolerance (cumulative; zero with reliable delivery / the failure
+  // detector off).
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t stale_incarnation_rejected = 0;
+  std::uint64_t calls_parked = 0;
+  std::uint64_t fd_suspicions = 0;
 };
 
 class MetricsRecorder {

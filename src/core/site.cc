@@ -24,6 +24,9 @@ Site::Site(SiteId id, Network& network, Scheduler& scheduler,
   network_.RegisterSite(id, [this](const Envelope& envelope) {
     HandleMessage(envelope);
   });
+  network_.SetRecoveryListener(id, [this](SiteId peer) {
+    back_tracer_.OnPeerRecovered(peer);
+  });
 }
 
 void Site::HandleMessage(const Envelope& envelope) {
@@ -582,6 +585,11 @@ void Site::CommitLocalTrace(TraceResult result) {
 }
 
 void Site::CrashRestart() {
+  // The restarted process is a new incarnation: pre-crash wire traffic is
+  // rejected at arrival and (with reliable delivery) every transport
+  // channel touching this site is dead-lettered — its connection state died
+  // with the process too.
+  network_.NoteSiteRestarted(id_);
   // Volatile state dies with the process.
   ++trace_generation_;
   pending_trace_.reset();

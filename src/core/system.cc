@@ -14,6 +14,21 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
       rng_(seed),
       network_(scheduler_, network_config, rng_.Fork()) {
   DGC_CHECK(site_count >= 1);
+  if (network_config.reliable_delivery) {
+    // With retransmission, "0 disables timeouts" would let one exhausted
+    // retransmit budget strand a trace forever; derive protocol timeouts
+    // from the network's timing instead (see config.h for the rule).
+    const SimTime unit = network_config.latency +
+                         network_config.latency_jitter +
+                         network_config.batch_window + 1;
+    if (collector_config_.back_call_timeout == 0) {
+      collector_config_.back_call_timeout = 20 * unit;
+    }
+    if (collector_config_.report_timeout == 0) {
+      collector_config_.report_timeout =
+          10 * collector_config_.back_call_timeout;
+    }
+  }
   sites_.reserve(site_count);
   for (std::size_t i = 0; i < site_count; ++i) {
     sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), network_,
@@ -92,6 +107,43 @@ void System::RunRounds(std::size_t n) {
 }
 
 void System::SettleNetwork() { scheduler_.RunUntilIdle(); }
+
+void System::ArmFaultPlan(const FaultPlan& plan) {
+  FaultHooks hooks;
+  hooks.set_site_down = [this](SiteId site, bool down) {
+    DGC_CHECK(site < sites_.size());
+    network_.SetSiteDown(site, down);
+  };
+  hooks.set_link_down = [this](SiteId a, SiteId b, bool down) {
+    DGC_CHECK(a < sites_.size() && b < sites_.size());
+    network_.SetLinkDown(a, b, down);
+  };
+  hooks.crash_restart = [this](SiteId site) {
+    DGC_CHECK(site < sites_.size());
+    sites_[site]->CrashRestart();
+  };
+  // Overlapping windows stack: the overrides restore only when the last
+  // open window closes (the nested values themselves do not compose — the
+  // strongest recent burst/spike wins, which chaos testing does not care
+  // about).
+  const auto open_bursts = std::make_shared<int>(0);
+  hooks.begin_drop_burst = [this, open_bursts](double p) {
+    ++*open_bursts;
+    network_.set_drop_probability_override(p);
+  };
+  hooks.end_drop_burst = [this, open_bursts] {
+    if (--*open_bursts == 0) network_.set_drop_probability_override(-1.0);
+  };
+  const auto open_spikes = std::make_shared<int>(0);
+  hooks.begin_latency_spike = [this, open_spikes](SimTime extra) {
+    ++*open_spikes;
+    network_.set_extra_latency(extra);
+  };
+  hooks.end_latency_spike = [this, open_spikes] {
+    if (--*open_spikes == 0) network_.set_extra_latency(0);
+  };
+  plan.Schedule(scheduler_, std::move(hooks));
+}
 
 std::set<ObjectId> System::ComputeLiveSet() const {
   std::vector<ObjectId> stack;
@@ -295,6 +347,8 @@ BackTracerStats System::AggregateBackTracerStats() const {
     total.waiters_requeued += stats.waiters_requeued;
     total.calls_batched += stats.calls_batched;
     total.call_batches_sent += stats.call_batches_sent;
+    total.calls_parked += stats.calls_parked;
+    total.calls_unparked += stats.calls_unparked;
   }
   return total;
 }

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "core/site.h"
 #include "net/network.h"
+#include "sim/fault_plan.h"
 #include "sim/scheduler.h"
 
 namespace dgc {
@@ -85,6 +86,16 @@ class System {
   }
 
   [[nodiscard]] std::size_t rounds_run() const { return rounds_; }
+
+  /// Arms a chaos plan against this system: site outages flip
+  /// Network::SetSiteDown (crash-restart variants additionally call
+  /// Site::CrashRestart at heal), link flaps flip SetLinkDown, and
+  /// drop-burst / latency-spike windows drive the network's chaos
+  /// overrides with reference counting, so overlapping windows restore the
+  /// configured values only when the last one ends. The plan's events then
+  /// interleave with protocol traffic as the scheduler reaches them (e.g.
+  /// during SettleNetwork or RunUntil).
+  void ArmFaultPlan(const FaultPlan& plan);
 
   // --- Oracle and invariant checks --------------------------------------
 

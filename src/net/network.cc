@@ -13,6 +13,10 @@ Network::Network(Scheduler& scheduler, NetworkConfig config, Rng rng)
   DGC_CHECK(config_.latency >= 0);
   DGC_CHECK(config_.latency_jitter >= 0);
   DGC_CHECK(config_.drop_probability >= 0.0 && config_.drop_probability <= 1.0);
+  DGC_CHECK(config_.retransmit_base >= 0);
+  DGC_CHECK(config_.max_retransmit_attempts >= 1);
+  DGC_CHECK(config_.heartbeat_period >= 0);
+  DGC_CHECK(config_.heartbeat_timeout >= 0);
 }
 
 void Network::RegisterSite(SiteId site, Handler handler) {
@@ -69,6 +73,23 @@ void Network::FlushChannel(SiteId from, SiteId to) {
   ShipBatch(from, to, std::move(batch));
 }
 
+SimTime Network::DrawLatency() {
+  SimTime latency = config_.latency + extra_latency_;
+  if (config_.latency_jitter > 0) {
+    latency += static_cast<SimTime>(
+        rng_.NextBelow(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
+  }
+  return latency;
+}
+
+bool Network::TransmissionLost(SiteId from, SiteId to) {
+  // Faults and loss hit the wire message as a whole.
+  const bool faulted = IsSiteDown(from) || IsSiteDown(to) ||
+                       link_down_.contains(LinkKey(from, to));
+  const double drop = effective_drop_probability();
+  return faulted || (drop > 0.0 && rng_.NextBool(drop));
+}
+
 void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
   DGC_CHECK(!batch.empty());
   ++stats_.wire_messages;
@@ -78,14 +99,21 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
   }
   stats_.wire_bytes += kEnvelopeHeaderBytes + payload_bytes;
 
-  // Faults and loss hit the wire message as a whole. Look the link up with
-  // find(): operator[] would insert an entry for every channel ever used,
-  // growing the map with traffic instead of with explicitly severed links.
-  const auto link_it = link_down_.find(LinkKey(from, to));
-  const bool faulted = IsSiteDown(from) || IsSiteDown(to) ||
-                       (link_it != link_down_.end() && link_it->second);
-  if (faulted || (config_.drop_probability > 0.0 &&
-                  rng_.NextBool(config_.drop_probability))) {
+  if (config_.reliable_delivery) {
+    // Enroll in the channel's retransmit queue; the entry is retired by a
+    // cumulative ack (delivered), attempt exhaustion or an incarnation
+    // purge (dropped).
+    SenderChannel& channel = sender_channels_[ChannelKey(from, to)];
+    if (channel.epoch == 0) channel.epoch = next_channel_epoch_++;
+    channel.unacked.push_back(SenderEntry{channel.next_seq++, std::move(batch),
+                                          incarnation(from), incarnation(to),
+                                          0});
+    TransmitWire(from, to, channel.unacked.back());
+    ArmRetransmitTimer(from, to);
+    return;
+  }
+
+  if (TransmissionLost(from, to)) {
     stats_.dropped += batch.size();
     DGC_CHECK(in_flight_ >= batch.size());
     in_flight_ -= batch.size();
@@ -94,11 +122,7 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
     return;
   }
 
-  SimTime latency = config_.latency;
-  if (config_.latency_jitter > 0) {
-    latency += static_cast<SimTime>(
-        rng_.NextBelow(static_cast<std::uint64_t>(config_.latency_jitter) + 1));
-  }
+  const SimTime latency = DrawLatency();
   // Amortized purge of inert FIFO-clamp entries: a channel whose last
   // delivery is in the past can never lift max(now + latency, last), so its
   // entry is dead weight until the channel speaks again.
@@ -120,16 +144,387 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
   });
 }
 
-void Network::SetSiteDown(SiteId site, bool down) { site_down_[site] = down; }
+// --- Reliable channels -----------------------------------------------------
+
+SimTime Network::RetransmitBase() const {
+  if (config_.retransmit_base > 0) return config_.retransmit_base;
+  // Just past one worst-case round trip: an ack already in flight usually
+  // beats the timer, so a healthy channel rarely retransmits.
+  return 2 * (config_.latency + config_.latency_jitter) +
+         config_.batch_window + 1;
+}
+
+void Network::TransmitWire(SiteId from, SiteId to, SenderEntry& entry) {
+  ++entry.attempts;
+  if (entry.attempts > 1) {
+    ++stats_.retransmits;
+    ++stats_.wire_messages;  // first attempt was counted by ShipBatch
+    std::size_t payload_bytes = 0;
+    for (const Envelope& envelope : entry.envelopes) {
+      payload_bytes += ApproxWireSize(envelope.payload) - kEnvelopeHeaderBytes;
+    }
+    stats_.wire_bytes += kEnvelopeHeaderBytes + payload_bytes;
+  }
+  if (TransmissionLost(from, to)) {
+    // Recoverable: the retransmit timer covers it.
+    ++stats_.transmissions_lost;
+    DGC_LOG_TRACE("net: lose transmission seq " << entry.seq << " s" << from
+                                                << "->s" << to << " (attempt "
+                                                << entry.attempts << ")");
+    return;
+  }
+  const SimTime latency = DrawLatency();
+  if (stats_.wire_messages % kChannelPurgePeriod == 0) {
+    const SimTime now = scheduler_.now();
+    std::erase_if(channel_last_delivery_,
+                  [now](const auto& entry_kv) {
+                    return entry_kv.second <= now;
+                  });
+  }
+  // The R1 FIFO clamp applies to every transmission; sequence numbers then
+  // restore order across retransmissions the clamp cannot see.
+  SimTime& last = channel_last_delivery_[ChannelKey(from, to)];
+  const SimTime deliver_at = std::max(scheduler_.now() + latency, last);
+  last = deliver_at;
+  // Oldest outstanding seq at transmission time: everything below it is
+  // delivered or abandoned, so the receiver may skip past gaps below it
+  // (otherwise one exhausted retransmit budget wedges the channel forever).
+  const auto channel_it = sender_channels_.find(ChannelKey(from, to));
+  const std::uint64_t base_seq =
+      channel_it != sender_channels_.end() && !channel_it->second.unacked.empty()
+          ? channel_it->second.unacked.front().seq
+          : entry.seq;
+  scheduler_.At(deliver_at,
+                [this, from, to, seq = entry.seq, base_seq,
+                 from_inc = entry.from_inc, to_inc = entry.to_inc,
+                 envelopes = entry.envelopes]() mutable {
+                  OnWireArrival(from, to, seq, base_seq, from_inc, to_inc,
+                                std::move(envelopes));
+                });
+}
+
+void Network::ArmRetransmitTimer(SiteId from, SiteId to) {
+  const std::uint64_t key = ChannelKey(from, to);
+  const auto it = sender_channels_.find(key);
+  if (it == sender_channels_.end()) return;
+  SenderChannel& channel = it->second;
+  if (channel.timer_armed || channel.unacked.empty()) return;
+  channel.timer_armed = true;
+  // Exponential backoff on the oldest entry's attempt count, plus
+  // deterministic jitter so colliding channels desynchronize.
+  const int attempts = channel.unacked.front().attempts;
+  const int shift = std::min(attempts > 0 ? attempts - 1 : 0, 10);
+  SimTime delay = RetransmitBase() << shift;
+  delay += static_cast<SimTime>(
+      rng_.NextBelow(static_cast<std::uint64_t>(delay / 4) + 1));
+  scheduler_.After(delay, [this, from, to, key, epoch = channel.epoch] {
+    const auto timer_it = sender_channels_.find(key);
+    if (timer_it == sender_channels_.end() ||
+        timer_it->second.epoch != epoch) {
+      return;  // channel purged (restart) since the timer was armed
+    }
+    SenderChannel& ch = timer_it->second;
+    ch.timer_armed = false;
+    // Abandon entries out of attempts (permanent drop: the protocol
+    // timeouts recover exactly as for an unreliable loss). The front is
+    // always the most-attempted entry, so popping from the front suffices.
+    while (!ch.unacked.empty() &&
+           ch.unacked.front().attempts >= config_.max_retransmit_attempts) {
+      ++stats_.retransmits_exhausted;
+      RetireEntry(ch.unacked.front(), /*delivered=*/false);
+      ch.unacked.pop_front();
+    }
+    for (SenderEntry& entry : ch.unacked) {
+      TransmitWire(from, to, entry);
+    }
+    ArmRetransmitTimer(from, to);
+  });
+}
+
+void Network::AdvanceReceiverTo(std::uint64_t key, std::uint64_t base_seq) {
+  // The sender vouches that every seq below base_seq is delivered or
+  // abandoned. Deliver any stashed in-order messages below it, skip the
+  // abandoned gaps, and move next_expected up so the channel cannot wait
+  // forever for a wire message nobody will retransmit. Handlers may send
+  // (mutating receiver state), so re-find the channel after each batch.
+  for (;;) {
+    ReceiverChannel& channel = receiver_channels_[key];
+    if (channel.next_expected >= base_seq) return;
+    const auto next = channel.stashed.begin();
+    if (next == channel.stashed.end() || next->first >= base_seq) {
+      channel.next_expected = base_seq;
+      return;
+    }
+    channel.next_expected = next->first + 1;
+    std::vector<Envelope> envelopes = std::move(next->second);
+    channel.stashed.erase(next);
+    for (Envelope& envelope : envelopes) {
+      ++stats_.inter_site_delivered;
+      Dispatch(std::move(envelope));
+    }
+  }
+}
+
+void Network::OnWireArrival(SiteId from, SiteId to, std::uint64_t seq,
+                            std::uint64_t base_seq, std::uint32_t from_inc,
+                            std::uint32_t to_inc,
+                            std::vector<Envelope> envelopes) {
+  if (IsSiteDown(to)) {
+    // Arrived at a crashed receiver: lost, but the sender entry survives and
+    // retransmission resumes delivery after the restart (or the incarnation
+    // purge dead-letters it).
+    ++stats_.transmissions_lost;
+    return;
+  }
+  if (from_inc != incarnation(from) || to_inc != incarnation(to)) {
+    // Pre-restart traffic addressed to (or sent by) a dead incarnation must
+    // not corrupt the scrubbed post-restart state (visited marks were
+    // cleared; a stale back call could resurrect a completed trace's
+    // frame). The matching sender entry was purged by NoteSiteRestarted, so
+    // nothing keeps retransmitting this.
+    ++stats_.stale_incarnation_rejected;
+    DGC_LOG_TRACE("net: reject stale incarnation seq " << seq << " s" << from
+                                                       << "->s" << to);
+    return;
+  }
+  const std::uint64_t key = ChannelKey(from, to);
+  if (base_seq > receiver_channels_[key].next_expected) {
+    AdvanceReceiverTo(key, base_seq);
+  }
+  {
+    ReceiverChannel& channel = receiver_channels_[key];
+    if (seq < channel.next_expected) {
+      // Duplicate of an already delivered wire message (its ack was lost).
+      // Discard, but re-ack so the sender stops retransmitting.
+      ++stats_.dup_suppressed;
+      SendAck(from, to);
+      return;
+    }
+    if (seq > channel.next_expected) {
+      // Out of order: stash until the gap fills, preserving R1's FIFO
+      // delivery. emplace keeps the first copy if a duplicate races in.
+      if (!channel.stashed.emplace(seq, std::move(envelopes)).second) {
+        ++stats_.dup_suppressed;
+      }
+      SendAck(from, to);
+      return;
+    }
+  }
+  // In order: deliver it plus any stash the gap was holding back. Handlers
+  // may send messages (mutating sender state), so re-find the receiver
+  // channel after each batch instead of holding a reference across calls.
+  for (;;) {
+    receiver_channels_[key].next_expected = seq + 1;
+    for (Envelope& envelope : envelopes) {
+      ++stats_.inter_site_delivered;
+      Dispatch(std::move(envelope));
+    }
+    ReceiverChannel& channel = receiver_channels_[key];
+    const auto next = channel.stashed.find(channel.next_expected);
+    if (next == channel.stashed.end()) break;
+    seq = next->first;
+    envelopes = std::move(next->second);
+    channel.stashed.erase(next);
+  }
+  SendAck(from, to);
+}
+
+void Network::SendAck(SiteId from, SiteId to) {
+  // Cumulative ack for data channel (from -> to), sent to -> from: "I have
+  // delivered every wire message with seq < cumulative." Control frames
+  // ride the same lossy medium but are not themselves retransmitted — the
+  // ack after the next (re)transmission repairs a lost one.
+  const std::uint64_t cumulative =
+      receiver_channels_[ChannelKey(from, to)].next_expected;
+  ++stats_.acks_sent;
+  ++stats_.wire_messages;
+  stats_.wire_bytes += kEnvelopeHeaderBytes;
+  if (TransmissionLost(to, from)) {
+    ++stats_.transmissions_lost;
+    return;
+  }
+  const SimTime deliver_at = scheduler_.now() + DrawLatency();
+  // No FIFO clamp: cumulative acks are order-insensitive (a late smaller
+  // ack is a no-op at the sender).
+  scheduler_.At(deliver_at, [this, from, to, cumulative,
+                             from_inc = incarnation(from),
+                             to_inc = incarnation(to)] {
+    OnAckArrival(from, to, cumulative, from_inc, to_inc);
+  });
+}
+
+void Network::OnAckArrival(SiteId from, SiteId to, std::uint64_t cumulative,
+                           std::uint32_t from_inc, std::uint32_t to_inc) {
+  if (from_inc != incarnation(from) || to_inc != incarnation(to)) {
+    // A restart reset the channel's sequence space; an old ack could
+    // otherwise retire fresh entries that happen to reuse low seqs.
+    return;
+  }
+  const auto it = sender_channels_.find(ChannelKey(from, to));
+  if (it == sender_channels_.end()) return;
+  SenderChannel& channel = it->second;
+  while (!channel.unacked.empty() &&
+         channel.unacked.front().seq < cumulative) {
+    RetireEntry(channel.unacked.front(), /*delivered=*/true);
+    channel.unacked.pop_front();
+  }
+}
+
+void Network::RetireEntry(const SenderEntry& entry, bool delivered) {
+  DGC_CHECK(in_flight_ >= entry.envelopes.size());
+  in_flight_ -= entry.envelopes.size();
+  if (!delivered) stats_.dropped += entry.envelopes.size();
+}
+
+std::size_t Network::unacked_wire_messages() const {
+  std::size_t total = 0;
+  for (const auto& [key, channel] : sender_channels_) {
+    (void)key;
+    total += channel.unacked.size();
+  }
+  return total;
+}
+
+// --- Incarnations ----------------------------------------------------------
+
+std::uint32_t Network::incarnation(SiteId site) const {
+  const auto it = incarnations_.find(site);
+  return it == incarnations_.end() ? 0 : it->second;
+}
+
+void Network::NoteSiteRestarted(SiteId site) {
+  ++incarnations_[site];
+  if (!config_.reliable_delivery) return;
+  // The restarted process shares no transport state with its previous life:
+  // dead-letter every channel touching the site, in both directions. Wire
+  // messages already in the scheduler still arrive, but carry the old
+  // incarnation and are rejected; with their sender entries gone, nothing
+  // retransmits them.
+  for (auto it = sender_channels_.begin(); it != sender_channels_.end();) {
+    const SiteId from = static_cast<SiteId>(it->first >> 32);
+    const SiteId to = static_cast<SiteId>(it->first & 0xffffffffu);
+    if (from == site || to == site) {
+      for (const SenderEntry& entry : it->second.unacked) {
+        RetireEntry(entry, /*delivered=*/false);
+      }
+      it = sender_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Stashed receiver payloads were never delivered, so their sender entries
+  // (just retired above when the sender or receiver is `site`) carried the
+  // in-flight account; the stash itself holds none.
+  for (auto it = receiver_channels_.begin(); it != receiver_channels_.end();) {
+    const SiteId from = static_cast<SiteId>(it->first >> 32);
+    const SiteId to = static_cast<SiteId>(it->first & 0xffffffffu);
+    if (from == site || to == site) {
+      it = receiver_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- Faults and failure detection ------------------------------------------
+
+void Network::SetSiteDown(SiteId site, bool down) {
+  if (down) {
+    if (!site_down_.insert(site).second) return;  // already down
+    if (failure_detection_enabled()) {
+      FaultRecord& record = site_fault_records_[site];
+      record.down = true;
+      record.down_since = scheduler_.now();
+    }
+  } else {
+    if (site_down_.erase(site) == 0) return;  // was not down
+    if (failure_detection_enabled()) {
+      HealRecord(site_fault_records_[site], site, kInvalidSite);
+    }
+  }
+}
 
 bool Network::IsSiteDown(SiteId site) const {
-  const auto it = site_down_.find(site);
-  return it != site_down_.end() && it->second;
+  return site_down_.contains(site);
 }
 
 void Network::SetLinkDown(SiteId a, SiteId b, bool down) {
-  link_down_[LinkKey(a, b)] = down;
+  const std::uint64_t key = LinkKey(a, b);
+  if (down) {
+    if (!link_down_.insert(key).second) return;
+    if (failure_detection_enabled()) {
+      FaultRecord& record = link_fault_records_[key];
+      record.down = true;
+      record.down_since = scheduler_.now();
+    }
+  } else {
+    if (link_down_.erase(key) == 0) return;
+    if (failure_detection_enabled()) {
+      HealRecord(link_fault_records_[key], a, b);
+    }
+  }
 }
+
+bool Network::IsLinkDown(SiteId a, SiteId b) const {
+  return link_down_.contains(LinkKey(a, b));
+}
+
+bool Network::RecordSuspected(const FaultRecord& record, SimTime now) const {
+  if (record.down) return now - record.down_since >= SuspectAfter();
+  // Healed, but the detector has not seen a fresh heartbeat yet.
+  return record.healed_at >= 0 && record.last_stretch >= SuspectAfter() &&
+         now < record.healed_at + RecoverDelay();
+}
+
+bool Network::IsPeerSuspected(SiteId observer, SiteId peer) const {
+  if (!failure_detection_enabled()) return false;
+  const SimTime now = scheduler_.now();
+  const auto site_it = site_fault_records_.find(peer);
+  if (site_it != site_fault_records_.end() &&
+      RecordSuspected(site_it->second, now)) {
+    return true;
+  }
+  const auto link_it = link_fault_records_.find(LinkKey(observer, peer));
+  return link_it != link_fault_records_.end() &&
+         RecordSuspected(link_it->second, now);
+}
+
+void Network::SetRecoveryListener(SiteId observer, RecoveryListener listener) {
+  DGC_CHECK(listener != nullptr);
+  recovery_listeners_[observer] = std::move(listener);
+}
+
+void Network::HealRecord(FaultRecord& record, SiteId a, SiteId b) {
+  const SimTime now = scheduler_.now();
+  record.down = false;
+  record.healed_at = now;
+  record.last_stretch = now - record.down_since;
+  if (record.last_stretch < SuspectAfter()) return;  // never detected
+  // The outage was long enough that every detector suspected it (any call
+  // parked on it was parked *because* suspicion had set in, which implies
+  // the stretch outlasted the heartbeat timeout). Recovery becomes visible
+  // one heartbeat period + round trip after heal.
+  ++stats_.fd_suspicions;
+  scheduler_.After(RecoverDelay(), [this, a, b] { NotifyRecovered(a, b); });
+}
+
+void Network::NotifyRecovered(SiteId a, SiteId b) {
+  ++stats_.fd_recoveries;
+  if (b == kInvalidSite) {
+    // Site heal: every observer learns `a` is back.
+    for (const auto& [observer, listener] : recovery_listeners_) {
+      if (observer != a) listener(a);
+    }
+    return;
+  }
+  // Link heal: only the endpoints' view of each other changed.
+  const auto a_it = recovery_listeners_.find(a);
+  if (a_it != recovery_listeners_.end()) a_it->second(b);
+  const auto b_it = recovery_listeners_.find(b);
+  if (b_it != recovery_listeners_.end()) b_it->second(a);
+}
+
+// --- Delivery --------------------------------------------------------------
 
 void Network::Deliver(Envelope envelope) {
   DGC_CHECK(in_flight_ > 0);
@@ -140,6 +535,10 @@ void Network::Deliver(Envelope envelope) {
     return;
   }
   if (envelope.from != envelope.to) ++stats_.inter_site_delivered;
+  Dispatch(std::move(envelope));
+}
+
+void Network::Dispatch(Envelope envelope) {
   DGC_LOG_TRACE("net: deliver " << PayloadKindName(envelope.payload.index())
                                 << " s" << envelope.from << "->s"
                                 << envelope.to);

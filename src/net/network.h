@@ -10,12 +10,39 @@
 // Self-addressed messages model intra-site asynchrony (e.g. the local steps
 // of a back trace); they are delivered on the next scheduler tick and are
 // *not* counted as inter-site traffic.
+//
+// Two opt-in fault-tolerance layers (both inert by default, preserving the
+// unreliable datagram transport bit-for-bit):
+//
+//   * reliable channels (NetworkConfig::reliable_delivery): every wire
+//     message carries a per-channel sequence number and the endpoints'
+//     incarnation numbers; the receiver delivers strictly in sequence order
+//     (stashing out-of-order arrivals, suppressing duplicates) and returns
+//     cumulative acks, while the sender retransmits unacked messages with
+//     exponential backoff + jitter up to a bounded attempt count. The R1
+//     FIFO clamp still applies to every transmission. A site restart bumps
+//     its incarnation (Site::CrashRestart calls NoteSiteRestarted), so
+//     stale pre-crash traffic is rejected at arrival instead of corrupting
+//     the scrubbed post-restart state;
+//
+//   * a failure detector (NetworkConfig::heartbeat_period): modeled
+//     analytically from the injected fault timeline rather than with
+//     literal heartbeat messages (perpetual timers would keep the
+//     drain-to-idle simulation from going idle). IsPeerSuspected answers
+//     what a real heartbeat detector would know: an outage is visible once
+//     it has lasted heartbeat_timeout, and recovery is visible one
+//     heartbeat period plus a round trip after heal. Per-site recovery
+//     listeners fire at that moment so parked work (see
+//     CollectorConfig::park_on_suspected_failure) can resume.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
@@ -46,13 +73,24 @@ struct NetworkStats {
   /// Logical messages (protocol payloads), independent of batching.
   std::uint64_t inter_site_sent = 0;
   std::uint64_t inter_site_delivered = 0;
-  std::uint64_t dropped = 0;          // by loss injection or faults
+  std::uint64_t dropped = 0;          // payloads permanently lost
   std::uint64_t self_deliveries = 0;  // intra-site, not counted as traffic
   std::uint64_t approx_bytes = 0;     // logical bytes (header per payload)
   /// Physical messages on the wire: equals inter_site_sent without batching;
-  /// with piggybacking, several payloads share one wire message.
+  /// with piggybacking, several payloads share one wire message. With
+  /// reliable delivery, retransmissions and acks count here too.
   std::uint64_t wire_messages = 0;
   std::uint64_t wire_bytes = 0;
+  // Reliable-channel accounting (all zero while reliable_delivery is off).
+  std::uint64_t retransmits = 0;          // wire messages sent again
+  std::uint64_t retransmits_exhausted = 0;  // abandoned after max attempts
+  std::uint64_t transmissions_lost = 0;   // attempts lost (recoverable)
+  std::uint64_t dup_suppressed = 0;       // duplicate wire msgs discarded
+  std::uint64_t acks_sent = 0;            // cumulative-ack control frames
+  std::uint64_t stale_incarnation_rejected = 0;  // pre-restart msgs refused
+  // Failure-detector accounting (zero while heartbeat_period is 0).
+  std::uint64_t fd_suspicions = 0;  // outages long enough to be detected
+  std::uint64_t fd_recoveries = 0;  // heal notifications delivered
   std::array<std::uint64_t, kPayloadKinds> per_kind{};
 
   /// Count of inter-site messages of payload type T, e.g.
@@ -66,6 +104,9 @@ struct NetworkStats {
 class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
+  /// Invoked (per observer site) when the failure detector reports a
+  /// previously suspected peer healed.
+  using RecoveryListener = std::function<void(SiteId peer)>;
 
   Network(Scheduler& scheduler, NetworkConfig config, Rng rng);
 
@@ -78,20 +119,69 @@ class Network {
 
   /// Sends a message. Delivery is asynchronous; per-channel FIFO order is
   /// preserved. Messages to or from a down site, or across a severed link,
-  /// are silently dropped (the protocols recover via timeouts).
+  /// are silently dropped (the protocols recover via timeouts) — unless
+  /// reliable delivery is on, in which case they are retransmitted until
+  /// the attempt budget runs out.
   void Send(SiteId from, SiteId to, Payload payload);
 
   /// Crashes or restores a site: while down, all its traffic is dropped.
+  /// Restoring erases the entry (the down-sets track only currently faulted
+  /// sites/links, not every one ever faulted) and, when the failure
+  /// detector is on, schedules the recovery notification.
   void SetSiteDown(SiteId site, bool down);
   [[nodiscard]] bool IsSiteDown(SiteId site) const;
 
   /// Severs or restores the (bidirectional) link between two sites.
   void SetLinkDown(SiteId a, SiteId b, bool down);
+  [[nodiscard]] bool IsLinkDown(SiteId a, SiteId b) const;
+
+  /// Sites currently marked down / links currently severed (not cumulative
+  /// counts of every fault ever injected).
+  [[nodiscard]] std::size_t site_down_entries() const {
+    return site_down_.size();
+  }
+  [[nodiscard]] std::size_t link_down_entries() const {
+    return link_down_.size();
+  }
+
+  // --- Incarnations and restart ---------------------------------------
+
+  /// Records that `site` crashed and restarted: bumps its incarnation so
+  /// pre-crash wire traffic is rejected at arrival, and (with reliable
+  /// delivery) dead-letters all transport state on channels touching the
+  /// site — the restarted process shares no connection state with its
+  /// previous life.
+  void NoteSiteRestarted(SiteId site);
+  [[nodiscard]] std::uint32_t incarnation(SiteId site) const;
+
+  // --- Failure detection ----------------------------------------------
+
+  [[nodiscard]] bool failure_detection_enabled() const {
+    return config_.heartbeat_period > 0;
+  }
+
+  /// What `observer`'s heartbeat failure detector currently believes about
+  /// `peer`: true while an outage (site down, or the observer-peer link
+  /// severed) has lasted at least the heartbeat timeout and for one
+  /// heartbeat period + round trip after it heals.
+  [[nodiscard]] bool IsPeerSuspected(SiteId observer, SiteId peer) const;
+
+  /// Installs `observer`'s recovery listener (at most one per site).
+  void SetRecoveryListener(SiteId observer, RecoveryListener listener);
+
+  // --- Chaos-injection overrides --------------------------------------
+
+  /// Overrides the configured drop probability (negative restores it).
+  /// Drives the chaos harness's drop bursts without touching config.
+  void set_drop_probability_override(double p) { drop_override_ = p; }
+  /// Extra latency added to every transmission (latency spikes).
+  void set_extra_latency(SimTime extra) { extra_latency_ = extra; }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
 
-  /// Number of messages handed to the scheduler but not yet delivered.
+  /// Number of payloads handed to the scheduler but not yet delivered (with
+  /// reliable delivery: not yet known-delivered via ack, nor abandoned).
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
 
   /// Channels currently holding a batching window open. Flushing erases the
@@ -105,6 +195,8 @@ class Network {
   [[nodiscard]] std::size_t channel_clamp_entries() const {
     return channel_last_delivery_.size();
   }
+  /// Wire messages awaiting acknowledgement across all reliable channels.
+  [[nodiscard]] std::size_t unacked_wire_messages() const;
 
   /// Every this-many wire messages, FIFO-clamp entries whose delivery time
   /// has passed (<= now) are purged: they can never raise a future
@@ -121,11 +213,98 @@ class Network {
   }
 
   void Deliver(Envelope envelope);
+  /// Hands one envelope to its destination handler (shared tail of the
+  /// unreliable and reliable delivery paths).
+  void Dispatch(Envelope envelope);
 
   /// Ships one wire message (a batch of >= 1 payloads) on a channel:
   /// applies faults/loss once, schedules in-order delivery of the contents.
+  /// With reliable delivery, enrolls the batch in the channel's retransmit
+  /// queue instead.
   void ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch);
   void FlushChannel(SiteId from, SiteId to);
+
+  // --- Reliable-channel internals -------------------------------------
+
+  /// One wire message awaiting acknowledgement.
+  struct SenderEntry {
+    std::uint64_t seq = 0;
+    std::vector<Envelope> envelopes;
+    std::uint32_t from_inc = 0;  // endpoint incarnations when first sent
+    std::uint32_t to_inc = 0;
+    int attempts = 0;  // transmissions so far
+  };
+  struct SenderChannel {
+    std::uint64_t next_seq = 0;
+    /// Distinguishes this channel object from any prior one on the same
+    /// site pair, so a retransmit timer armed before a restart purge cannot
+    /// act on the purged channel's successor.
+    std::uint64_t epoch = 0;
+    std::deque<SenderEntry> unacked;  // ordered by seq
+    bool timer_armed = false;
+  };
+  struct ReceiverChannel {
+    std::uint64_t next_expected = 0;
+    /// Out-of-order arrivals parked until the gap fills (map: delivered in
+    /// seq order).
+    std::map<std::uint64_t, std::vector<Envelope>> stashed;
+  };
+
+  [[nodiscard]] SimTime RetransmitBase() const;
+  [[nodiscard]] SimTime DrawLatency();
+  [[nodiscard]] bool TransmissionLost(SiteId from, SiteId to);
+  [[nodiscard]] double effective_drop_probability() const {
+    return drop_override_ >= 0.0 ? drop_override_ : config_.drop_probability;
+  }
+
+  /// One physical transmission of a sender entry (first send or retransmit):
+  /// applies faults/loss, the FIFO clamp, and schedules OnWireArrival.
+  void TransmitWire(SiteId from, SiteId to, SenderEntry& entry);
+  void ArmRetransmitTimer(SiteId from, SiteId to);
+  /// `base_seq` is the sender's oldest outstanding seq at transmission
+  /// time: every seq below it was either acked or abandoned, so the
+  /// receiver may skip past gaps below it (an abandoned wire message must
+  /// not wedge the channel forever).
+  void OnWireArrival(SiteId from, SiteId to, std::uint64_t seq,
+                     std::uint64_t base_seq, std::uint32_t from_inc,
+                     std::uint32_t to_inc, std::vector<Envelope> envelopes);
+  /// Delivers stashed in-order prefixes below `base_seq` and skips the
+  /// abandoned gaps, advancing next_expected to at least base_seq.
+  void AdvanceReceiverTo(std::uint64_t key, std::uint64_t base_seq);
+  /// Sends the receiver's cumulative ack for channel (from -> to) back to
+  /// the sender. Acks are unreliable control frames: a lost ack is repaired
+  /// by the one after the next (re)transmission.
+  void SendAck(SiteId from, SiteId to);
+  void OnAckArrival(SiteId from, SiteId to, std::uint64_t cumulative,
+                    std::uint32_t from_inc, std::uint32_t to_inc);
+  /// Retires a sender entry's payloads from the in-flight account;
+  /// `delivered` false means they are permanently lost (counted dropped).
+  void RetireEntry(const SenderEntry& entry, bool delivered);
+
+  // --- Failure-detector internals -------------------------------------
+
+  /// Ground-truth fault timeline for one site or link, from which the
+  /// analytic heartbeat detector derives suspicion on demand.
+  struct FaultRecord {
+    bool down = false;
+    SimTime down_since = 0;
+    SimTime healed_at = -1;
+    SimTime last_stretch = 0;  // duration of the last completed outage
+  };
+  [[nodiscard]] SimTime SuspectAfter() const {
+    return config_.heartbeat_timeout > 0 ? config_.heartbeat_timeout
+                                         : 4 * config_.heartbeat_period;
+  }
+  [[nodiscard]] SimTime RecoverDelay() const {
+    return config_.heartbeat_period +
+           2 * (config_.latency + config_.latency_jitter);
+  }
+  [[nodiscard]] bool RecordSuspected(const FaultRecord& record,
+                                     SimTime now) const;
+  /// Marks a fault record healed; if the outage was long enough to have
+  /// been detected, schedules the recovery notification.
+  void HealRecord(FaultRecord& record, SiteId a, SiteId b);
+  void NotifyRecovered(SiteId a, SiteId b);
 
   struct PendingBatch {
     std::vector<Envelope> envelopes;
@@ -136,9 +315,23 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   std::unordered_map<SiteId, Handler> handlers_;
-  std::unordered_map<SiteId, bool> site_down_;
-  std::unordered_map<std::uint64_t, bool> link_down_;
+  std::unordered_set<SiteId> site_down_;
+  std::unordered_set<std::uint64_t> link_down_;
   std::unordered_map<std::uint64_t, SimTime> channel_last_delivery_;
+  // Reliable-channel state (empty while reliable_delivery is off).
+  std::unordered_map<std::uint64_t, SenderChannel> sender_channels_;
+  std::unordered_map<std::uint64_t, ReceiverChannel> receiver_channels_;
+  std::unordered_map<SiteId, std::uint32_t> incarnations_;
+  std::uint64_t next_channel_epoch_ = 1;
+  // Failure-detector state (empty while heartbeat_period is 0). Ordered
+  // listener map: recovery notifications fire in site order, keeping the
+  // resumed traffic deterministic.
+  std::unordered_map<SiteId, FaultRecord> site_fault_records_;
+  std::unordered_map<std::uint64_t, FaultRecord> link_fault_records_;
+  std::map<SiteId, RecoveryListener> recovery_listeners_;
+  // Chaos overrides (negative / zero = none).
+  double drop_override_ = -1.0;
+  SimTime extra_latency_ = 0;
   NetworkStats stats_;
   std::uint64_t in_flight_ = 0;
 };

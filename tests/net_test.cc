@@ -262,6 +262,269 @@ TEST_F(NetFixture, InertFifoClampEntriesArePurgedPeriodically) {
   EXPECT_LE(net->channel_clamp_entries(), 1u);
 }
 
+// --- Fault bookkeeping -----------------------------------------------------
+
+TEST_F(NetFixture, RestoringFaultsErasesDownEntries) {
+  auto net = MakeNetwork(4);
+  EXPECT_EQ(net->site_down_entries(), 0u);
+  EXPECT_EQ(net->link_down_entries(), 0u);
+  // Fault and heal every site and several links: the down-sets must track
+  // only *currently* faulted entities, not every one ever faulted.
+  for (SiteId s = 0; s < 4; ++s) {
+    net->SetSiteDown(s, true);
+    net->SetLinkDown(s, (s + 1) % 4, true);
+  }
+  EXPECT_EQ(net->site_down_entries(), 4u);
+  EXPECT_EQ(net->link_down_entries(), 4u);
+  for (SiteId s = 0; s < 4; ++s) {
+    net->SetSiteDown(s, false);
+    net->SetLinkDown(s, (s + 1) % 4, false);
+  }
+  EXPECT_EQ(net->site_down_entries(), 0u);
+  EXPECT_EQ(net->link_down_entries(), 0u);
+  // Redundant restores stay no-ops.
+  net->SetSiteDown(2, false);
+  net->SetLinkDown(0, 1, false);
+  EXPECT_EQ(net->site_down_entries(), 0u);
+  EXPECT_EQ(net->link_down_entries(), 0u);
+  EXPECT_FALSE(net->IsSiteDown(2));
+  EXPECT_FALSE(net->IsLinkDown(0, 1));
+}
+
+// --- Reliable channels -----------------------------------------------------
+
+TEST_F(NetFixture, ReliableDeliveryRecoversEveryLoss) {
+  config.reliable_delivery = true;
+  config.drop_probability = 0.3;
+  config.max_retransmit_attempts = 16;  // headroom: no entry may exhaust
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 500; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 500u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i) << "reordered at " << i;
+  }
+  EXPECT_EQ(net->stats().dropped, 0u);
+  EXPECT_GT(net->stats().retransmits, 0u);
+  EXPECT_GT(net->stats().transmissions_lost, 0u);
+  EXPECT_EQ(net->in_flight(), 0u);
+  EXPECT_EQ(net->unacked_wire_messages(), 0u);
+}
+
+TEST_F(NetFixture, ReliableDeliveryPreservesFifoUnderLossAndJitter) {
+  config.reliable_delivery = true;
+  config.drop_probability = 0.25;
+  config.max_retransmit_attempts = 16;
+  config.latency_jitter = 30;
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 200; ++i) {
+    net->Send(0, 1, Probe(i));
+    net->Send(1, 0, Probe(1000 + i));
+  }
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 200u);
+  ASSERT_EQ(received[0].size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i);
+    EXPECT_EQ(ProbeValue(received[0][i]), 1000 + i);
+  }
+}
+
+TEST_F(NetFixture, ReliableDeliveryIsExactlyOnce) {
+  // Heavy ack loss forces duplicate transmissions; the receiver must
+  // suppress every duplicate.
+  config.reliable_delivery = true;
+  config.drop_probability = 0.5;
+  config.max_retransmit_attempts = 24;  // headroom: no entry may exhaust
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 100; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[1].size(), 100u);
+  EXPECT_GT(net->stats().dup_suppressed, 0u);
+  EXPECT_EQ(net->stats().inter_site_delivered, 100u);
+}
+
+TEST_F(NetFixture, ReliableLosslessPathSendsNoRetransmits) {
+  config.reliable_delivery = true;
+  auto net = MakeNetwork(2);
+  for (int i = 0; i < 50; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(received[1].size(), 50u);
+  EXPECT_EQ(net->stats().retransmits, 0u);
+  EXPECT_EQ(net->stats().dup_suppressed, 0u);
+  EXPECT_EQ(net->in_flight(), 0u);
+}
+
+TEST_F(NetFixture, ReliableRetransmitBudgetBoundsOutage) {
+  // A permanently-down receiver must not retain sender state forever: the
+  // attempt budget exhausts and the payloads are accounted dropped.
+  config.reliable_delivery = true;
+  config.max_retransmit_attempts = 3;
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);
+  for (int i = 0; i < 5; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_EQ(net->stats().dropped, 5u);
+  EXPECT_GT(net->stats().retransmits_exhausted, 0u);
+  EXPECT_EQ(net->in_flight(), 0u);
+  EXPECT_EQ(net->unacked_wire_messages(), 0u);
+}
+
+TEST_F(NetFixture, ChannelUnwedgesAfterRetransmitExhaustion) {
+  // An abandoned wire message must not wedge the channel: once the budget
+  // for seq N exhausts, later messages carry base_seq past the gap and the
+  // receiver skips it instead of stashing everything after N forever.
+  config.reliable_delivery = true;
+  config.max_retransmit_attempts = 2;
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);
+  net->Send(0, 1, Probe(7));  // every attempt lands on a downed receiver
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->stats().dropped, 1u);
+  EXPECT_GT(net->stats().retransmits_exhausted, 0u);
+  net->SetSiteDown(1, false);
+  for (int i = 0; i < 3; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i);
+  }
+  EXPECT_EQ(net->stats().dropped, 1u);  // only the abandoned probe
+  EXPECT_EQ(net->in_flight(), 0u);
+  EXPECT_EQ(net->unacked_wire_messages(), 0u);
+}
+
+TEST_F(NetFixture, ReliableDeliveryResumesAfterOutage) {
+  config.reliable_delivery = true;
+  config.latency = 5;
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);
+  for (int i = 0; i < 5; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntil(40);  // a few failed attempts, budget not exhausted
+  EXPECT_TRUE(received[1].empty());
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ProbeValue(received[1][i]), i);
+  }
+  EXPECT_EQ(net->stats().dropped, 0u);
+}
+
+// --- Incarnations ----------------------------------------------------------
+
+TEST_F(NetFixture, RestartRejectsStaleInFlightTraffic) {
+  config.reliable_delivery = true;
+  config.latency = 10;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));  // in flight when site 1 restarts
+  scheduler.RunUntil(5);
+  net->NoteSiteRestarted(1);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());
+  EXPECT_GE(net->stats().stale_incarnation_rejected, 1u);
+  EXPECT_EQ(net->incarnation(1), 1u);
+  EXPECT_EQ(net->in_flight(), 0u);
+  // Post-restart traffic flows normally in the fresh sequence space.
+  net->Send(0, 1, Probe(2));
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(received[1].size(), 1u);
+  EXPECT_EQ(ProbeValue(received[1][0]), 2u);
+}
+
+TEST_F(NetFixture, RestartDeadLettersUnackedChannels) {
+  config.reliable_delivery = true;
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);  // transmissions fail, entries accumulate
+  for (int i = 0; i < 4; ++i) net->Send(0, 1, Probe(i));
+  scheduler.RunUntil(10);
+  EXPECT_GT(net->unacked_wire_messages(), 0u);
+  net->NoteSiteRestarted(1);
+  EXPECT_EQ(net->unacked_wire_messages(), 0u);
+  EXPECT_EQ(net->stats().dropped, 4u);
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(received[1].empty());  // dead-lettered, not resurrected
+  EXPECT_EQ(net->in_flight(), 0u);
+}
+
+// --- Failure detection -----------------------------------------------------
+
+TEST_F(NetFixture, FailureDetectorSuspectsAfterTimeoutAndRecovers) {
+  config.heartbeat_period = 10;
+  config.heartbeat_timeout = 40;
+  config.latency = 5;
+  auto net = MakeNetwork(3);
+  EXPECT_FALSE(net->IsPeerSuspected(0, 1));
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(20);
+  EXPECT_FALSE(net->IsPeerSuspected(0, 1)) << "suspected before timeout";
+  scheduler.RunUntil(45);
+  EXPECT_TRUE(net->IsPeerSuspected(0, 1));
+  EXPECT_TRUE(net->IsPeerSuspected(2, 1)) << "every observer suspects";
+  EXPECT_FALSE(net->IsPeerSuspected(0, 2)) << "healthy peer not suspected";
+  net->SetSiteDown(1, false);
+  // Suspicion lingers for one heartbeat period + round trip after heal.
+  EXPECT_TRUE(net->IsPeerSuspected(0, 1));
+  scheduler.RunUntil(scheduler.now() + 10 + 2 * 5 + 1);
+  EXPECT_FALSE(net->IsPeerSuspected(0, 1));
+  EXPECT_EQ(net->stats().fd_suspicions, 1u);
+}
+
+TEST_F(NetFixture, FailureDetectorMissesShortOutages) {
+  config.heartbeat_period = 10;
+  config.heartbeat_timeout = 40;
+  auto net = MakeNetwork(2);
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(20);
+  net->SetSiteDown(1, false);
+  scheduler.RunUntil(100);
+  EXPECT_FALSE(net->IsPeerSuspected(0, 1));
+  EXPECT_EQ(net->stats().fd_suspicions, 0u);
+}
+
+TEST_F(NetFixture, FailureDetectorSeesLinkFaultsPerObserver) {
+  config.heartbeat_period = 10;
+  config.heartbeat_timeout = 40;
+  auto net = MakeNetwork(3);
+  net->SetLinkDown(0, 1, true);
+  scheduler.RunUntil(50);
+  EXPECT_TRUE(net->IsPeerSuspected(0, 1));
+  EXPECT_TRUE(net->IsPeerSuspected(1, 0));
+  EXPECT_FALSE(net->IsPeerSuspected(2, 1)) << "link fault is local to a pair";
+  net->SetLinkDown(0, 1, false);
+  scheduler.RunUntilIdle();
+  EXPECT_FALSE(net->IsPeerSuspected(0, 1));
+}
+
+TEST_F(NetFixture, RecoveryListenersFireAfterDetectedOutageHeals) {
+  config.heartbeat_period = 10;
+  config.heartbeat_timeout = 40;
+  config.latency = 5;
+  auto net = MakeNetwork(3);
+  std::vector<std::pair<SiteId, SiteId>> notified;  // (observer, peer)
+  net->SetRecoveryListener(
+      0, [&](SiteId peer) { notified.emplace_back(0, peer); });
+  net->SetRecoveryListener(
+      2, [&](SiteId peer) { notified.emplace_back(2, peer); });
+  // Undetected short outage: no notification.
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(10);
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(notified.empty());
+  // Detected outage: every *other* observer hears about the heal.
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(scheduler.now() + 50);
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(notified.size(), 2u);
+  EXPECT_EQ(notified[0], (std::pair<SiteId, SiteId>{0, 1}));
+  EXPECT_EQ(notified[1], (std::pair<SiteId, SiteId>{2, 1}));
+  EXPECT_EQ(net->stats().fd_recoveries, 1u);
+}
+
 TEST(PayloadTest, KindNamesCoverAllAlternatives) {
   for (std::size_t i = 0; i < kPayloadKinds; ++i) {
     EXPECT_NE(PayloadKindName(i), nullptr);
