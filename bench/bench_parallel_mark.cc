@@ -1,0 +1,89 @@
+// Intra-site parallel marking: forward-trace throughput of one large site at
+// mark_threads = 1 / 2 / 4 / 8, the scaling measurement behind the
+// work-stealing mark over slab shards.
+//
+// The graph is a 500k-object pointer-chasing web on a single heap: a spine
+// guaranteeing full reachability plus two random fan-in edges per object, so
+// the traversal visits every slab and the cross-shard routing and stealing
+// paths all run. mark_threads = 1 is the untouched sequential collector —
+// the speedup_vs_1 the comparison script derives is against the seed code
+// path, not against a parallel run throttled to one worker.
+//
+// Emits BENCH_parallel_mark.json; scripts/bench_compare.py
+// --check-parallel-mark gates single-thread regressions always, and the
+// multi-thread speedup floor only when host_cpus shows enough cores to make
+// speedup physically possible.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/worker_pool.h"
+#include "localgc/local_collector.h"
+#include "refs/tables.h"
+#include "store/heap.h"
+
+namespace {
+
+constexpr std::size_t kMarkObjects = 500'000;
+
+void BM_ParallelMark_Throughput(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  dgc::CollectorConfig config;
+  config.mark_threads = threads;
+  dgc::Heap heap(0);
+  dgc::RefTables tables(0, config);
+  dgc::LocalCollector collector(heap, tables);
+  dgc::WorkerPool pool(threads == 0 ? 0 : threads - 1);
+  collector.set_worker_pool(&pool);
+
+  dgc::Rng rng(42);
+  std::vector<dgc::ObjectId> ids;
+  ids.reserve(kMarkObjects);
+  for (std::size_t i = 0; i < kMarkObjects; ++i) {
+    ids.push_back(heap.Allocate(3));
+  }
+  heap.AddPersistentRoot(ids[0]);
+  for (std::size_t i = 0; i + 1 < kMarkObjects; ++i) {
+    heap.SetSlot(ids[i], 0, ids[i + 1]);
+    if (i > 0) {
+      heap.SetSlot(ids[i], 1, ids[rng.NextBelow(i)]);
+      heap.SetSlot(ids[i], 2, ids[rng.NextBelow(kMarkObjects)]);
+    }
+  }
+
+  std::uint64_t marked_total = 0;
+  std::uint64_t mark_ns = 0;
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    const dgc::TraceResult result = collector.Run({});
+    marked_total += result.stats.objects_marked_clean;
+    mark_ns += result.stats.mark_wall_ns;
+    steals += result.stats.mark_steals;
+    benchmark::DoNotOptimize(result.stats.objects_marked_clean);
+  }
+  state.counters["objects"] = static_cast<double>(kMarkObjects);
+  state.counters["mark_threads"] = static_cast<double>(threads);
+  state.counters["host_cpus"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["mark_ns_total"] = static_cast<double>(mark_ns);
+  state.counters["objects_per_sec"] = benchmark::Counter(
+      static_cast<double>(marked_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelMark_Throughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_parallel_mark.json");
+}

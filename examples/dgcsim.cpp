@@ -32,7 +32,8 @@ int Usage(const char* argv0) {
                "[--churn STEPS]\n"
                "          [--rounds R] [--threshold D] [--crash S] "
                "[--batch W] [--seed S]\n"
-               "          [--dump] [--dot]\n",
+               "          [--mark-threads N] [--trace-threads N] "
+               "[--dump] [--dot]\n",
                argv0);
   return 2;
 }
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
   Distance threshold = 2;
   int crash_site = -1;
   SimTime batch_window = 0;
+  std::size_t mark_threads = 1;
+  std::size_t trace_threads = 1;
   std::uint64_t seed = 42;
   bool dump = false, dot = false, csv = false;
 
@@ -80,6 +83,10 @@ int main(int argc, char** argv) {
       crash_site = std::atoi(next());
     } else if (arg == "--batch") {
       batch_window = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--mark-threads") {
+      mark_threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--trace-threads") {
+      trace_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--dump") {
@@ -100,6 +107,8 @@ int main(int argc, char** argv) {
       static_cast<Distance>(cycle_sites > 0 ? cycle_sites + 2 : 8);
   config.back_call_timeout = crash_site >= 0 ? 300 : 0;
   config.report_timeout = crash_site >= 0 ? 3000 : 0;
+  config.mark_threads = mark_threads > 0 ? mark_threads : 1;
+  config.trace_threads = trace_threads > 0 ? trace_threads : 1;
   NetworkConfig net;
   net.batch_window = batch_window;
   System system(sites, config, net, seed);

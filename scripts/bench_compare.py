@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
     bench_compare.py --check-fault-recovery BENCH_fault_recovery.json
+    bench_compare.py --check-parallel-mark BENCH_parallel_mark.json
     bench_compare.py --self-test
 
 Compares every benchmark present in both files. Gated user counters:
@@ -32,6 +33,14 @@ show retransmit_overhead <= 0.01 (the reliable machinery is nearly free on a
 clean network), and lossy rows must show collected == 1 with
 ttc_ratio_vs_lossless <= 5.0 (collection stays finite and within 5x of the
 lossless twin run).
+
+``--check-parallel-mark`` gates a single BENCH_parallel_mark.json against
+its own mark_threads == 1 row: every multi-thread row must reach at least
+half the single-thread throughput (parallel overhead must never halve the
+mark), and — only when the host has at least as many cores as the row used
+threads (the host_cpus counter) — at least 0.35x-per-thread speedup (e.g.
+2.8x at 8 threads). On smaller hosts the speedup is reported as info: it is
+physically impossible there, not a regression.
 
 Exit codes: 0 = no regression, 1 = regression detected, 2 = usage/input error.
 """
@@ -196,6 +205,76 @@ def check_fault_recovery(path):
     return 0
 
 
+# --- parallel-mark absolute gate --------------------------------------------
+
+# A multi-thread mark may never fall below this fraction of the sequential
+# throughput, on any host — that would mean the work-stealing machinery costs
+# more than it can ever win back.
+MIN_PARALLEL_MARK_FLOOR = 0.5
+# Required speedup per thread when the host actually has the cores: 0.35x per
+# thread is a loose floor (2.8x at 8 threads) that still catches a mark that
+# stopped scaling entirely.
+MIN_SPEEDUP_PER_THREAD = 0.35
+
+
+def check_parallel_mark(path):
+    """Gate BENCH_parallel_mark.json rows against their own 1-thread row.
+
+    The mark_threads == 1 row runs the untouched sequential collector, so
+    speedup_vs_1 here is speedup against the seed code path.
+    """
+    rows = load_benchmarks(path)
+    threaded = {}
+    for name in sorted(rows):
+        row = rows[name]
+        if "mark_threads" not in row or "objects_per_sec" not in row:
+            continue
+        threaded[int(float(row["mark_threads"]))] = (name, row)
+    if not threaded:
+        _die(f"error: {path} has no rows with mark_threads/objects_per_sec "
+             "counters (not a parallel-mark benchmark file?)")
+    if 1 not in threaded:
+        _die(f"error: {path} has no mark_threads == 1 baseline row")
+    base_rate = float(threaded[1][1]["objects_per_sec"])
+    if base_rate <= 0:
+        _die(f"error: {path} baseline row has no positive objects_per_sec")
+
+    failures = []
+    for threads in sorted(threaded):
+        name, row = threaded[threads]
+        rate = float(row["objects_per_sec"])
+        host_cpus = float(row.get("host_cpus", 0.0))
+        speedup = rate / base_rate
+        if threads == 1:
+            print(f"{'ok':>10}  {name}: 1-thread baseline "
+                  f"{rate:.4g} objects/sec")
+            continue
+        if speedup < MIN_PARALLEL_MARK_FLOOR:
+            print(f"{'FAIL':>10}  {name}: speedup_vs_1 {speedup:.2f} below "
+                  f"the {MIN_PARALLEL_MARK_FLOOR} overhead floor")
+            failures.append(f"{name} (overhead floor)")
+            continue
+        required = MIN_SPEEDUP_PER_THREAD * threads
+        if host_cpus >= threads:
+            ok = speedup >= required
+            print(f"{'ok' if ok else 'FAIL':>10}  {name}: speedup_vs_1 "
+                  f"{speedup:.2f} (need {required:.2f} on "
+                  f"{host_cpus:.0f} cpus)")
+            if not ok:
+                failures.append(f"{name} (speedup)")
+        else:
+            print(f"{'info':>10}  {name}: speedup_vs_1 {speedup:.2f} "
+                  f"(host has {host_cpus:.0f} cpus for {threads} threads; "
+                  "speedup not gated)")
+    if failures:
+        print(f"\n{len(failures)} parallel-mark bound(s) violated:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nall parallel-mark bounds hold across {len(threaded)} row(s)")
+    return 0
+
+
 # --- self test --------------------------------------------------------------
 
 _FIXTURE_BASE = {
@@ -211,6 +290,20 @@ _FIXTURE_BASE = {
          "reuse_hit_rate": 0.8},
         {"name": "BM_FaultRecovery_GarbageRing/10", "run_type": "iteration",
          "real_time": 6.0, "rounds_to_collect": 5.0, "time_to_collect": 300.0},
+    ]
+}
+
+_FIXTURE_PARALLEL_MARK = {
+    "benchmarks": [
+        {"name": "BM_ParallelMark_Throughput/1", "run_type": "iteration",
+         "real_time": 8.0, "mark_threads": 1.0, "host_cpus": 16.0,
+         "objects_per_sec": 50e6},
+        {"name": "BM_ParallelMark_Throughput/2", "run_type": "iteration",
+         "real_time": 4.5, "mark_threads": 2.0, "host_cpus": 16.0,
+         "objects_per_sec": 90e6},
+        {"name": "BM_ParallelMark_Throughput/8", "run_type": "iteration",
+         "real_time": 1.6, "mark_threads": 8.0, "host_cpus": 16.0,
+         "objects_per_sec": 250e6},
     ]
 }
 
@@ -315,6 +408,34 @@ def _self_test():
     crawl["benchmarks"][1]["ttc_ratio_vs_lossless"] = 7.5
     assert check_with(crawl) == 1, "5x time-to-collect blowup must fail"
 
+    def mark_with(fixture):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "mark.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fixture, fh)
+            return check_parallel_mark(path)
+
+    # Parallel-mark bounds: the scaling fixture passes.
+    assert mark_with(copy.deepcopy(_FIXTURE_PARALLEL_MARK)) == 0, \
+        "scaling parallel-mark run must pass"
+
+    # A multi-thread mark slower than half the sequential one fails anywhere.
+    heavy = copy.deepcopy(_FIXTURE_PARALLEL_MARK)
+    heavy["benchmarks"][2]["objects_per_sec"] = 20e6
+    assert mark_with(heavy) == 1, "parallel overhead floor must fail"
+
+    # Insufficient speedup with enough cores fails...
+    flat = copy.deepcopy(_FIXTURE_PARALLEL_MARK)
+    flat["benchmarks"][2]["objects_per_sec"] = 60e6  # 1.2x on 16 cpus
+    assert mark_with(flat) == 1, "non-scaling mark on a big host must fail"
+
+    # ...but the same throughput on a single-core host is info-only.
+    small_host = copy.deepcopy(flat)
+    for row in small_host["benchmarks"]:
+        row["host_cpus"] = 1.0
+    assert mark_with(small_host) == 0, \
+        "speedup must not be gated without the cores"
+
     print("bench_compare self-test: all cases passed")
     return 0
 
@@ -331,12 +452,17 @@ def main(argv=None):
     parser.add_argument("--check-fault-recovery", metavar="FILE",
                         help="gate a BENCH_fault_recovery.json on absolute "
                              "bounds (no baseline needed)")
+    parser.add_argument("--check-parallel-mark", metavar="FILE",
+                        help="gate a BENCH_parallel_mark.json against its own "
+                             "1-thread row (no baseline needed)")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return _self_test()
     if args.check_fault_recovery:
         return check_fault_recovery(args.check_fault_recovery)
+    if args.check_parallel_mark:
+        return check_parallel_mark(args.check_parallel_mark)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2

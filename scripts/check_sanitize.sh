@@ -1,30 +1,50 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan + UBSan (-DDGC_SANITIZE=ON) in a separate build
-# directory and runs the full test suite under it. Slab recycling, flat visit
-# records, and the message batching paths all juggle raw slots and ids — this
-# is the cheap way to prove none of them touch freed or uninitialized memory.
+# Builds the tree with a sanitizer in a separate build directory and runs the
+# test suite under it. Slab recycling, flat visit records, and the message
+# batching paths all juggle raw slots and ids — ASan + UBSan is the cheap way
+# to prove none of them touch freed or uninitialized memory. The work-stealing
+# mark, the shared worker pool, and the parallel trace executor add real
+# multithreading — TSan is the cheap way to prove the claim protocol and the
+# deque handoffs are race-free.
 #
 # Usage:
-#   check_sanitize.sh             # full suite (includes the chaos tests)
-#   check_sanitize.sh --chaos     # only the chaos suite (ctest -L chaos):
+#   check_sanitize.sh             # ASan+UBSan, full suite (includes chaos)
+#   check_sanitize.sh --chaos     # ASan+UBSan, only the chaos suite (-L chaos):
 #                                 # fault plans exercise the retransmit,
 #                                 # parking, and restart-purge paths hardest,
 #                                 # so this is the fast sanitizer smoke run
+#   check_sanitize.sh --tsan      # ThreadSanitizer over the concurrency-heavy
+#                                 # suites (-L "parallel|chaos"): the parallel
+#                                 # mark/trace tests plus the chaos harness,
+#                                 # the code that actually runs threads
 #   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
+SANITIZE=ON
+DEFAULT_BUILD_DIR=build-asan
 
 CTEST_ARGS=()
 if [[ "${1:-}" == "--chaos" ]]; then
   CTEST_ARGS+=(-L chaos)
   shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  SANITIZE=thread
+  DEFAULT_BUILD_DIR=build-tsan
+  CTEST_ARGS+=(-L 'parallel|chaos')
+  shift
 fi
 CTEST_ARGS+=("$@")
 
-cmake -B "$BUILD_DIR" -G Ninja -DDGC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+BUILD_DIR=${BUILD_DIR:-$DEFAULT_BUILD_DIR}
+
+cmake -B "$BUILD_DIR" -G Ninja -DDGC_SANITIZE="$SANITIZE" -DCMAKE_BUILD_TYPE=Debug
 cmake --build "$BUILD_DIR"
-ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1} \
-UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
-  ctest --test-dir "$BUILD_DIR" --output-on-failure "${CTEST_ARGS[@]}"
+if [[ "$SANITIZE" == thread ]]; then
+  TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1} \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure "${CTEST_ARGS[@]}"
+else
+  ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1} \
+  UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1} \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure "${CTEST_ARGS[@]}"
+fi

@@ -78,6 +78,11 @@ std::string DescribeSite(const Site& site) {
        << " outsets reused, " << site.heap().dirty_object_count()
        << " dirty objects\n";
   }
+  if (site.config().mark_threads > 1) {
+    os << "  parallel mark: " << site.config().mark_threads << " threads, "
+       << site.stats().mark_wall_ns << " ns marking, "
+       << site.stats().mark_steals << " shard steals\n";
+  }
   return os.str();
 }
 
@@ -127,6 +132,19 @@ std::string DescribeSystem(const System& system) {
     os << "  failure detector: " << net.fd_suspicions << " suspected outages, "
        << net.fd_recoveries << " recoveries, " << bt.calls_parked
        << " calls parked (" << bt.calls_unparked << " resumed)\n";
+  }
+  const WorkerPoolStats pool = system.worker_pool().stats();
+  if (pool.batches > 0) {
+    std::uint64_t steals = 0;
+    std::uint64_t mark_ns = 0;
+    for (SiteId s = 0; s < system.site_count(); ++s) {
+      steals += system.site(s).stats().mark_steals;
+      mark_ns += system.site(s).stats().mark_wall_ns;
+    }
+    os << "  worker pool: " << pool.batches << " batches, " << pool.tasks_run
+       << " tasks (occupancy " << pool.occupancy() << "), "
+       << system.trace_executor().stats().batches << " trace rounds, "
+       << mark_ns << " ns marking, " << steals << " shard steals\n";
   }
   return os.str();
 }

@@ -25,7 +25,13 @@ void MetricsRecorder::Capture(const System& system) {
     sample.quiescent_skips += site.stats().quiescent_skips;
     sample.objects_retraced += site.stats().objects_retraced;
     sample.outsets_reused += site.stats().outsets_reused;
+    sample.mark_wall_ns += site.stats().mark_wall_ns;
+    sample.mark_steals += site.stats().mark_steals;
   }
+  const WorkerPoolStats pool = system.worker_pool().stats();
+  sample.pool_batches = pool.batches;
+  sample.pool_tasks_run = pool.tasks_run;
+  sample.pool_occupancy = pool.occupancy();
   const NetworkStats& net = system.network().stats();
   sample.messages_sent = net.inter_site_sent;
   sample.wire_messages = net.wire_messages;
@@ -66,7 +72,8 @@ std::string MetricsRecorder::ToCsv() const {
         "local_traces,trace_wall_ns,trace_objects_marked,"
         "trace_objects_per_sec,slab_count,slab_slot_capacity,"
         "slab_free_slots,slab_occupancy,quiescent_skips,objects_retraced,"
-        "outsets_reused,retransmits,dup_suppressed,"
+        "outsets_reused,mark_wall_ns,mark_steals,pool_batches,"
+        "pool_tasks_run,pool_occupancy,retransmits,dup_suppressed,"
         "stale_incarnation_rejected,calls_parked,fd_suspicions\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
@@ -79,7 +86,9 @@ std::string MetricsRecorder::ToCsv() const {
        << s.slab_count << ',' << s.slab_slot_capacity << ','
        << s.slab_free_slots << ',' << s.slab_occupancy << ','
        << s.quiescent_skips << ',' << s.objects_retraced << ','
-       << s.outsets_reused << ',' << s.retransmits << ','
+       << s.outsets_reused << ',' << s.mark_wall_ns << ',' << s.mark_steals
+       << ',' << s.pool_batches << ',' << s.pool_tasks_run << ','
+       << s.pool_occupancy << ',' << s.retransmits << ','
        << s.dup_suppressed << ',' << s.stale_incarnation_rejected << ','
        << s.calls_parked << ',' << s.fd_suspicions << '\n';
   }

@@ -40,6 +40,13 @@ struct MetricsSample {
   std::uint64_t quiescent_skips = 0;
   std::uint64_t objects_retraced = 0;
   std::uint64_t outsets_reused = 0;
+  // Intra-site parallel marking (cumulative; zero with mark_threads == 1)
+  // and the shared worker pool's lifetime accounting.
+  std::uint64_t mark_wall_ns = 0;
+  std::uint64_t mark_steals = 0;
+  std::uint64_t pool_batches = 0;
+  std::uint64_t pool_tasks_run = 0;
+  double pool_occupancy = 0.0;  // share of tasks run by pool threads
   // Fault tolerance (cumulative; zero with reliable delivery / the failure
   // detector off).
   std::uint64_t retransmits = 0;

@@ -1,50 +1,42 @@
 #include "core/parallel_trace.h"
 
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <thread>
 
 #include "core/site.h"
 
 namespace dgc {
 
+ParallelTraceExecutor::ParallelTraceExecutor(WorkerPool& pool,
+                                             std::size_t max_concurrency)
+    : pool_(&pool),
+      max_concurrency_(max_concurrency == 0 ? 1 : max_concurrency) {}
+
+ParallelTraceExecutor::ParallelTraceExecutor(std::size_t threads)
+    : owned_pool_(std::make_unique<WorkerPool>(threads == 0 ? 0 : threads - 1)),
+      pool_(owned_pool_.get()),
+      max_concurrency_(threads == 0 ? 1 : threads) {}
+
+ParallelTraceExecutor::~ParallelTraceExecutor() = default;
+
 std::vector<TraceResult> ParallelTraceExecutor::ComputeAll(
     const std::vector<Site*>& sites) {
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<TraceResult> results(sites.size());
-  const std::size_t workers = std::min(threads_, sites.size());
-  if (workers <= 1) {
+  if (max_concurrency_ <= 1 || sites.size() <= 1) {
+    // Sequential fast path: no pool round trip, and trace_threads == 1
+    // preserves the historical single-threaded round exactly.
     for (std::size_t i = 0; i < sites.size(); ++i) {
       results[i] = sites[i]->ComputeLocalTrace();
     }
   } else {
-    // Work-stealing by atomic index: assignment of site to thread is
-    // scheduling-dependent, but results land in their input position and
-    // each compute is independent, so the output is identical either way.
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr failure;
-    std::atomic<bool> failed{false};
-    const auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= sites.size() || failed.load(std::memory_order_relaxed)) {
-          return;
-        }
-        try {
-          results[i] = sites[i]->ComputeLocalTrace();
-        } catch (...) {
-          // First failure wins; the guard below keeps it single-writer.
-          if (!failed.exchange(true)) failure = std::current_exception();
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    if (failure) std::rethrow_exception(failure);
+    // Assignment of site to worker is scheduling-dependent, but results land
+    // in their input position and each compute is independent, so the output
+    // is identical either way. RunBatch rethrows the first worker exception
+    // after the batch joins.
+    pool_->RunBatch(
+        sites.size(),
+        [&](std::size_t i) { results[i] = sites[i]->ComputeLocalTrace(); },
+        max_concurrency_);
   }
   ++stats_.batches;
   stats_.traces_computed += sites.size();

@@ -3,10 +3,17 @@
 // The paper's locality property (Section 2) makes each site's forward trace
 // a pure function of that site's own heap and tables: computing one touches
 // no other site's state, no network, no scheduler. ParallelTraceExecutor
-// exploits that by fanning Site::ComputeLocalTrace out over a fixed pool of
-// worker threads and handing the results back indexed by input position, so
-// the caller can apply them deterministically in site order regardless of
-// which thread finished first.
+// exploits that by fanning Site::ComputeLocalTrace out over a persistent
+// WorkerPool and handing the results back indexed by input position, so the
+// caller can apply them deterministically in site order regardless of which
+// thread finished first.
+//
+// The executor is the coarse level of the system's two-level scheduling:
+// sites are coarse tasks on the shared pool, and each site's collector may
+// fan its own mark/sweep out over the same pool as fine tasks (see
+// localgc/parallel_mark.h). Pool batches are caller-participating, so the
+// nesting cannot deadlock — a site task blocked on an inner mark batch is
+// itself draining that batch.
 //
 // Determinism: each ComputeLocalTrace is itself deterministic and the sites
 // share no mutable state, so the result vector is byte-identical whatever
@@ -14,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "localgc/trace_result.h"
 
 namespace dgc {
@@ -30,22 +39,32 @@ struct ParallelTraceStats {
 
 class ParallelTraceExecutor {
  public:
-  /// `threads` is clamped to at least 1. The pool is created per batch;
-  /// thread startup is noise next to a trace over a non-trivial heap.
-  explicit ParallelTraceExecutor(std::size_t threads)
-      : threads_(threads == 0 ? 1 : threads) {}
+  /// Borrows `pool` (which must outlive the executor) and caps one batch's
+  /// concurrency at `max_concurrency` (clamped to at least 1) — the
+  /// trace_threads knob. The pool may be larger or smaller; the cap is what
+  /// bounds how many sites compute at once.
+  ParallelTraceExecutor(WorkerPool& pool, std::size_t max_concurrency);
+
+  /// Convenience for tests and benchmarks: owns a private persistent pool of
+  /// `threads - 1` workers (the caller participates, so `threads` reach the
+  /// work), capped at `threads`.
+  explicit ParallelTraceExecutor(std::size_t threads);
+
+  ~ParallelTraceExecutor();
 
   /// Computes sites[i]->ComputeLocalTrace() for every i, concurrently on up
-  /// to `threads` workers, and returns the results with result[i] belonging
-  /// to sites[i]. Exceptions from a worker (invariant violations) are
-  /// rethrown on the calling thread after all workers join.
+  /// to `threads()` workers, and returns the results with result[i]
+  /// belonging to sites[i]. Exceptions from a worker (invariant violations)
+  /// are rethrown on the calling thread after the batch joins.
   std::vector<TraceResult> ComputeAll(const std::vector<Site*>& sites);
 
-  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] std::size_t threads() const { return max_concurrency_; }
   [[nodiscard]] const ParallelTraceStats& stats() const { return stats_; }
 
  private:
-  std::size_t threads_;
+  std::unique_ptr<WorkerPool> owned_pool_;  // only for the convenience ctor
+  WorkerPool* pool_;
+  std::size_t max_concurrency_;
   ParallelTraceStats stats_;
 };
 

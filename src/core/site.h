@@ -44,6 +44,8 @@ struct SiteStats {
   std::uint64_t transfer_barrier_hits = 0;  // barrier found a suspected inref
   std::uint64_t outrefs_trimmed = 0;
   std::uint64_t trace_wall_ns = 0;     // cumulative real trace-compute time
+  std::uint64_t mark_wall_ns = 0;      // cumulative clean-mark phase time
+  std::uint64_t mark_steals = 0;       // work-stealing mark: batches stolen
   std::uint64_t objects_marked = 0;    // cumulative clean + suspect marks
   // Incremental-trace accounting (all zero while incremental_trace is off).
   std::uint64_t quiescent_skips = 0;   // traces served verbatim from cache
@@ -70,6 +72,10 @@ class Site {
   [[nodiscard]] const LocalCollector& collector() const { return collector_; }
   [[nodiscard]] const SiteStats& stats() const { return stats_; }
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
+
+  /// Shares the system's persistent worker pool with this site's collector,
+  /// enabling the intra-trace parallel phases (mark_threads > 1).
+  void set_worker_pool(WorkerPool* pool) { collector_.set_worker_pool(pool); }
 
   // --- Network entry point -------------------------------------------
 

@@ -8,11 +8,26 @@
 
 namespace dgc {
 
+namespace {
+
+/// Caller threads participate in pool batches, so a pool of N - 1 workers
+/// puts N threads on the work. Zero workers when neither knob asks for
+/// parallelism — no threads are spawned and every phase runs inline.
+std::size_t PoolWorkersFor(const CollectorConfig& config) {
+  const std::size_t want =
+      std::max(config.trace_threads, config.mark_threads);
+  return want <= 1 ? 0 : want - 1;
+}
+
+}  // namespace
+
 System::System(std::size_t site_count, const CollectorConfig& collector_config,
                const NetworkConfig& network_config, std::uint64_t seed)
     : collector_config_(collector_config),
       rng_(seed),
-      network_(scheduler_, network_config, rng_.Fork()) {
+      network_(scheduler_, network_config, rng_.Fork()),
+      pool_(PoolWorkersFor(collector_config)),
+      trace_executor_(pool_, collector_config.trace_threads) {
   DGC_CHECK(site_count >= 1);
   if (network_config.reliable_delivery) {
     // With retransmission, "0 disables timeouts" would let one exhausted
@@ -33,6 +48,7 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
   for (std::size_t i = 0; i < site_count; ++i) {
     sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), network_,
                                             scheduler_, collector_config_));
+    sites_.back()->set_worker_pool(&pool_);
   }
 }
 
@@ -78,8 +94,7 @@ void System::RunRoundParallel() {
   for (auto& s : sites_) {
     if (!s->trace_in_flight()) tracing.push_back(s.get());
   }
-  ParallelTraceExecutor executor(collector_config_.trace_threads);
-  std::vector<TraceResult> results = executor.ComputeAll(tracing);
+  std::vector<TraceResult> results = trace_executor_.ComputeAll(tracing);
   // Merge phase: commit in site order, settling in between, so message
   // interleaving is as deterministic as the sequential schedule.
   for (std::size_t i = 0; i < tracing.size(); ++i) {

@@ -15,6 +15,8 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/worker_pool.h"
+#include "core/parallel_trace.h"
 #include "core/site.h"
 #include "net/network.h"
 #include "sim/fault_plan.h"
@@ -163,6 +165,14 @@ class System {
   };
   [[nodiscard]] HeapOccupancy AggregateHeapOccupancy() const;
 
+  /// The persistent pool behind both parallelism levels (occupancy metrics).
+  [[nodiscard]] const WorkerPool& worker_pool() const { return pool_; }
+
+  /// The persistent per-site trace executor (batch counts, wall time).
+  [[nodiscard]] const ParallelTraceExecutor& trace_executor() const {
+    return trace_executor_;
+  }
+
  private:
   /// The trace_threads > 1 round: compute all sites' traces concurrently
   /// from one snapshot, then commit in site order, settling in between.
@@ -172,6 +182,13 @@ class System {
   Scheduler scheduler_;
   Rng rng_;
   Network network_;
+  /// Persistent worker pool shared by both scheduling levels: per-site trace
+  /// computations (coarse tasks, capped at trace_threads) and intra-site
+  /// mark/sweep/refold shards (fine tasks, capped at mark_threads). Sized so
+  /// caller + pool = max(trace_threads, mark_threads); spawns no threads at
+  /// all when both knobs are 1. Declared before sites_ so it outlives them.
+  WorkerPool pool_;
+  ParallelTraceExecutor trace_executor_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::size_t rounds_ = 0;
 };

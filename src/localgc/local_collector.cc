@@ -6,6 +6,7 @@
 
 #include "backinfo/suspect_trace.h"
 #include "common/logging.h"
+#include "localgc/parallel_mark.h"
 
 namespace dgc {
 
@@ -152,8 +153,13 @@ TraceResult LocalCollector::RefoldDistances(const TraceInputs& inputs) const {
   result.outref_distances = cache_.clean_distances;
   result.stats.objects_retraced = 0;
   result.stats.quiescent_skips = 0;
-  std::uint64_t reused = 0;
+  // No marking happened this run; the cached trace's schedule-dependent
+  // mark accounting must not be re-reported.
+  result.stats.mark_wall_ns = 0;
+  result.stats.mark_steals = 0;
+  result.stats.mark_batches = 0;
   const Distance threshold = tables_.config().suspicion_threshold;
+  std::vector<std::pair<Distance, const std::vector<ObjectId>*>> jobs;
   for (const TraceInputs::Inref& in : inputs.inrefs) {
     if (in.garbage_flagged || in.distance <= threshold) continue;
     // Suspects absent from the cached back info contributed nothing to the
@@ -161,15 +167,24 @@ TraceResult LocalCollector::RefoldDistances(const TraceInputs& inputs) const {
     // the auxiliary invariant of §6.1.1) or their outset was empty.
     const auto it = cache_.result.back_info.inref_outsets.find(in.obj);
     if (it == cache_.result.back_info.inref_outsets.end()) continue;
-    ++reused;
-    const Distance outref_distance = NextDistance(in.distance);
-    for (const ObjectId outref : it->second) {
-      auto [dit, inserted] =
-          result.outref_distances.emplace(outref, outref_distance);
-      if (!inserted) dit->second = std::min(dit->second, outref_distance);
+    jobs.emplace_back(NextDistance(in.distance), &it->second);
+  }
+  result.stats.outsets_reused = jobs.size();
+  // Partitioning has fixed pool overhead; only worth it past a handful of
+  // suspects (the min-merge is identical either way).
+  constexpr std::size_t kParallelFoldMin = 16;
+  const std::size_t mark_threads = tables_.config().mark_threads;
+  if (mark_threads > 1 && pool_ != nullptr && jobs.size() >= kParallelFoldMin) {
+    ParallelFoldOutsets(jobs, *pool_, mark_threads, result.outref_distances);
+  } else {
+    for (const auto& [outref_distance, outset] : jobs) {
+      for (const ObjectId outref : *outset) {
+        auto [dit, inserted] =
+            result.outref_distances.emplace(outref, outref_distance);
+        if (!inserted) dit->second = std::min(dit->second, outref_distance);
+      }
     }
   }
-  result.stats.outsets_reused = reused;
   return result;
 }
 
@@ -227,12 +242,7 @@ TraceResult LocalCollector::RunFullTrace(
   }
 
   // ---- Phase 1: clean marking, roots in increasing distance order. ----
-  for (const ObjectId root : heap_.persistent_roots()) {
-    MarkCleanFrom(root, 0, result);
-  }
-  for (const ObjectId root : app_roots) {
-    MarkCleanFrom(root, 0, result);
-  }
+  const auto mark_start = std::chrono::steady_clock::now();
 
   std::vector<std::pair<Distance, ObjectId>> ordered_inrefs;
   for (const auto& [obj, entry] : tables_.inrefs()) {
@@ -240,14 +250,48 @@ TraceResult LocalCollector::RunFullTrace(
     ordered_inrefs.emplace_back(entry.distance(), obj);
   }
   std::sort(ordered_inrefs.begin(), ordered_inrefs.end());
-
   auto clean_limit = std::partition_point(
       ordered_inrefs.begin(), ordered_inrefs.end(), [&](const auto& pair) {
         return pair.first <= config.suspicion_threshold;
       });
-  for (auto it = ordered_inrefs.begin(); it != clean_limit; ++it) {
-    MarkCleanFrom(it->second, it->first, result);
+
+  const bool parallel = config.mark_threads > 1 && pool_ != nullptr;
+  if (!parallel) {
+    for (const ObjectId root : heap_.persistent_roots()) {
+      MarkCleanFrom(root, 0, result);
+    }
+    for (const ObjectId root : app_roots) {
+      MarkCleanFrom(root, 0, result);
+    }
+    for (auto it = ordered_inrefs.begin(); it != clean_limit; ++it) {
+      MarkCleanFrom(it->second, it->first, result);
+    }
+  } else {
+    // Distance layers: the sequential loop's increasing-distance order means
+    // every object is claimed for the minimum root distance that reaches it.
+    // A barrier between distinct distances preserves exactly that, and
+    // within one layer every claim carries the same distance, so claim
+    // interleaving cannot change the merged result.
+    ParallelMarker marker(heap_, *pool_, config.mark_threads);
+    std::vector<ObjectId> layer = heap_.persistent_roots();
+    layer.insert(layer.end(), app_roots.begin(), app_roots.end());
+    auto it = ordered_inrefs.begin();
+    while (it != clean_limit && it->first == 0) {
+      layer.push_back((it++)->second);  // distance-0 inrefs join the roots
+    }
+    marker.MarkLayer(layer, 0, epoch_, result);
+    while (it != clean_limit) {
+      const Distance layer_distance = it->first;
+      layer.clear();
+      while (it != clean_limit && it->first == layer_distance) {
+        layer.push_back((it++)->second);
+      }
+      marker.MarkLayer(layer, layer_distance, epoch_, result);
+    }
+    result.stats.mark_steals = marker.stats().steals;
+    result.stats.mark_batches = marker.stats().batches_published;
   }
+  result.stats.mark_wall_ns = WallNanosSince(mark_start);
 
   // The refold reuse level rebuilds distances from this phase-1 base, so
   // capture it before suspect contributions land on top.
@@ -331,10 +375,15 @@ TraceResult LocalCollector::RunFullTrace(
   }
 
   // ---- Phase 3: sweep list and untraced outrefs. ----
-  heap_.ForEachWithEpochs([&](ObjectId id, const Object&, std::uint64_t mark,
-                              std::uint64_t) {
-    if (mark != epoch_) result.objects_to_free.push_back(id);
-  });
+  if (parallel) {
+    result.objects_to_free =
+        ParallelSweepUnmarked(heap_, *pool_, config.mark_threads, epoch_);
+  } else {
+    heap_.ForEachWithEpochs([&](ObjectId id, const Object&, std::uint64_t mark,
+                                std::uint64_t) {
+      if (mark != epoch_) result.objects_to_free.push_back(id);
+    });
+  }
   result.stats.objects_swept = result.objects_to_free.size();
   for (const ObjectId ref : result.snapshot_outrefs) {
     if (!result.outref_distances.contains(ref)) {
@@ -372,6 +421,9 @@ TraceResult LocalCollector::Run(const std::vector<ObjectId>& app_roots) {
         result.stats.objects_retraced = 0;
         result.stats.outsets_reused = result.back_info.inref_outsets.size();
         result.stats.quiescent_skips = 1;
+        result.stats.mark_wall_ns = 0;
+        result.stats.mark_steals = 0;
+        result.stats.mark_batches = 0;
         break;
       case ReuseLevel::kRefold:
         result = RefoldDistances(inputs);

@@ -51,6 +51,8 @@
 
 namespace dgc {
 
+class WorkerPool;
+
 class LocalCollector {
  public:
   LocalCollector(Heap& heap, RefTables& tables)
@@ -102,6 +104,12 @@ class LocalCollector {
   /// traces, so intern_bytes_saved accumulates across epochs).
   [[nodiscard]] const OutsetStore& outset_store() const { return store_; }
 
+  /// Shares a persistent worker pool with the intra-trace parallel phases
+  /// (work-stealing mark, per-slab sweep, partitioned refold). With a null
+  /// pool or CollectorConfig::mark_threads <= 1 every phase runs the
+  /// historical sequential code path bit for bit.
+  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
+
  private:
   enum class ReuseLevel {
     kNone,        // inputs changed: full trace
@@ -134,6 +142,7 @@ class LocalCollector {
 
   Heap& heap_;
   RefTables& tables_;
+  WorkerPool* pool_ = nullptr;
   std::uint64_t epoch_ = 0;
   /// Scratch mark stack, reused across traces so the hot loop never
   /// reallocates once the heap's size has been seen.
