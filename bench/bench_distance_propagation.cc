@@ -1,0 +1,252 @@
+// Low-churn soak for incremental distance propagation (ISSUE: bounded-repair
+// distance labels instead of Theta(heap) re-propagation per topology change).
+//
+// Twin systems run the same low-churn workload — well under 1% of each
+// site's objects mutate per epoch — one twin re-deriving every distance
+// label with a full forward propagation per trace (the classic collector),
+// one maintaining labels in place with bounded repairs and serving traces
+// from them. The bench checks the twins agree on every verdict (objects
+// stored and reclaimed, safety) and reports what the repairs saved:
+//
+//   * relabel_reduction      — full twin's label writes (its per-trace marks)
+//     over the incremental twin's objects_relabeled, repairs and fallback
+//     rebuilds included (the ISSUE acceptance bar is >= 10x);
+//   * relabeled_per_mutation — label writes per mutation event, the bounded-
+//     repair cost the tentpole is named for;
+//   * fallback_rate          — fraction of label-plane traces that fell back
+//     to a full rebuild (crash restarts, budget blowouts, breaches);
+//   * repair_wall_speedup    — full twin's trace wall time over the
+//     incremental twin's.
+//
+// A second benchmark sweeps the incremental_trace x mark_threads matrix with
+// the knob on, and a third forces crash-restart fallbacks mid-soak. Emits
+// BENCH_distance.json by default for bench_compare.py --check-distance.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/system.h"
+
+namespace {
+
+using namespace dgc;
+
+constexpr std::size_t kChainLength = 3;
+constexpr std::size_t kEpochs = 32;
+constexpr std::size_t kWarmupEpochs = 8;  // distance convergence, first plane
+
+/// One rooted container per site; each container slot holds a private chain
+/// of kChainLength objects, and every eighth chain tail also references the
+/// next site's container (steady cross-site inrefs/outrefs so the support
+/// index earns its keep).
+std::vector<ObjectId> BuildWorld(System& system, std::size_t slots_per_site) {
+  std::vector<ObjectId> containers;
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    containers.push_back(system.NewObject(s, slots_per_site));
+    system.SetPersistentRoot(containers.back());
+  }
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    for (std::size_t slot = 0; slot < slots_per_site; ++slot) {
+      ObjectId prev = kInvalidObject;
+      for (std::size_t i = 0; i < kChainLength; ++i) {
+        const ObjectId obj = system.NewObject(s, 1);
+        if (i == 0) {
+          system.Wire(containers[s], slot, obj);
+        } else {
+          system.Wire(prev, 0, obj);
+        }
+        prev = obj;
+      }
+      if (slot % 8 == 0) {
+        const SiteId next =
+            static_cast<SiteId>((s + 1) % system.site_count());
+        system.Wire(prev, 0, containers[next]);
+      }
+    }
+  }
+  return containers;
+}
+
+/// Rewires a handful of container slots on one site: the old chain becomes
+/// garbage (swept by that site's next trace) and a fresh chain replaces it.
+/// Touches well under 1% of the site's objects. Returns the mutation count.
+std::size_t MutateSite(System& system, ObjectId container,
+                       std::size_t slots_per_site, Rng& rng) {
+  const std::size_t rewires = std::max<std::size_t>(1, slots_per_site / 128);
+  for (std::size_t r = 0; r < rewires; ++r) {
+    const std::size_t slot = rng.NextBelow(slots_per_site);
+    system.Unwire(container, slot);
+    ObjectId prev = kInvalidObject;
+    for (std::size_t i = 0; i < kChainLength; ++i) {
+      const ObjectId obj = system.NewObject(container.site, 1);
+      if (i == 0) {
+        system.Wire(container, slot, obj);
+      } else {
+        system.Wire(prev, 0, obj);
+      }
+      prev = obj;
+    }
+  }
+  return rewires;
+}
+
+struct SoakTotals {
+  std::uint64_t marked = 0;
+  std::uint64_t relabeled = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t serves = 0;
+  std::uint64_t traces = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+SoakTotals Totals(const System& system) {
+  SoakTotals t;
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    const SiteStats& stats = system.site(s).stats();
+    t.marked += stats.objects_marked;
+    t.relabeled += stats.objects_relabeled;
+    t.repairs += stats.distance_repairs;
+    t.fallbacks += stats.distance_fallbacks;
+    t.serves += stats.label_serves;
+    t.traces += stats.local_traces;
+    t.wall_ns += stats.trace_wall_ns;
+  }
+  return t;
+}
+
+SoakTotals Delta(const SoakTotals& end, const SoakTotals& base) {
+  return {end.marked - base.marked,     end.relabeled - base.relabeled,
+          end.repairs - base.repairs,   end.fallbacks - base.fallbacks,
+          end.serves - base.serves,     end.traces - base.traces,
+          end.wall_ns - base.wall_ns};
+}
+
+void ReportSoak(benchmark::State& state, const SoakTotals& full,
+                const SoakTotals& inc, std::size_t mutations) {
+  const double epochs = static_cast<double>(kEpochs - kWarmupEpochs);
+  state.counters["full_marked_per_epoch"] =
+      static_cast<double>(full.marked) / epochs;
+  state.counters["inc_relabeled_per_epoch"] =
+      static_cast<double>(inc.relabeled) / epochs;
+  state.counters["relabel_reduction"] =
+      static_cast<double>(full.marked) /
+      static_cast<double>(inc.relabeled ? inc.relabeled : 1);
+  state.counters["relabeled_per_mutation"] =
+      static_cast<double>(inc.relabeled) /
+      static_cast<double>(mutations ? mutations : 1);
+  state.counters["fallback_rate"] =
+      static_cast<double>(inc.fallbacks) /
+      static_cast<double>(inc.traces ? inc.traces : 1);
+  state.counters["label_serve_rate"] =
+      static_cast<double>(inc.serves) /
+      static_cast<double>(inc.traces ? inc.traces : 1);
+  state.counters["repair_wall_speedup"] =
+      static_cast<double>(full.wall_ns) /
+      static_cast<double>(inc.wall_ns ? inc.wall_ns : 1);
+}
+
+/// Runs the twin soak and returns (full deltas, inc deltas, mutations).
+/// `crash_epoch` (nonzero) crash-restarts one incremental-twin site mid-soak
+/// on both twins, forcing the fallback path into the measured window.
+void RunSoak(benchmark::State& state, const CollectorConfig& inc_config,
+             std::size_t sites, std::size_t slots_per_site,
+             std::size_t crash_epoch = 0) {
+  CollectorConfig full_config = bench::DefaultConfig();
+  full_config.mark_threads = inc_config.mark_threads;
+
+  SoakTotals full_totals{}, inc_totals{};
+  std::size_t mutations = 0;
+  for (auto _ : state) {
+    System full(sites, full_config, {}, /*seed=*/29);
+    System inc(sites, inc_config, {}, /*seed=*/29);
+    const std::vector<ObjectId> full_containers =
+        BuildWorld(full, slots_per_site);
+    const std::vector<ObjectId> inc_containers =
+        BuildWorld(inc, slots_per_site);
+
+    SoakTotals full_base{}, inc_base{};
+    Rng full_rng(113), inc_rng(113);
+    mutations = 0;
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      if (epoch == kWarmupEpochs) {
+        full_base = Totals(full);
+        inc_base = Totals(inc);
+      }
+      if (crash_epoch != 0 && epoch == crash_epoch) {
+        full.site(0).CrashRestart();
+        inc.site(0).CrashRestart();
+      }
+      // Every other epoch one site (rotating) takes its sub-1% of churn.
+      if (epoch % 2 == 0) {
+        const std::size_t victim = (epoch / 2) % sites;
+        MutateSite(full, full_containers[victim], slots_per_site, full_rng);
+        const std::size_t rewires =
+            MutateSite(inc, inc_containers[victim], slots_per_site, inc_rng);
+        if (epoch >= kWarmupEpochs) mutations += rewires;
+      }
+      full.RunRound();
+      inc.RunRound();
+    }
+
+    // Identical verdicts and sweeps, or the numbers above mean nothing.
+    DGC_CHECK(full.TotalObjects() == inc.TotalObjects());
+    DGC_CHECK(full.TotalObjectsReclaimed() == inc.TotalObjectsReclaimed());
+    DGC_CHECK(full.CheckSafety().empty() && inc.CheckSafety().empty());
+
+    full_totals = Delta(Totals(full), full_base);
+    inc_totals = Delta(Totals(inc), inc_base);
+  }
+  ReportSoak(state, full_totals, inc_totals, mutations);
+}
+
+void BM_LowChurnSoak(benchmark::State& state) {
+  CollectorConfig inc_config = bench::DefaultConfig();
+  inc_config.incremental_distance = true;
+  RunSoak(state, inc_config, static_cast<std::size_t>(state.range(0)),
+          static_cast<std::size_t>(state.range(1)));
+}
+BENCHMARK(BM_LowChurnSoak)
+    ->Args({16, 128})
+    ->Args({16, 512})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMillisecond);
+
+// The composition matrix: incremental distance under incremental traces
+// and/or parallel marking must keep its verdicts and its savings per cell.
+void BM_ConfigMatrix(benchmark::State& state) {
+  CollectorConfig inc_config = bench::DefaultConfig();
+  inc_config.incremental_distance = true;
+  inc_config.incremental_trace = state.range(0) != 0;
+  inc_config.mark_threads = static_cast<std::size_t>(state.range(1));
+  RunSoak(state, inc_config, /*sites=*/16, /*slots_per_site=*/128);
+}
+BENCHMARK(BM_ConfigMatrix)
+    ->ArgNames({"inc_trace", "mark_threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Crash-restart mid-soak: the label plane on the restarted site must fall
+// back to one full rebuild (a nonzero fallback_rate) and then resume
+// repairing, with the twins still agreeing on everything.
+void BM_CrashRestartFallback(benchmark::State& state) {
+  CollectorConfig inc_config = bench::DefaultConfig();
+  inc_config.incremental_distance = true;
+  RunSoak(state, inc_config, /*sites=*/16, /*slots_per_site=*/128,
+          /*crash_epoch=*/kWarmupEpochs + 5);
+}
+BENCHMARK(BM_CrashRestartFallback)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_distance.json");
+}

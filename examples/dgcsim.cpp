@@ -33,7 +33,8 @@ int Usage(const char* argv0) {
                "          [--rounds R] [--threshold D] [--crash S] "
                "[--batch W] [--seed S]\n"
                "          [--mark-threads N] [--trace-threads N] "
-               "[--dump] [--dot]\n",
+               "[--incremental-distance]\n"
+               "          [--dump] [--dot]\n",
                argv0);
   return 2;
 }
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
   std::size_t mark_threads = 1;
   std::size_t trace_threads = 1;
   std::uint64_t seed = 42;
+  bool incremental_distance = false;
   bool dump = false, dot = false, csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       trace_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--incremental-distance") {
+      incremental_distance = true;
     } else if (arg == "--dump") {
       dump = true;
     } else if (arg == "--dot") {
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
   config.report_timeout = crash_site >= 0 ? 3000 : 0;
   config.mark_threads = mark_threads > 0 ? mark_threads : 1;
   config.trace_threads = trace_threads > 0 ? trace_threads : 1;
+  config.incremental_distance = incremental_distance;
   NetworkConfig net;
   net.batch_window = batch_window;
   System system(sites, config, net, seed);

@@ -5,6 +5,7 @@ Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
     bench_compare.py --check-fault-recovery BENCH_fault_recovery.json
     bench_compare.py --check-parallel-mark BENCH_parallel_mark.json
+    bench_compare.py --check-distance BENCH_distance.json
     bench_compare.py --self-test
 
 Compares every benchmark present in both files. Gated user counters:
@@ -42,6 +43,16 @@ threads (the host_cpus counter) — at least 0.35x-per-thread speedup (e.g.
 2.8x at 8 threads). On smaller hosts the speedup is reported as info: it is
 physically impossible there, not a regression.
 
+``--check-distance`` gates a single BENCH_distance.json on absolute bounds:
+every soak row must show relabel_reduction >= 10 (the incremental maintainer
+relabels at least 10x fewer objects than the full re-propagation twin on the
+low-churn soak), fallback_rate <= 0.25 (full rebuilds stay the exception),
+and label_serve_rate >= 0.01 (the label plane actually served traces — a
+vacuous run must not pass).
+
+Every gate degrades with a clear one-line error (exit 2, never a Python
+traceback) when its input or baseline JSON is missing or malformed.
+
 Exit codes: 0 = no regression, 1 = regression detected, 2 = usage/input error.
 """
 
@@ -68,6 +79,9 @@ def load_benchmarks(path):
              "(not a google-benchmark JSON file?)")
     out = {}
     for row in rows:
+        if not isinstance(row, dict) or "name" not in row:
+            _die(f"error: {path} has a benchmark row without a name "
+                 "(malformed google-benchmark JSON?)")
         # Aggregate rows (mean/median/stddev) would double-count; keep the
         # plain iteration rows and the 'mean' aggregate if that is all there is.
         if row.get("run_type") == "aggregate" and row.get(
@@ -275,6 +289,64 @@ def check_parallel_mark(path):
     return 0
 
 
+# --- incremental-distance absolute gate --------------------------------------
+
+# The ISSUE acceptance bar: on the <1% churn soak the label maintainer must
+# relabel at least 10x fewer objects than the full re-propagation twin,
+# fallback rebuilds included.
+MIN_RELABEL_REDUCTION = 10.0
+# Full rebuilds (crash restarts, budget blowouts, threshold breaches) must
+# stay the exception, or the "incremental" plane is full propagation in
+# disguise.
+MAX_FALLBACK_RATE = 0.25
+# The plane must actually have served traces; a run where every trace went
+# down some other path would pass the ratios vacuously.
+MIN_LABEL_SERVE_RATE = 0.01
+
+
+def check_distance(path):
+    """Gate BENCH_distance.json rows on absolute incremental-distance bounds.
+
+    The benchmark itself aborts on any verdict divergence between the twins
+    (DGC_CHECK), so rows present in the file already carry identical sweeps;
+    this gate checks the savings those verdicts were supposed to buy.
+    """
+    rows = load_benchmarks(path)
+    failures = []
+    checked = 0
+    for name in sorted(rows):
+        row = rows[name]
+        if "relabel_reduction" not in row:
+            continue
+        checked += 1
+        reduction = float(row["relabel_reduction"])
+        fallback = float(row.get("fallback_rate", 0.0))
+        serve = float(row.get("label_serve_rate", 0.0))
+        problems = []
+        if reduction < MIN_RELABEL_REDUCTION:
+            problems.append("relabel_reduction")
+        if fallback > MAX_FALLBACK_RATE:
+            problems.append("fallback_rate")
+        if serve < MIN_LABEL_SERVE_RATE:
+            problems.append("label_serve_rate")
+        ok = not problems
+        print(f"{'ok' if ok else 'FAIL':>10}  {name}: relabel_reduction "
+              f"{reduction:.4g} (min {MIN_RELABEL_REDUCTION:g}), "
+              f"fallback_rate {fallback:.4g} (max {MAX_FALLBACK_RATE:g}), "
+              f"label_serve_rate {serve:.4g} (min {MIN_LABEL_SERVE_RATE:g})")
+        failures.extend(f"{name} ({p})" for p in problems)
+    if checked == 0:
+        _die(f"error: {path} has no rows with a relabel_reduction counter "
+             "(not an incremental-distance benchmark file?)")
+    if failures:
+        print(f"\n{len(failures)} incremental-distance bound(s) violated:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nall incremental-distance bounds hold across {checked} row(s)")
+    return 0
+
+
 # --- self test --------------------------------------------------------------
 
 _FIXTURE_BASE = {
@@ -304,6 +376,17 @@ _FIXTURE_PARALLEL_MARK = {
         {"name": "BM_ParallelMark_Throughput/8", "run_type": "iteration",
          "real_time": 1.6, "mark_threads": 8.0, "host_cpus": 16.0,
          "objects_per_sec": 250e6},
+    ]
+}
+
+_FIXTURE_DISTANCE = {
+    "benchmarks": [
+        {"name": "BM_LowChurnSoak/16/128", "run_type": "iteration",
+         "real_time": 11.0, "relabel_reduction": 2000.0,
+         "fallback_rate": 0.0, "label_serve_rate": 1.0},
+        {"name": "BM_CrashRestartFallback", "run_type": "iteration",
+         "real_time": 8.0, "relabel_reduction": 300.0,
+         "fallback_rate": 0.003, "label_serve_rate": 0.99},
     ]
 }
 
@@ -436,6 +519,60 @@ def _self_test():
     assert mark_with(small_host) == 0, \
         "speedup must not be gated without the cores"
 
+    def distance_with(fixture):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "distance.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fixture, fh)
+            return check_distance(path)
+
+    # Incremental-distance bounds: the healthy fixture passes.
+    assert distance_with(copy.deepcopy(_FIXTURE_DISTANCE)) == 0, \
+        "healthy incremental-distance run must pass"
+
+    # Relabeling within 10x of the full twin fails the acceptance bar.
+    heavy_labels = copy.deepcopy(_FIXTURE_DISTANCE)
+    heavy_labels["benchmarks"][0]["relabel_reduction"] = 5.0
+    assert distance_with(heavy_labels) == 1, "sub-10x reduction must fail"
+
+    # A plane that mostly falls back to full rebuilds fails.
+    flaky = copy.deepcopy(_FIXTURE_DISTANCE)
+    flaky["benchmarks"][1]["fallback_rate"] = 0.5
+    assert distance_with(flaky) == 1, "rebuild-dominated plane must fail"
+
+    # A run where labels never served a trace is vacuous and fails.
+    vacuous = copy.deepcopy(_FIXTURE_DISTANCE)
+    vacuous["benchmarks"][0]["label_serve_rate"] = 0.0
+    assert distance_with(vacuous) == 1, "never-serving plane must fail"
+
+    # Every gate must degrade with a clear message and exit code 2 — never a
+    # Python traceback — when its input/baseline JSON does not exist.
+    def expect_clean_exit(fn, *args):
+        try:
+            fn(*args)
+        except SystemExit as err:
+            assert err.code == 2, f"missing input must exit 2, got {err.code}"
+            return
+        raise AssertionError("missing input must exit via sys.exit(2)")
+
+    missing = os.path.join(tempfile.gettempdir(), "bench_compare_no_such.json")
+    assert not os.path.exists(missing)
+    expect_clean_exit(run_compare, missing, missing, 0.10)
+    expect_clean_exit(check_fault_recovery, missing)
+    expect_clean_exit(check_parallel_mark, missing)
+    expect_clean_exit(check_distance, missing)
+
+    # ...and the same for structurally malformed files.
+    with tempfile.TemporaryDirectory() as tmp:
+        broken = os.path.join(tmp, "broken.json")
+        with open(broken, "w", encoding="utf-8") as fh:
+            fh.write("{\"benchmarks\": [{\"real_time\": 1.0}]}")
+        expect_clean_exit(check_distance, broken)
+        not_bench = os.path.join(tmp, "not_bench.json")
+        with open(not_bench, "w", encoding="utf-8") as fh:
+            fh.write("{\"context\": {}}")
+        expect_clean_exit(run_compare, not_bench, not_bench, 0.10)
+
     print("bench_compare self-test: all cases passed")
     return 0
 
@@ -455,6 +592,9 @@ def main(argv=None):
     parser.add_argument("--check-parallel-mark", metavar="FILE",
                         help="gate a BENCH_parallel_mark.json against its own "
                              "1-thread row (no baseline needed)")
+    parser.add_argument("--check-distance", metavar="FILE",
+                        help="gate a BENCH_distance.json on absolute "
+                             "incremental-distance bounds (no baseline needed)")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -463,6 +603,8 @@ def main(argv=None):
         return check_fault_recovery(args.check_fault_recovery)
     if args.check_parallel_mark:
         return check_parallel_mark(args.check_parallel_mark)
+    if args.check_distance:
+        return check_distance(args.check_distance)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2

@@ -14,9 +14,11 @@
 #                                 # parking, and restart-purge paths hardest,
 #                                 # so this is the fast sanitizer smoke run
 #   check_sanitize.sh --tsan      # ThreadSanitizer over the concurrency-heavy
-#                                 # suites (-L "parallel|chaos"): the parallel
-#                                 # mark/trace tests plus the chaos harness,
-#                                 # the code that actually runs threads
+#                                 # suites (-L "parallel|chaos|distance"): the
+#                                 # parallel mark/trace tests, the chaos
+#                                 # harness, and the distance-label suite
+#                                 # (whose config matrix runs mark_threads > 1
+#                                 # against the listener-driven label plane)
 #   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,7 +33,7 @@ if [[ "${1:-}" == "--chaos" ]]; then
 elif [[ "${1:-}" == "--tsan" ]]; then
   SANITIZE=thread
   DEFAULT_BUILD_DIR=build-tsan
-  CTEST_ARGS+=(-L 'parallel|chaos')
+  CTEST_ARGS+=(-L 'parallel|chaos|distance')
   shift
 fi
 CTEST_ARGS+=("$@")

@@ -73,6 +73,36 @@ std::size_t SiteBackInfo::ApplyOutsetDelta(
   return delta_ops;
 }
 
+SiteBackInfo SiteBackInfo::PatchedFrom(const SiteBackInfo& prev,
+                                       const OutsetMap& fresh_outsets,
+                                       std::uint64_t* outsets_reused) {
+  SiteBackInfo patched;
+  patched.inref_outsets = prev.inref_outsets;
+  patched.outref_insets = prev.outref_insets;
+  for (const auto& [obj, outset] : prev.inref_outsets) {
+    (void)outset;
+    if (!fresh_outsets.contains(obj)) {
+      patched.ApplyOutsetDelta(obj, {});
+    }
+  }
+  for (const auto& [obj, outset] : fresh_outsets) {
+    const auto old_it = prev.inref_outsets.find(obj);
+    if (old_it != prev.inref_outsets.end() && old_it->second == outset) {
+      if (outsets_reused != nullptr) ++*outsets_reused;
+      continue;
+    }
+    patched.ApplyOutsetDelta(obj, outset);
+  }
+  DGC_DCHECK(patched.inref_outsets == fresh_outsets);
+#if !defined(NDEBUG)
+  SiteBackInfo rebuilt;
+  rebuilt.inref_outsets = patched.inref_outsets;
+  rebuilt.RecomputeInsets();
+  DGC_DCHECK(rebuilt.outref_insets == patched.outref_insets);
+#endif
+  return patched;
+}
+
 std::size_t SiteBackInfo::stored_elements() const {
   std::size_t total = 0;
   for (const auto& [inref_obj, outset] : inref_outsets) {

@@ -125,6 +125,16 @@ struct SiteBackInfo {
   std::size_t ApplyOutsetDelta(ObjectId inref_obj,
                                const std::vector<ObjectId>& new_outset);
 
+  /// Builds this trace's back info by patching the previous trace's forward:
+  /// copies `prev`, removes the outsets of inrefs absent from
+  /// `fresh_outsets`, applies a delta for each changed outset, and skips —
+  /// counting into `outsets_reused` — every inref whose outset is verbatim
+  /// unchanged. O(changed memberships) plus two flat copies, and exactly
+  /// equivalent to storing `fresh_outsets` and calling RecomputeInsets.
+  [[nodiscard]] static SiteBackInfo PatchedFrom(const SiteBackInfo& prev,
+                                               const OutsetMap& fresh_outsets,
+                                               std::uint64_t* outsets_reused);
+
   /// Σ of stored set elements — the O(ni + no)-style space figure reported
   /// by bench_outset_sharing (counts both views).
   [[nodiscard]] std::size_t stored_elements() const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/distance.h"
 #include "common/logging.h"
 
 namespace dgc {
@@ -104,7 +105,8 @@ void BackTracer::HandleLocalCall(const Envelope& envelope,
     return;
   }
   entry->MarkVisited(msg.trace);
-  entry->back_threshold += tables_.config().back_threshold_increment;
+  entry->back_threshold =
+      AddDistance(entry->back_threshold, tables_.config().back_threshold_increment);
   VisitRecord& record = TouchRecord(msg.trace);
   record.outrefs.push_back(msg.ref);
   record.last_touched = scheduler_.now();
@@ -163,7 +165,8 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
     return;
   }
   entry->MarkVisited(msg.trace);
-  entry->back_threshold += tables_.config().back_threshold_increment;
+  entry->back_threshold =
+      AddDistance(entry->back_threshold, tables_.config().back_threshold_increment);
   VisitRecord& record = TouchRecord(msg.trace);
   record.inrefs.push_back(msg.ref);
   record.last_touched = scheduler_.now();

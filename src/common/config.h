@@ -50,9 +50,11 @@ struct CollectorConfig {
   /// visits it (Section 4.3), so live suspects eventually stop triggering.
   Distance back_threshold_increment = 4;
 
-  /// Initial back threshold D2 = suspicion_threshold + estimated_cycle_length.
+  /// Initial back threshold D2 = suspicion_threshold + estimated_cycle_length
+  /// (saturating: configuring either near infinity must not wrap D2 around
+  /// to a threshold every suspect immediately exceeds).
   [[nodiscard]] Distance initial_back_threshold() const {
-    return suspicion_threshold + estimated_cycle_length;
+    return AddDistance(suspicion_threshold, estimated_cycle_length);
   }
 
   /// Simulated duration of a local trace. Zero models an atomic trace
@@ -172,6 +174,40 @@ struct CollectorConfig {
   /// Costs a full trace per reuse — a correctness harness for tests, not a
   /// production mode. Ignored unless incremental_trace is on.
   bool incremental_differential = false;
+
+  /// Incremental distance propagation: maintain per-object distance labels
+  /// (minimum inter-site-hop estimate, Section 3's heuristic) under edge-
+  /// level repair instead of re-deriving every distance with a full forward
+  /// trace per round. Heap mutations are observed eagerly at the
+  /// Heap::SetSlot write barrier; root and ioref contribution changes are
+  /// reconciled lazily at trace time. An edge or contribution *decrease*
+  /// repairs by a bounded ripple from the changed edge; an increase or
+  /// delete invalidates and re-floors only the affected cone. The label
+  /// plane then serves the trace result directly (clean set, sweep set,
+  /// outref distances) with the suspect outsets recomputed against it. The
+  /// labels fall back to full forward propagation when they go stale:
+  /// crash-restart, a distance report crossing the suspicion threshold
+  /// upward, or a repair exceeding distance_repair_budget. Every served
+  /// result is bit-identical to the full trace's (the repairs are exact,
+  /// not approximate); incremental_distance_differential asserts that.
+  /// Default off preserves the historical recompute-every-round behavior
+  /// bit for bit.
+  bool incremental_distance = false;
+
+  /// Differential self-check for incremental distance labels: every
+  /// label-served trace ALSO runs the full trace and compares the results,
+  /// and re-runs the full forward propagation and compares the repaired
+  /// label plane against it bit for bit, aborting on divergence. A
+  /// correctness harness for tests, not a production mode. Ignored unless
+  /// incremental_distance is on.
+  bool incremental_distance_differential = false;
+
+  /// Maximum label writes one distance repair (ripple or cone re-floor) may
+  /// perform before the maintainer declares the plane stale and the next
+  /// trace falls back to full propagation. Caps the "bounded" in bounded
+  /// repair: a topology change whose cone approaches the heap size is
+  /// cheaper to re-propagate wholesale than to repair. Zero = unlimited.
+  std::size_t distance_repair_budget = 4096;
 
   /// Graceful degradation under failures: when the network's failure
   /// detector (NetworkConfig::heartbeat_period) suspects the destination of

@@ -17,10 +17,26 @@ using Distance = std::uint32_t;
 /// outref before any local trace has propagated a value to it.
 inline constexpr Distance kDistanceInfinity = std::numeric_limits<Distance>::max();
 
+/// Saturating distance addition: every increment of a Distance value must go
+/// through here (or NextDistance) so a near-infinity estimate pins at
+/// infinity instead of wrapping around to a tiny — and therefore *clean* —
+/// distance, which would unsuspect garbage forever.
+[[nodiscard]] constexpr Distance AddDistance(Distance a, Distance b) {
+  return a >= kDistanceInfinity - b ? kDistanceInfinity : a + b;
+}
+
 /// distance + 1 with saturation at infinity (a path through an unreachable
 /// ioref stays unreachable).
 [[nodiscard]] constexpr Distance NextDistance(Distance d) {
-  return d == kDistanceInfinity ? kDistanceInfinity : d + 1;
+  return AddDistance(d, 1);
 }
+
+/// Label value assigned by the incremental distance plane to objects held
+/// alive by a root whose own distance estimate is infinity (an inref entry
+/// with an empty source list): still a retention root — everything it
+/// reaches survives the sweep — but no finite hop count flows from it. One
+/// below infinity, so such objects are distinguishable from garbage
+/// (label == infinity) while staying suspect (label > any real threshold).
+inline constexpr Distance kDistanceUnreachedRoot = kDistanceInfinity - 1;
 
 }  // namespace dgc

@@ -83,6 +83,12 @@ std::string DescribeSite(const Site& site) {
        << site.stats().mark_wall_ns << " ns marking, "
        << site.stats().mark_steals << " shard steals\n";
   }
+  if (site.config().incremental_distance) {
+    os << "  distance labels: " << site.stats().distance_repairs
+       << " repairs, " << site.stats().distance_fallbacks << " fallbacks, "
+       << site.stats().objects_relabeled << " objects relabeled, "
+       << site.stats().label_serves << " label serves\n";
+  }
   return os.str();
 }
 

@@ -25,6 +25,10 @@ void MetricsRecorder::Capture(const System& system) {
     sample.quiescent_skips += site.stats().quiescent_skips;
     sample.objects_retraced += site.stats().objects_retraced;
     sample.outsets_reused += site.stats().outsets_reused;
+    sample.distance_repairs += site.stats().distance_repairs;
+    sample.distance_fallbacks += site.stats().distance_fallbacks;
+    sample.objects_relabeled += site.stats().objects_relabeled;
+    sample.label_serves += site.stats().label_serves;
     sample.mark_wall_ns += site.stats().mark_wall_ns;
     sample.mark_steals += site.stats().mark_steals;
   }
@@ -74,7 +78,9 @@ std::string MetricsRecorder::ToCsv() const {
         "slab_free_slots,slab_occupancy,quiescent_skips,objects_retraced,"
         "outsets_reused,mark_wall_ns,mark_steals,pool_batches,"
         "pool_tasks_run,pool_occupancy,retransmits,dup_suppressed,"
-        "stale_incarnation_rejected,calls_parked,fd_suspicions\n";
+        "stale_incarnation_rejected,calls_parked,fd_suspicions,"
+        "distance_repairs,distance_fallbacks,objects_relabeled,"
+        "label_serves\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -90,7 +96,9 @@ std::string MetricsRecorder::ToCsv() const {
        << ',' << s.pool_batches << ',' << s.pool_tasks_run << ','
        << s.pool_occupancy << ',' << s.retransmits << ','
        << s.dup_suppressed << ',' << s.stale_incarnation_rejected << ','
-       << s.calls_parked << ',' << s.fd_suspicions << '\n';
+       << s.calls_parked << ',' << s.fd_suspicions << ','
+       << s.distance_repairs << ',' << s.distance_fallbacks << ','
+       << s.objects_relabeled << ',' << s.label_serves << '\n';
   }
   return os.str();
 }

@@ -1,0 +1,414 @@
+#include "localgc/distance_labels.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dgc {
+
+void DistanceLabels::EnsureCapacity() {
+  const std::size_t n = heap_.slot_capacity();
+  if (label_.size() >= n) return;
+  label_.resize(n, kDistanceInfinity);
+  contrib_.resize(n, kDistanceInfinity);
+  succs_.resize(n);
+  preds_.resize(n);
+  remote_targets_.resize(n);
+  cone_stamp_.resize(n, 0);
+}
+
+void DistanceLabels::AddSupport(ObjectId target, Distance label,
+                                std::uint32_t count) {
+  support_[target][label] += count;
+}
+
+void DistanceLabels::SubSupport(ObjectId target, Distance label,
+                                std::uint32_t count) {
+  const auto it = support_.find(target);
+  DGC_CHECK_MSG(it != support_.end(), "no support entry for " << target);
+  const auto jt = it->second.find(label);
+  DGC_CHECK_MSG(jt != it->second.end() && jt->second >= count,
+                "support underflow for " << target << " at label " << label);
+  jt->second -= count;
+  if (jt->second == 0) it->second.erase(jt);
+  if (it->second.empty()) support_.erase(it);
+}
+
+void DistanceLabels::Relabel(std::uint64_t slot, Distance value) {
+  const Distance old = label_[slot];
+  if (old == value) return;
+  // Keep the remote-support index keyed by the holder's label across the
+  // change (a holder is support only while label <= threshold).
+  const auto& remotes = remote_targets_[slot];
+  if (!remotes.empty()) {
+    for (const auto& [target, count] : remotes) {
+      if (old <= threshold_) SubSupport(target, old, count);
+      if (value <= threshold_) AddSupport(target, value, count);
+    }
+  }
+  label_[slot] = value;
+  ++stats_.objects_relabeled;
+  ++writes_this_event_;
+  if (budget_ != 0 && writes_this_event_ > budget_) MarkStale();
+}
+
+Distance DistanceLabels::FloorOf(std::uint64_t slot) const {
+  Distance floor = contrib_[slot];
+  for (const auto& [pred, count] : preds_[slot]) {
+    (void)count;
+    floor = std::min(floor, label_[pred]);
+  }
+  return floor;
+}
+
+void DistanceLabels::RepairAt(std::uint64_t slot) {
+  if (!fresh_) return;
+  const Distance floor = FloorOf(slot);
+  if (floor < label_[slot]) {
+    RippleDown(slot, floor);
+    return;
+  }
+  // floor >= label: the label may need to rise. A contribution equal to the
+  // label anchors the slot independently of every predecessor; an
+  // equal-labeled predecessor does NOT — it may sit on a cycle through this
+  // very slot and be about to rise with it. Anything short of a
+  // contribution anchor walks the dependent cone (exact, possibly a no-op).
+  if (label_[slot] == kDistanceInfinity) return;
+  if (contrib_[slot] == label_[slot]) return;
+  Refloor(slot);
+}
+
+void DistanceLabels::RippleDown(std::uint64_t slot, Distance value) {
+  if (!fresh_) return;
+  // Exact: every slot reached here had label > value, and edges cost zero,
+  // so its new minimum is exactly value.
+  Relabel(slot, value);
+  bfs_stack_.clear();
+  bfs_stack_.push_back(slot);
+  while (!bfs_stack_.empty() && fresh_) {
+    const std::uint64_t current = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (const auto& [succ, count] : succs_[current]) {
+      (void)count;
+      if (label_[succ] <= value) continue;
+      Relabel(succ, value);
+      bfs_stack_.push_back(succ);
+    }
+  }
+}
+
+void DistanceLabels::Refloor(std::uint64_t slot) {
+  if (!fresh_) return;
+  const Distance level = label_[slot];
+  // The dependent cone: slots labeled `level` reachable from the change
+  // through slots labeled `level`. Anything labeled lower has support
+  // independent of this slot; any equal-labeled slot reachable only through
+  // lower-labeled ones keeps its label through them.
+  ++cone_epoch_;
+  cone_members_.clear();
+  bfs_stack_.clear();
+  cone_stamp_[slot] = cone_epoch_;
+  cone_members_.push_back(slot);
+  bfs_stack_.push_back(slot);
+  while (!bfs_stack_.empty()) {
+    const std::uint64_t current = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (const auto& [succ, count] : succs_[current]) {
+      (void)count;
+      if (label_[succ] != level || cone_stamp_[succ] == cone_epoch_) continue;
+      cone_stamp_[succ] = cone_epoch_;
+      cone_members_.push_back(succ);
+      bfs_stack_.push_back(succ);
+    }
+  }
+  // Invalidate the cone, then re-seed each member from its contribution and
+  // its out-of-cone predecessors (whose labels are independent of the cone)
+  // and settle best-first. Members no seed reaches stay at infinity.
+  for (const std::uint64_t member : cone_members_) {
+    Relabel(member, kDistanceInfinity);
+    if (!fresh_) return;
+  }
+  using Entry = std::pair<Distance, std::uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  for (const std::uint64_t member : cone_members_) {
+    Distance seed = contrib_[member];
+    for (const auto& [pred, count] : preds_[member]) {
+      (void)count;
+      if (cone_stamp_[pred] != cone_epoch_) seed = std::min(seed, label_[pred]);
+    }
+    if (seed != kDistanceInfinity) frontier.emplace(seed, member);
+  }
+  while (!frontier.empty() && fresh_) {
+    const auto [value, current] = frontier.top();
+    frontier.pop();
+    if (label_[current] <= value) continue;
+    Relabel(current, value);
+    for (const auto& [succ, count] : succs_[current]) {
+      (void)count;
+      if (label_[succ] > value) frontier.emplace(value, succ);
+    }
+  }
+}
+
+void DistanceLabels::SetContribution(std::uint64_t slot, Distance value) {
+  const Distance old = contrib_[slot];
+  if (old == value) return;
+  // Suspicion-threshold breach: a distance report lifted a clean root to a
+  // finite suspect distance. Rare (it means the inref's remote holders all
+  // ripened past the threshold at once), and the fallback trigger the paper
+  // calls for. A removal (-> infinity) stays on the exact re-floor path:
+  // root churn is the dominant soak workload.
+  if (old <= threshold_ && value > threshold_ && value != kDistanceInfinity) {
+    ++stats_.threshold_breaches;
+    MarkStale();
+    return;
+  }
+  contrib_[slot] = value;
+  if (value == kDistanceInfinity) {
+    contrib_map_.erase(slot);
+  } else {
+    contrib_map_[slot] = value;
+  }
+  if (value < label_[slot]) {
+    RippleDown(slot, value);
+  } else if (old == label_[slot]) {
+    // The old contribution was (possibly) what held the label down; repair.
+    // When it sat above the label it never mattered and nothing moves.
+    RepairAt(slot);
+  }
+}
+
+void DistanceLabels::ReconcileContributions(const ContributionMap& contribs) {
+  DGC_DCHECK(fresh_);
+  EnsureCapacity();
+  // Collect the diff before applying: SetContribution edits contrib_map_.
+  std::vector<std::pair<std::uint64_t, Distance>> changes;
+  for (const auto& [slot, value] : contribs) {
+    if (slot < contrib_.size() && contrib_[slot] == value) continue;
+    changes.emplace_back(slot, value);
+  }
+  for (const auto& [slot, value] : contrib_map_) {
+    (void)value;
+    if (!contribs.contains(slot)) {
+      changes.emplace_back(slot, kDistanceInfinity);
+    }
+  }
+  for (const auto& [slot, value] : changes) {
+    BeginEvent();
+    SetContribution(slot, value);
+    EndEvent();
+    if (!fresh_) return;
+  }
+}
+
+void DistanceLabels::OnAllocate(ObjectId id) {
+  if (!fresh_) return;
+  EnsureCapacity();
+  const std::uint64_t slot = Heap::SlotOfIndex(id.index);
+  // A fresh object has null slots, no edges and no contribution yet. A
+  // recycled slot was fully unlinked by OnFree; reset defensively anyway.
+  label_[slot] = kDistanceInfinity;
+  contrib_[slot] = kDistanceInfinity;
+  contrib_map_.erase(slot);
+  DGC_DCHECK(succs_[slot].empty() && preds_[slot].empty() &&
+             remote_targets_[slot].empty());
+}
+
+void DistanceLabels::OnSlotWrite(ObjectId source, ObjectId previous,
+                                 ObjectId next) {
+  if (!fresh_) return;
+  if (previous == next) return;
+  BeginEvent();
+  const std::uint64_t src = Heap::SlotOfIndex(source.index);
+  const SiteId self = heap_.site();
+  if (previous.valid()) {
+    if (previous.site != self) {
+      auto& remotes = remote_targets_[src];
+      const auto it = remotes.find(previous);
+      DGC_CHECK_MSG(it != remotes.end(),
+                    "severed remote edge " << previous << " not mirrored");
+      if (--it->second == 0) remotes.erase(it);
+      if (label_[src] <= threshold_) SubSupport(previous, label_[src], 1);
+    } else if (heap_.Exists(previous)) {
+      const std::uint64_t prev_slot = Heap::SlotOfIndex(previous.index);
+      auto& out = succs_[src];
+      const auto oit = out.find(prev_slot);
+      DGC_CHECK_MSG(oit != out.end(),
+                    "severed local edge to slot " << prev_slot
+                                                  << " not mirrored");
+      if (--oit->second == 0) out.erase(oit);
+      auto& in = preds_[prev_slot];
+      const auto iit = in.find(src);
+      DGC_CHECK(iit != in.end());
+      if (--iit->second == 0) in.erase(iit);
+      // The severed edge mattered to the target only if the source sat at
+      // the target's level (the invariant rules out sitting below it).
+      if (label_[src] <= label_[prev_slot]) RepairAt(prev_slot);
+    }
+    // Local but nonexistent: a dangling id whose edge was already unlinked
+    // when its target was freed.
+  }
+  if (next.valid() && fresh_) {
+    if (next.site != self) {
+      ++remote_targets_[src][next];
+      if (label_[src] <= threshold_) AddSupport(next, label_[src], 1);
+    } else if (heap_.Exists(next)) {
+      const std::uint64_t next_slot = Heap::SlotOfIndex(next.index);
+      ++succs_[src][next_slot];
+      ++preds_[next_slot][src];
+      // A new edge can only lower the target's minimum; the source's own
+      // label is unaffected by its out-edges.
+      if (label_[src] < label_[next_slot]) {
+        RippleDown(next_slot, label_[src]);
+      }
+    }
+  }
+  EndEvent();
+}
+
+void DistanceLabels::OnFree(ObjectId id) {
+  if (!fresh_) return;
+  BeginEvent();
+  const std::uint64_t slot = Heap::SlotOfIndex(id.index);
+  if (contrib_[slot] != kDistanceInfinity) {
+    contrib_[slot] = kDistanceInfinity;
+    contrib_map_.erase(slot);
+  }
+  if (label_[slot] <= threshold_) {
+    for (const auto& [target, count] : remote_targets_[slot]) {
+      SubSupport(target, label_[slot], count);
+    }
+  }
+  remote_targets_[slot].clear();
+  // Unlink out-edges both ways, then repair each former successor (its floor
+  // may have risen). Former predecessors just drop the edge: a slot's label
+  // never depends on its own out-edges.
+  std::vector<std::uint64_t> former_succs;
+  former_succs.reserve(succs_[slot].size());
+  for (const auto& [succ, count] : succs_[slot]) {
+    (void)count;
+    former_succs.push_back(succ);
+    preds_[succ].erase(slot);
+  }
+  succs_[slot].clear();
+  for (const auto& [pred, count] : preds_[slot]) {
+    (void)count;
+    succs_[pred].erase(slot);
+  }
+  preds_[slot].clear();
+  const Distance freed_label = label_[slot];
+  label_[slot] = kDistanceInfinity;  // dead slot; not a relabel
+  for (const std::uint64_t succ : former_succs) {
+    if (!fresh_) break;
+    // Same pruning as a severed edge: a higher-labeled holder never
+    // supported the successor's label in the first place.
+    if (freed_label <= label_[succ]) RepairAt(succ);
+  }
+  EndEvent();
+}
+
+DistanceLabels::Propagated DistanceLabels::FullPropagation(
+    const Heap& heap, Distance threshold, const ContributionMap& contribs) {
+  Propagated out;
+  const std::size_t capacity = heap.slot_capacity();
+  out.labels.assign(capacity, kDistanceInfinity);
+
+  // Sources in increasing contribution order: the first touch of a slot
+  // writes its final (minimum) label, so every slot is written at most once.
+  std::vector<std::pair<Distance, std::uint64_t>> sources;
+  sources.reserve(contribs.size());
+  for (const auto& [slot, value] : contribs) {
+    sources.emplace_back(value, slot);
+  }
+  std::sort(sources.begin(), sources.end());
+
+  const SiteId self = heap.site();
+  std::vector<std::uint64_t> stack;
+  for (const auto& [value, source] : sources) {
+    if (value == kDistanceInfinity) continue;
+    if (!heap.SlotLive(source) || out.labels[source] <= value) continue;
+    out.labels[source] = value;
+    ++out.writes;
+    stack.clear();
+    stack.push_back(source);
+    while (!stack.empty()) {
+      const std::uint64_t current = stack.back();
+      stack.pop_back();
+      for (const ObjectId target : heap.ObjectAtSlot(current).slots) {
+        if (!target.valid() || target.site != self) continue;
+        if (!heap.Exists(target)) continue;
+        const std::uint64_t slot = Heap::SlotOfIndex(target.index);
+        if (out.labels[slot] <= value) continue;
+        out.labels[slot] = value;
+        ++out.writes;
+        stack.push_back(slot);
+      }
+    }
+  }
+
+  for (std::uint64_t slot = 0; slot < capacity; ++slot) {
+    if (!heap.SlotLive(slot) || out.labels[slot] > threshold) continue;
+    for (const ObjectId target : heap.ObjectAtSlot(slot).slots) {
+      if (target.valid() && target.site != self) {
+        ++out.support[target][out.labels[slot]];
+      }
+    }
+  }
+  return out;
+}
+
+void DistanceLabels::RebuildFromScratch(const ContributionMap& contribs) {
+  const std::size_t capacity = heap_.slot_capacity();
+  contrib_.assign(capacity, kDistanceInfinity);
+  succs_.assign(capacity, {});
+  preds_.assign(capacity, {});
+  remote_targets_.assign(capacity, {});
+  cone_stamp_.assign(capacity, 0);
+  cone_epoch_ = 0;
+  contrib_map_ = contribs;
+  for (const auto& [slot, value] : contribs) {
+    DGC_DCHECK(slot < capacity);
+    contrib_[slot] = value;
+  }
+  const SiteId self = heap_.site();
+  heap_.ForEach([&](ObjectId id, const Object& object) {
+    const std::uint64_t slot = Heap::SlotOfIndex(id.index);
+    for (const ObjectId target : object.slots) {
+      if (!target.valid()) continue;
+      if (target.site != self) {
+        ++remote_targets_[slot][target];
+      } else if (heap_.Exists(target)) {
+        const std::uint64_t target_slot = Heap::SlotOfIndex(target.index);
+        ++succs_[slot][target_slot];
+        ++preds_[target_slot][slot];
+      }
+    }
+  });
+  Propagated propagated = FullPropagation(heap_, threshold_, contribs);
+  label_ = std::move(propagated.labels);
+  support_ = std::move(propagated.support);
+  // The propagation's writes count toward objects_relabeled: falling back is
+  // part of the maintenance cost, not free.
+  stats_.objects_relabeled += propagated.writes;
+  ++stats_.rebuilds;
+  fresh_ = true;
+}
+
+void DistanceLabels::VerifyAgainstFullPropagation(
+    const ContributionMap& contribs) const {
+  DGC_CHECK_MSG(fresh_, "verifying a stale label plane");
+  const Propagated oracle = FullPropagation(heap_, threshold_, contribs);
+  DGC_CHECK_MSG(label_.size() == oracle.labels.size(),
+                "label plane size diverged: " << label_.size() << " vs "
+                                              << oracle.labels.size());
+  for (std::size_t slot = 0; slot < label_.size(); ++slot) {
+    DGC_CHECK_MSG(label_[slot] == oracle.labels[slot],
+                  "label diverged at slot " << slot << ": repaired "
+                                            << label_[slot] << ", full "
+                                            << oracle.labels[slot]);
+  }
+  DGC_CHECK_MSG(support_ == oracle.support,
+                "outref support index diverged from full propagation");
+}
+
+}  // namespace dgc

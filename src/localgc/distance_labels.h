@@ -1,0 +1,206 @@
+// Incremental distance-label maintenance (Section 3's heuristic under
+// edge-level repair).
+//
+// The classic collector re-derives every object's distance estimate with a
+// full forward trace each round — Θ(heap) per topology change. This
+// maintainer keeps a per-storage-slot *label* standing invariant instead:
+//
+//   label(o) = min over contribution sources s that reach o of contrib(s)
+//
+// where a contribution source is a persistent/application root (contrib 0)
+// or a non-garbage-flagged inref (contrib = its estimated distance, with an
+// unreached inref — empty source list, distance infinity — pinned at
+// kDistanceUnreachedRoot so what it retains stays distinguishable from
+// garbage). Intra-site edges cost nothing, so the label plane is a
+// reachability-min, not a weighted shortest path, and it reproduces the full
+// trace's verdicts exactly:
+//
+//   clean-marked(o)      <=>  label(o) <= suspicion_threshold
+//   swept(o)             <=>  label(o) == infinity
+//   clean outref dist(r) ==   NextDistance(min label over holders of r
+//                                          with label <= threshold)
+//
+// Repairs are bounded and exact, never approximate:
+//
+//   * decrease (new edge, contribution drop): a ripple — BFS from the change
+//     setting label = the new floor on every reachable slot whose label
+//     exceeds it. Exact because min(old, f) = f there.
+//   * increase/delete (severed edge, contribution removal): invalidate and
+//     re-floor the affected *cone* — exactly the slots with the old label
+//     reachable from the change through slots of that same label (anything
+//     labeled lower has support independent of the change; anything equal
+//     but unreachable through equals is supported elsewhere). The cone is
+//     re-seeded from contributions and out-of-cone predecessors and settled
+//     with a best-first (min-heap) pass.
+//
+// Heap mutations arrive eagerly through HeapMutationListener; the maintainer
+// keeps its OWN adjacency mirror (succs/preds/remote targets per slot),
+// updated transactionally per event, because during a slot overwrite the
+// physical array necessarily disagrees with one of the two semantic states.
+// Root/inref contribution changes are reconciled lazily at trace time by
+// diffing the desired contribution map against the stored one.
+//
+// The plane goes *stale* — and the next trace falls back to one full forward
+// propagation (RebuildFromScratch) — on crash-restart (MarkStale from the
+// collector), on a repair exceeding the configured budget, and on a distance
+// report crossing the suspicion threshold upward to a finite value (the
+// paper's "suspicion threshold breach": rare, and cheaper to re-propagate
+// than to repair precisely). While stale every event is ignored; the rebuild
+// re-derives labels, adjacency and support from the heap wholesale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/ids.h"
+#include "store/heap.h"
+
+namespace dgc {
+
+class DistanceLabels : public HeapMutationListener {
+ public:
+  /// Desired contribution per storage slot (min over the sources naming that
+  /// slot); slots absent from the map contribute infinity.
+  using ContributionMap = std::map<std::uint64_t, Distance>;
+
+  /// Remote target -> (holder label -> number of (holder, slot) pairs with
+  /// that label), holders restricted to label <= threshold. The minimum key
+  /// plus one is the target's clean outref distance.
+  using SupportIndex = std::map<ObjectId, std::map<Distance, std::uint32_t>>;
+
+  /// Cumulative counters (never reset; consumers report deltas).
+  struct Stats {
+    /// Mutation/contribution events that relabeled at least one slot.
+    std::uint64_t repairs = 0;
+    /// Full forward propagations (initial build, post-stale rebuilds).
+    std::uint64_t rebuilds = 0;
+    /// Label writes, by repairs AND by rebuild propagation — the honest
+    /// total cost of keeping the plane current.
+    std::uint64_t objects_relabeled = 0;
+    /// Contribution changes that crossed the suspicion threshold upward to a
+    /// finite value and staled the plane.
+    std::uint64_t threshold_breaches = 0;
+  };
+
+  /// `repair_budget` caps label writes per repair event (0 = unlimited);
+  /// exceeding it stales the plane mid-repair, which is safe because stale
+  /// state is never read again before a rebuild.
+  DistanceLabels(Heap& heap, Distance suspicion_threshold,
+                 std::size_t repair_budget)
+      : heap_(heap), threshold_(suspicion_threshold), budget_(repair_budget) {}
+
+  DistanceLabels(const DistanceLabels&) = delete;
+  DistanceLabels& operator=(const DistanceLabels&) = delete;
+
+  // --- HeapMutationListener --------------------------------------------
+
+  void OnAllocate(ObjectId id) override;
+  void OnSlotWrite(ObjectId source, ObjectId previous, ObjectId next) override;
+  void OnFree(ObjectId id) override;
+
+  // --- Trace-time interface --------------------------------------------
+
+  /// False until the first rebuild and again after any staleness trigger;
+  /// labels and support must not be read while stale.
+  [[nodiscard]] bool fresh() const { return fresh_; }
+
+  /// Drops the plane (crash-restart, external invalidation). Idempotent.
+  void MarkStale() { fresh_ = false; }
+
+  /// Full forward propagation: re-derives adjacency, labels and support from
+  /// the heap and `contribs`. The only way to leave the stale state.
+  void RebuildFromScratch(const ContributionMap& contribs);
+
+  /// Diffs `contribs` against the stored contribution map and repairs each
+  /// difference (or stales the plane on a threshold breach). Requires
+  /// fresh(); may leave the plane stale — re-check fresh() after.
+  void ReconcileContributions(const ContributionMap& contribs);
+
+  [[nodiscard]] Distance LabelOfSlot(std::uint64_t slot) const {
+    DGC_DCHECK(fresh_ && slot < label_.size());
+    return label_[slot];
+  }
+
+  [[nodiscard]] const SupportIndex& outref_support() const {
+    DGC_DCHECK(fresh_);
+    return support_;
+  }
+
+  /// Differential oracle: recomputes labels and support with the full
+  /// forward propagation and aborts unless both match the maintained state
+  /// bit for bit.
+  void VerifyAgainstFullPropagation(const ContributionMap& contribs) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Writes one label, maintaining the remote-support index across the
+  /// change and charging the repair budget. May stale the plane.
+  void Relabel(std::uint64_t slot, Distance value);
+
+  /// min(contribution, min over predecessor labels) — the value the slot's
+  /// label must equal for the invariant to hold at it.
+  [[nodiscard]] Distance FloorOf(std::uint64_t slot) const;
+
+  /// Re-establishes the invariant at `slot` after its floor changed:
+  /// ripple down on decrease, cone re-floor on increase.
+  void RepairAt(std::uint64_t slot);
+  void RippleDown(std::uint64_t slot, Distance value);
+  void Refloor(std::uint64_t slot);
+
+  /// Applies one contribution change (staling on a threshold breach).
+  void SetContribution(std::uint64_t slot, Distance value);
+
+  void AddSupport(ObjectId target, Distance label, std::uint32_t count);
+  void SubSupport(ObjectId target, Distance label, std::uint32_t count);
+
+  /// Grows the per-slot arrays to the heap's current capacity.
+  void EnsureCapacity();
+
+  /// Shared by RebuildFromScratch and VerifyAgainstFullPropagation: one full
+  /// forward propagation over the heap as it stands.
+  struct Propagated {
+    std::vector<Distance> labels;
+    SupportIndex support;
+    std::uint64_t writes = 0;
+  };
+  [[nodiscard]] static Propagated FullPropagation(
+      const Heap& heap, Distance threshold, const ContributionMap& contribs);
+
+  // Event bracket: counts the event as one repair if it relabeled anything
+  // and resets the per-event budget.
+  void BeginEvent() { writes_this_event_ = 0; }
+  void EndEvent() {
+    if (writes_this_event_ > 0) ++stats_.repairs;
+  }
+
+  Heap& heap_;
+  const Distance threshold_;
+  const std::size_t budget_;
+
+  bool fresh_ = false;
+  std::vector<Distance> label_;
+  std::vector<Distance> contrib_;
+  /// Non-infinite contributions only (the diff surface for reconcile).
+  ContributionMap contrib_map_;
+  /// Adjacency mirror over LOCAL live edges, by storage slot, with
+  /// multiplicity (an object may hold the same target in several slots).
+  std::vector<std::map<std::uint64_t, std::uint32_t>> succs_;
+  std::vector<std::map<std::uint64_t, std::uint32_t>> preds_;
+  /// Remote slot targets per holder slot, with multiplicity.
+  std::vector<std::map<ObjectId, std::uint32_t>> remote_targets_;
+  SupportIndex support_;
+  /// Cone membership stamps for Refloor (epoch-tagged to avoid clearing).
+  std::vector<std::uint64_t> cone_stamp_;
+  std::uint64_t cone_epoch_ = 0;
+  /// Scratch buffers reused across repairs.
+  std::vector<std::uint64_t> bfs_stack_;
+  std::vector<std::uint64_t> cone_members_;
+
+  std::size_t writes_this_event_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dgc
