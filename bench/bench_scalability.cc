@@ -17,16 +17,6 @@ namespace {
 
 using namespace dgc;
 
-void AddLiveData(System& system, std::size_t per_site) {
-  for (SiteId s = 0; s < system.site_count(); ++s) {
-    const ObjectId root = system.NewObject(s, per_site);
-    system.SetPersistentRoot(root);
-    for (std::size_t i = 0; i < per_site; ++i) {
-      system.Wire(root, i, system.NewObject(s, 0));
-    }
-  }
-}
-
 void BM_Scale_SystemSizeFixedGarbage(benchmark::State& state) {
   const std::size_t sites = static_cast<std::size_t>(state.range(0));
   std::uint64_t backtrace_msgs = 0;
@@ -35,10 +25,8 @@ void BM_Scale_SystemSizeFixedGarbage(benchmark::State& state) {
   for (auto _ : state) {
     CollectorConfig config = dgc::bench::DefaultConfig();
     System system(sites, config);
-    const auto cycle = workload::BuildCycle(
-        system, {.sites = 2, .objects_per_site = 1});
-    AddLiveData(system, 4);
-    system.network().ResetStats();
+    const auto cycle = dgc::bench::BuildCycleScenario(
+        system, {.cycle_sites = 2, .objects_per_site = 1, .live_per_site = 4});
     rounds = dgc::bench::RoundsUntilCollected(system, cycle, 40);
     const NetworkStats& stats = system.network().stats();
     backtrace_msgs = stats.count_of<BackLocalCallMsg>() +
@@ -66,10 +54,10 @@ void BM_Scale_CycleSizeFixedSystem(benchmark::State& state) {
     CollectorConfig config = dgc::bench::DefaultConfig();
     config.estimated_cycle_length = static_cast<Distance>(cycle_sites + 2);
     System system(32, config);
-    const auto cycle = workload::BuildCycle(
-        system, {.sites = cycle_sites, .objects_per_site = 1});
-    AddLiveData(system, 4);
-    system.network().ResetStats();
+    const auto cycle = dgc::bench::BuildCycleScenario(
+        system,
+        {.cycle_sites = cycle_sites, .objects_per_site = 1,
+         .live_per_site = 4});
     dgc::bench::RoundsUntilCollected(system, cycle, 80);
     const NetworkStats& stats = system.network().stats();
     backtrace_msgs = stats.count_of<BackLocalCallMsg>() +
@@ -142,21 +130,6 @@ BENCHMARK(BM_Scale_TraceThreads)
 // Custom main: default the file reporter to BENCH_trace_scalability.json for
 // scripts/bench_compare.py. An explicit --benchmark_out still wins.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_trace_scalability.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int count = static_cast<int>(args.size());
-  benchmark::Initialize(&count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return dgc::bench::RunBenchmarksWithDefaultOut(
+      argc, argv, "BENCH_trace_scalability.json");
 }

@@ -1,0 +1,203 @@
+// Scale engine: open-loop 100-site / 10^6-object runs (ROADMAP: "millions of
+// users" means the collector must hold up at deployment scale, not bench
+// scale).
+//
+// Rows:
+//   * BM_Scale_OpenLoop/<sites>/<objects_per_site>: instantiate a power-law
+//     topology, then drive actor-style request/reply churn at a fixed
+//     arrival rate while staggered collection rounds overlap — no drain
+//     between mutations. Reports sustained mutation throughput, p50/p99
+//     time-to-collect (simulated ticks from tether-sever to full
+//     reclamation), messages per collected cycle, a peak-RSS proxy (VmHWM)
+//     and the flat-table reuse counters. The small row is the CI gate; the
+//     100 x 10'000 row is the headline configuration.
+//   * BM_Scale_TableMutation/<impl>/<entries>: the per-mutation table cost
+//     the flat swap targets — an identical find/insert/erase mix against
+//     FlatMap (impl 1) and the old std::map (impl 0) at per-site table
+//     sizes, so bench_compare.py --check-scale can assert the flat path is
+//     measurably cheaper.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "workload/scale.h"
+
+namespace {
+
+using namespace dgc;
+
+/// Peak resident set (VmHWM) in MiB, from /proc/self/status; 0 when the
+/// proc interface is unavailable.
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      double kb = 0.0;
+      fields >> kb;
+      return kb / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+void BM_Scale_OpenLoop(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  const auto objects_per_site = static_cast<std::size_t>(state.range(1));
+
+  std::uint64_t mutations = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t severed = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t grows = 0;
+  SimTime p50 = 0;
+  SimTime p99 = 0;
+
+  for (auto _ : state) {
+    CollectorConfig config = dgc::bench::DefaultConfig();
+    System system(sites, config);
+
+    workload::ScaleTopologySpec topo;
+    topo.sites = sites;
+    topo.objects_per_site = objects_per_site;
+    topo.seed = 42;
+    const workload::ScaleTopologyPlan plan = workload::BuildScaleTopology(topo);
+    workload::InstantiateScaleTopology(system, plan);
+    system.network().ResetStats();
+
+    workload::ScaleDriverSpec drive;
+    drive.duration = 20'000;
+    drive.mean_interarrival = 5;
+    drive.mean_lifetime = 400;
+    drive.round_period = 500;
+    drive.seed = 7;
+    workload::ScaleDriver driver(system, drive);
+    driver.Run();
+
+    mutations = driver.stats().mutations;
+    collected = driver.stats().cohorts_collected;
+    severed = driver.stats().cohorts_severed;
+    backlog = driver.backlog();
+    messages = system.network().stats().inter_site_sent;
+    p50 = driver.time_to_collect().Quantile(0.5);
+    p99 = driver.time_to_collect().Quantile(0.99);
+    reuses = 0;
+    grows = 0;
+    for (SiteId s = 0; s < system.site_count(); ++s) {
+      reuses += system.site(s).stats().table_slot_reuses;
+      grows += system.site(s).stats().table_slot_grows;
+    }
+  }
+
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["objects"] =
+      static_cast<double>(sites * objects_per_site);
+  state.counters["mutations_per_sec"] = benchmark::Counter(
+      static_cast<double>(mutations), benchmark::Counter::kIsRate);
+  state.counters["cycles_collected"] = static_cast<double>(collected);
+  state.counters["cycles_severed"] = static_cast<double>(severed);
+  state.counters["backlog"] = static_cast<double>(backlog);
+  state.counters["ttc_p50"] = static_cast<double>(p50);
+  state.counters["ttc_p99"] = static_cast<double>(p99);
+  state.counters["msgs_per_cycle"] =
+      collected == 0 ? 0.0
+                     : static_cast<double>(messages) /
+                           static_cast<double>(collected);
+  state.counters["table_slot_reuses"] = static_cast<double>(reuses);
+  state.counters["table_slot_grows"] = static_cast<double>(grows);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+}
+// The small row gates CI; the 100 x 10'000 row is the paper-scale headline
+// (10^6 objects, single iteration — construction dominates re-runs).
+BENCHMARK(BM_Scale_OpenLoop)
+    ->Args({10, 2'000})
+    ->Args({100, 10'000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// The table traffic one driver mutation induces on a site's ref tables.
+/// Object ids are allocated monotonically, so barrier inserts land at the
+/// tail of the key order; actor cohorts die young, so erases also hit near
+/// the tail (a sliding window of `window` churn keys). Lookups — the bulk of
+/// the traffic, from barriers and trace scans — span the whole table. This
+/// is the pattern that favours a sorted vector: contiguous binary search for
+/// the lookups, O(window) shifts (not O(table)) for the structural ops.
+template <typename Map>
+std::uint64_t RunMutationMix(Map& map, Rng& rng, std::size_t ops,
+                             std::uint64_t bulk, std::uint64_t window,
+                             std::uint64_t& next_key) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    // Barrier and trace lookups: mostly the long-lived topology bulk, some
+    // against the in-flight churn region.
+    for (int k = 0; k < 6; ++k) {
+      const auto it = map.find(ObjectId{0, rng.NextBelow(bulk)});
+      if (it != map.end()) acc += static_cast<std::uint64_t>(it->second);
+    }
+    for (int k = 0; k < 2; ++k) {
+      const auto it = map.find(ObjectId{0, next_key - 1 - rng.NextBelow(window)});
+      if (it != map.end()) acc += static_cast<std::uint64_t>(it->second);
+    }
+    // Transfer barrier on a fresh object; its cohort dies `window` ids later.
+    map[ObjectId{0, next_key}] = static_cast<int>(i);
+    map.erase(ObjectId{0, next_key - window});
+    ++next_key;
+  }
+  return acc;
+}
+
+void BM_Scale_TableMutation(benchmark::State& state) {
+  const bool use_flat = state.range(0) == 1;
+  const auto entries = static_cast<std::size_t>(state.range(1));
+  constexpr std::uint64_t kChurnWindow = 64;
+  constexpr std::size_t kOpsPerIteration = 10'000;
+
+  FlatMap<ObjectId, int> flat;
+  std::map<ObjectId, int> tree;
+  std::uint64_t next_key = 0;
+  // Long-lived topology bulk plus a warm churn window at the tail.
+  for (; next_key < entries + kChurnWindow; ++next_key) {
+    if (use_flat) {
+      flat[ObjectId{0, next_key}] = static_cast<int>(next_key);
+    } else {
+      tree[ObjectId{0, next_key}] = static_cast<int>(next_key);
+    }
+  }
+
+  Rng rng(1234);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += use_flat ? RunMutationMix(flat, rng, kOpsPerIteration, entries,
+                                     kChurnWindow, next_key)
+                    : RunMutationMix(tree, rng, kOpsPerIteration, entries,
+                                     kChurnWindow, next_key);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kOpsPerIteration));
+  state.counters["entries"] = static_cast<double>(entries);
+  state.counters["flat"] = use_flat ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Scale_TableMutation)
+    ->Args({0, 2'048})
+    ->Args({1, 2'048})
+    ->Args({0, 16'384})
+    ->Args({1, 16'384})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_scale.json");
+}

@@ -45,6 +45,39 @@ inline CollectorConfig DefaultConfig() {
   return config;
 }
 
+/// Per-site rooted live data: one persistent root per site fanning out to
+/// `per_site` leaf objects — the standing live world scenarios need so local
+/// traces and back traces have non-garbage work to skip.
+inline void AddRootedLiveData(System& system, std::size_t per_site) {
+  for (SiteId s = 0; s < system.site_count(); ++s) {
+    const ObjectId root = system.NewObject(s, per_site);
+    system.SetPersistentRoot(root);
+    for (std::size_t i = 0; i < per_site; ++i) {
+      system.Wire(root, i, system.NewObject(s, 0));
+    }
+  }
+}
+
+/// The canonical scenario most benches were assembling by hand: a garbage
+/// ring spanning `cycle_sites` sites plus rooted live data on every site,
+/// with network counters reset so the measured traffic starts at the
+/// scenario boundary.
+struct CycleScenarioSpec {
+  std::size_t cycle_sites = 2;
+  std::size_t objects_per_site = 1;
+  std::size_t live_per_site = 4;
+};
+
+inline workload::CycleHandles BuildCycleScenario(
+    System& system, const CycleScenarioSpec& spec) {
+  const workload::CycleHandles cycle = workload::BuildCycle(
+      system,
+      {.sites = spec.cycle_sites, .objects_per_site = spec.objects_per_site});
+  AddRootedLiveData(system, spec.live_per_site);
+  system.network().ResetStats();
+  return cycle;
+}
+
 /// Runs rounds until the ring cycle is fully reclaimed; returns the number
 /// of rounds taken (or max_rounds if it never happened).
 inline std::size_t RoundsUntilCollected(System& system,

@@ -6,6 +6,7 @@ Usage:
     bench_compare.py --check-fault-recovery BENCH_fault_recovery.json
     bench_compare.py --check-parallel-mark BENCH_parallel_mark.json
     bench_compare.py --check-distance BENCH_distance.json
+    bench_compare.py --check-scale BENCH_scale.json
     bench_compare.py --self-test
 
 Compares every benchmark present in both files. Gated user counters:
@@ -49,6 +50,14 @@ relabels at least 10x fewer objects than the full re-propagation twin on the
 low-churn soak), fallback_rate <= 0.25 (full rebuilds stay the exception),
 and label_serve_rate >= 0.01 (the label plane actually served traces — a
 vacuous run must not pass).
+
+``--check-scale`` gates a single BENCH_scale.json on absolute bounds: every
+open-loop row must show the collector keeping up with the arrival rate
+(cycles_collected >= 0.5x cycles_severed, end-of-run backlog <= 0.5x
+severed) with a bounded time-to-collect tail (p99 <= 10000 simulated
+ticks); and each flat/map table-mutation pair must show the flat table
+measurably cheaper than the std::map baseline (time ratio <= 0.95). The
+open-loop counters are simulation-clock values, deterministic per seed.
 
 Every gate degrades with a clear one-line error (exit 2, never a Python
 traceback) when its input or baseline JSON is missing or malformed.
@@ -347,6 +356,94 @@ def check_distance(path):
     return 0
 
 
+# Scale-engine bounds (BENCH_scale.json). The open-loop counters are purely
+# simulated (deterministic for a given seed), so absolute bounds are stable
+# across hosts; only the flat-vs-map ratio involves wall time, and it gets a
+# wide margin for noisy single-CPU runners.
+# The collector must keep up with the arrival rate: most severed cycles are
+# reclaimed within the run, not deferred to a quiesce phase.
+MIN_COLLECTED_FRACTION = 0.5
+# Time-to-collect tail bound in simulated ticks (the drivers use a 500-tick
+# round period; measured p99 is ~4k ticks, so 10k means "a few rounds, not
+# dozens").
+MAX_TTC_P99 = 10_000.0
+# Uncollected-severed backlog at end of run, as a fraction of everything
+# severed: bounded work-in-flight, not an ever-growing queue.
+MAX_BACKLOG_FRACTION = 0.5
+# The flat table must be measurably cheaper than the std::map baseline on the
+# same mutation mix: flat_time <= 0.95 * map_time (measured ~0.5-0.8x).
+MAX_FLAT_VS_MAP_RATIO = 0.95
+
+
+def check_scale(path):
+    """Gate BENCH_scale.json on absolute open-loop and flat-table bounds.
+
+    Open-loop rows carry simulation-clock counters (deterministic per seed);
+    the table-mutation rows compare FlatMap against the std::map it replaced
+    on identical op streams.
+    """
+    rows = load_benchmarks(path)
+    failures = []
+    open_loop = 0
+    mutation_rows = {}
+    for name in sorted(rows):
+        row = rows[name]
+        if "ttc_p50" in row and "cycles_severed" in row:
+            open_loop += 1
+            collected = float(row.get("cycles_collected", 0.0))
+            severed = float(row.get("cycles_severed", 0.0))
+            backlog = float(row.get("backlog", 0.0))
+            p50 = float(row["ttc_p50"])
+            p99 = float(row.get("ttc_p99", 0.0))
+            problems = []
+            if severed <= 0 or collected < MIN_COLLECTED_FRACTION * severed:
+                problems.append("cycles_collected")
+            if p50 <= 0 or p99 < p50:
+                problems.append("ttc_percentiles")
+            if p99 > MAX_TTC_P99:
+                problems.append("ttc_p99")
+            if backlog > MAX_BACKLOG_FRACTION * severed:
+                problems.append("backlog")
+            ok = not problems
+            print(f"{'ok' if ok else 'FAIL':>10}  {name}: collected "
+                  f"{collected:g}/{severed:g} severed (min "
+                  f"{MIN_COLLECTED_FRACTION:g}x), ttc p50/p99 "
+                  f"{p50:g}/{p99:g} (max p99 {MAX_TTC_P99:g}), "
+                  f"backlog {backlog:g}")
+            failures.extend(f"{name} ({p})" for p in problems)
+        elif "flat" in row and "entries" in row:
+            key = float(row["entries"])
+            mutation_rows.setdefault(key, {})[float(row["flat"])] = row
+    if open_loop == 0:
+        _die(f"error: {path} has no open-loop rows with ttc_p50/"
+             "cycles_severed counters (not a scale benchmark file?)")
+    pairs = 0
+    for entries in sorted(mutation_rows):
+        pair = mutation_rows[entries]
+        if 0.0 not in pair or 1.0 not in pair:
+            continue
+        pairs += 1
+        map_time = float(pair[0.0].get("real_time", 0.0))
+        flat_time = float(pair[1.0].get("real_time", 0.0))
+        ratio = flat_time / map_time if map_time > 0 else float("inf")
+        ok = ratio <= MAX_FLAT_VS_MAP_RATIO
+        print(f"{'ok' if ok else 'FAIL':>10}  table mutation @{entries:g} "
+              f"entries: flat/map time ratio {ratio:.3f} "
+              f"(max {MAX_FLAT_VS_MAP_RATIO:g})")
+        if not ok:
+            failures.append(f"table mutation @{entries:g} (flat_vs_map_ratio)")
+    if pairs == 0:
+        _die(f"error: {path} has no flat/map table-mutation row pairs")
+    if failures:
+        print(f"\n{len(failures)} scale bound(s) violated:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nall scale bounds hold across {open_loop} open-loop row(s) and "
+          f"{pairs} table pair(s)")
+    return 0
+
+
 # --- self test --------------------------------------------------------------
 
 _FIXTURE_BASE = {
@@ -387,6 +484,20 @@ _FIXTURE_DISTANCE = {
         {"name": "BM_CrashRestartFallback", "run_type": "iteration",
          "real_time": 8.0, "relabel_reduction": 300.0,
          "fallback_rate": 0.003, "label_serve_rate": 0.99},
+    ]
+}
+
+_FIXTURE_SCALE = {
+    "benchmarks": [
+        {"name": "BM_Scale_OpenLoop/10/2000/iterations:1",
+         "run_type": "iteration", "real_time": 1000.0,
+         "cycles_collected": 3600.0, "cycles_severed": 4200.0,
+         "backlog": 580.0, "ttc_p50": 3000.0, "ttc_p99": 3950.0,
+         "msgs_per_cycle": 12.0},
+        {"name": "BM_Scale_TableMutation/0/2048", "run_type": "iteration",
+         "real_time": 11000.0, "flat": 0.0, "entries": 2048.0},
+        {"name": "BM_Scale_TableMutation/1/2048", "run_type": "iteration",
+         "real_time": 8500.0, "flat": 1.0, "entries": 2048.0},
     ]
 }
 
@@ -545,6 +656,37 @@ def _self_test():
     vacuous["benchmarks"][0]["label_serve_rate"] = 0.0
     assert distance_with(vacuous) == 1, "never-serving plane must fail"
 
+    def scale_with(fixture):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "scale.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fixture, fh)
+            return check_scale(path)
+
+    # Scale bounds: the healthy fixture passes.
+    assert scale_with(copy.deepcopy(_FIXTURE_SCALE)) == 0, \
+        "healthy scale run must pass"
+
+    # A collector that falls behind the arrival rate fails.
+    behind = copy.deepcopy(_FIXTURE_SCALE)
+    behind["benchmarks"][0]["cycles_collected"] = 100.0
+    assert scale_with(behind) == 1, "collector falling behind must fail"
+
+    # An unbounded end-of-run backlog fails.
+    queued = copy.deepcopy(_FIXTURE_SCALE)
+    queued["benchmarks"][0]["backlog"] = 3000.0
+    assert scale_with(queued) == 1, "unbounded backlog must fail"
+
+    # A time-to-collect tail of dozens of rounds fails.
+    tail = copy.deepcopy(_FIXTURE_SCALE)
+    tail["benchmarks"][0]["ttc_p99"] = 50000.0
+    assert scale_with(tail) == 1, "ttc tail blowup must fail"
+
+    # A flat table no cheaper than the std::map it replaced fails.
+    regressed = copy.deepcopy(_FIXTURE_SCALE)
+    regressed["benchmarks"][2]["real_time"] = 11000.0
+    assert scale_with(regressed) == 1, "flat-vs-map regression must fail"
+
     # Every gate must degrade with a clear message and exit code 2 — never a
     # Python traceback — when its input/baseline JSON does not exist.
     def expect_clean_exit(fn, *args):
@@ -561,6 +703,7 @@ def _self_test():
     expect_clean_exit(check_fault_recovery, missing)
     expect_clean_exit(check_parallel_mark, missing)
     expect_clean_exit(check_distance, missing)
+    expect_clean_exit(check_scale, missing)
 
     # ...and the same for structurally malformed files.
     with tempfile.TemporaryDirectory() as tmp:
@@ -595,6 +738,9 @@ def main(argv=None):
     parser.add_argument("--check-distance", metavar="FILE",
                         help="gate a BENCH_distance.json on absolute "
                              "incremental-distance bounds (no baseline needed)")
+    parser.add_argument("--check-scale", metavar="FILE",
+                        help="gate a BENCH_scale.json on absolute open-loop "
+                             "and flat-table bounds (no baseline needed)")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -605,6 +751,8 @@ def main(argv=None):
         return check_parallel_mark(args.check_parallel_mark)
     if args.check_distance:
         return check_distance(args.check_distance)
+    if args.check_scale:
+        return check_scale(args.check_scale)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2

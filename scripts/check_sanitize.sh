@@ -14,11 +14,12 @@
 #                                 # parking, and restart-purge paths hardest,
 #                                 # so this is the fast sanitizer smoke run
 #   check_sanitize.sh --tsan      # ThreadSanitizer over the concurrency-heavy
-#                                 # suites (-L "parallel|chaos|distance"): the
-#                                 # parallel mark/trace tests, the chaos
-#                                 # harness, and the distance-label suite
-#                                 # (whose config matrix runs mark_threads > 1
-#                                 # against the listener-driven label plane)
+#                                 # suites (-L "parallel|chaos|distance|scale"):
+#                                 # the parallel mark/trace tests, the chaos
+#                                 # harness, the distance-label suite (whose
+#                                 # config matrix runs mark_threads > 1 against
+#                                 # the listener-driven label plane), and the
+#                                 # down-scaled open-loop scale smoke
 #   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,7 +34,7 @@ if [[ "${1:-}" == "--chaos" ]]; then
 elif [[ "${1:-}" == "--tsan" ]]; then
   SANITIZE=thread
   DEFAULT_BUILD_DIR=build-tsan
-  CTEST_ARGS+=(-L 'parallel|chaos|distance')
+  CTEST_ARGS+=(-L 'parallel|chaos|distance|scale')
   shift
 fi
 CTEST_ARGS+=("$@")

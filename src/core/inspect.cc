@@ -89,6 +89,10 @@ std::string DescribeSite(const Site& site) {
        << site.stats().objects_relabeled << " objects relabeled, "
        << site.stats().label_serves << " label serves\n";
   }
+  os << "  ref tables: " << site.stats().table_slot_capacity
+     << " slots (occupancy " << site.stats().table_occupancy << "), "
+     << site.stats().table_slot_reuses << " slot reuses, "
+     << site.stats().table_slot_grows << " grows\n";
   return os.str();
 }
 

@@ -10,6 +10,7 @@ void MetricsRecorder::Capture(const System& system) {
   sample.time = system.scheduler().now();
   sample.objects_stored = system.TotalObjects();
   sample.objects_reclaimed = system.TotalObjectsReclaimed();
+  std::size_t table_live_entries = 0;
   for (SiteId s = 0; s < system.site_count(); ++s) {
     const Site& site = system.site(s);
     const Distance threshold = site.config().suspicion_threshold;
@@ -22,6 +23,11 @@ void MetricsRecorder::Capture(const System& system) {
       (void)ref;
       if (!entry.clean()) ++sample.suspected_outrefs;
     }
+    table_live_entries +=
+        site.tables().inrefs().size() + site.tables().outrefs().size();
+    sample.table_slot_reuses += site.stats().table_slot_reuses;
+    sample.table_slot_grows += site.stats().table_slot_grows;
+    sample.table_slot_capacity += site.stats().table_slot_capacity;
     sample.quiescent_skips += site.stats().quiescent_skips;
     sample.objects_retraced += site.stats().objects_retraced;
     sample.outsets_reused += site.stats().outsets_reused;
@@ -58,6 +64,11 @@ void MetricsRecorder::Capture(const System& system) {
   sample.slab_slot_capacity = occupancy.slot_capacity;
   sample.slab_free_slots = occupancy.free_slots;
   sample.slab_occupancy = occupancy.occupancy();
+  sample.table_occupancy =
+      sample.table_slot_capacity == 0
+          ? 1.0
+          : static_cast<double>(table_live_entries) /
+                static_cast<double>(sample.table_slot_capacity);
   samples_.push_back(sample);
 }
 
@@ -80,7 +91,8 @@ std::string MetricsRecorder::ToCsv() const {
         "pool_tasks_run,pool_occupancy,retransmits,dup_suppressed,"
         "stale_incarnation_rejected,calls_parked,fd_suspicions,"
         "distance_repairs,distance_fallbacks,objects_relabeled,"
-        "label_serves\n";
+        "label_serves,table_slot_reuses,table_slot_grows,"
+        "table_slot_capacity,table_occupancy\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -98,7 +110,9 @@ std::string MetricsRecorder::ToCsv() const {
        << s.dup_suppressed << ',' << s.stale_incarnation_rejected << ','
        << s.calls_parked << ',' << s.fd_suspicions << ','
        << s.distance_repairs << ',' << s.distance_fallbacks << ','
-       << s.objects_relabeled << ',' << s.label_serves << '\n';
+       << s.objects_relabeled << ',' << s.label_serves << ','
+       << s.table_slot_reuses << ',' << s.table_slot_grows << ','
+       << s.table_slot_capacity << ',' << s.table_occupancy << '\n';
   }
   return os.str();
 }

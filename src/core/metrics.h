@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "core/latency_reservoir.h"
 #include "core/system.h"
 
 namespace dgc {
@@ -59,6 +60,12 @@ struct MetricsSample {
   std::uint64_t stale_incarnation_rejected = 0;
   std::uint64_t calls_parked = 0;
   std::uint64_t fd_suspicions = 0;
+  // Flat ref-table slot churn across all sites (cumulative reuses/grows;
+  // capacity and occupancy at capture time).
+  std::uint64_t table_slot_reuses = 0;
+  std::uint64_t table_slot_grows = 0;
+  std::size_t table_slot_capacity = 0;
+  double table_occupancy = 1.0;
 };
 
 class MetricsRecorder {

@@ -596,6 +596,11 @@ void Site::CrashRestart() {
   // channel touching this site is dead-lettered — its connection state died
   // with the process too.
   network_.NoteSiteRestarted(id_);
+  // Dead-lettering dropped the old incarnation's recovery listener with the
+  // rest of its connection state; the new incarnation subscribes afresh.
+  network_.SetRecoveryListener(id_, [this](SiteId peer) {
+    back_tracer_.OnPeerRecovered(peer);
+  });
   // Volatile state dies with the process.
   ++trace_generation_;
   pending_trace_.reset();
@@ -640,7 +645,7 @@ void Site::ApplyTraceResult(TraceResult result) {
   const bool full_refresh =
       config_.update_refresh_period > 0 &&
       result.epoch % config_.update_refresh_period == 0;
-  std::map<SiteId, UpdateMsg> updates;
+  FlatMap<SiteId, UpdateMsg> updates;
   for (const ObjectId ref : result.snapshot_outrefs) {
     OutrefEntry* entry = tables_.FindOutref(ref);
     DGC_CHECK_MSG(entry != nullptr, "snapshot outref vanished: " << ref);

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -27,6 +26,7 @@
 #include "backinfo/site_back_info.h"
 #include "backtrace/back_tracer.h"
 #include "common/config.h"
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "localgc/local_collector.h"
 #include "net/network.h"
@@ -56,6 +56,14 @@ struct SiteStats {
   std::uint64_t distance_fallbacks = 0;  // full propagations (stale plane)
   std::uint64_t objects_relabeled = 0;   // cumulative label writes
   std::uint64_t label_serves = 0;        // traces served off the label plane
+  // Flat ref-table accounting, mirrored from RefTables when stats() is read:
+  // inserts absorbed by spare vector capacity vs. reallocations, and live
+  // entries over allocated slots. Steady-state churn should show reuses
+  // climbing while grows stay flat.
+  std::uint64_t table_slot_reuses = 0;
+  std::uint64_t table_slot_grows = 0;
+  std::size_t table_slot_capacity = 0;
+  double table_occupancy = 1.0;
 };
 
 class Site {
@@ -75,7 +83,16 @@ class Site {
   [[nodiscard]] const BackTracer& back_tracer() const { return back_tracer_; }
   [[nodiscard]] const SiteBackInfo& back_info() const { return back_info_; }
   [[nodiscard]] const LocalCollector& collector() const { return collector_; }
-  [[nodiscard]] const SiteStats& stats() const { return stats_; }
+  /// Refreshes the table-mirror fields (the tables mutate without passing
+  /// through Site, so they are snapshotted at read time) and returns the
+  /// stats block.
+  [[nodiscard]] const SiteStats& stats() const {
+    stats_.table_slot_reuses = tables_.slot_reuses();
+    stats_.table_slot_grows = tables_.slot_grows();
+    stats_.table_slot_capacity = tables_.slot_capacity();
+    stats_.table_occupancy = tables_.occupancy();
+    return stats_;
+  }
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
 
   /// Shares the system's persistent worker pool with this site's collector,
@@ -238,11 +255,14 @@ class Site {
   /// Bumped by CrashRestart so a stale scheduled trace-apply is discarded.
   std::uint64_t trace_generation_ = 0;
 
-  /// Application roots: local object -> hold count.
-  std::map<ObjectId, int> app_roots_;
+  /// Application roots: local object -> hold count. Flat sorted map — read
+  /// every trace (root enumeration) and mutated only at session boundaries.
+  FlatMap<ObjectId, int> app_roots_;
 
   /// Insert barrier: continuations awaiting the owner's ack, per reference.
-  std::map<ObjectId, std::vector<std::function<void()>>> pending_insert_acks_;
+  /// Flat sorted map: iteration order (ResendPendingInserts) matches the
+  /// std::map original, keeping resend message order bit-identical.
+  FlatMap<ObjectId, std::vector<std::function<void()>>> pending_insert_acks_;
 
   /// Deferred-insert mode: references whose inserts are queued or sent but
   /// not yet acknowledged; resent on every flush until the ack lands. The
@@ -264,7 +284,9 @@ class Site {
   std::unordered_map<std::uint64_t, PendingCommit> commit_continuations_;
 
   std::function<bool(const Envelope&)> extension_handler_;
-  SiteStats stats_;
+  /// Mutable only so the const stats() accessor can refresh the
+  /// table-mirror fields; every other write happens on non-const paths.
+  mutable SiteStats stats_;
 };
 
 }  // namespace dgc

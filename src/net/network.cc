@@ -21,12 +21,17 @@ Network::Network(Scheduler& scheduler, NetworkConfig config, Rng rng)
 
 void Network::RegisterSite(SiteId site, Handler handler) {
   DGC_CHECK(handler != nullptr);
-  const bool inserted = handlers_.emplace(site, std::move(handler)).second;
-  DGC_CHECK_MSG(inserted, "site " << site << " registered twice");
+  if (handlers_.size() <= site) {
+    handlers_.resize(static_cast<std::size_t>(site) + 1);
+  }
+  DGC_CHECK_MSG(handlers_[site] == nullptr, "site " << site
+                                                    << " registered twice");
+  handlers_[site] = std::move(handler);
 }
 
 void Network::Send(SiteId from, SiteId to, Payload payload) {
-  DGC_CHECK_MSG(handlers_.contains(to), "send to unregistered site " << to);
+  DGC_CHECK_MSG(to < handlers_.size() && handlers_[to] != nullptr,
+                "send to unregistered site " << to);
 
   Envelope envelope{from, to, std::move(payload)};
 
@@ -49,7 +54,9 @@ void Network::Send(SiteId from, SiteId to, Payload payload) {
   if (config_.batch_window > 0) {
     // Piggybacking: hold the payload briefly; everything queued on this
     // channel ships as one wire message when the window closes.
-    PendingBatch& batch = pending_batches_[ChannelKey(from, to)];
+    auto [it, created] = Shard(pending_batches_, from).try_emplace(to);
+    PendingBatch& batch = it->second;
+    if (created) batch.envelopes = AcquireBatchBuffer();
     batch.envelopes.push_back(std::move(envelope));
     if (batch.envelopes.size() == 1) {
       scheduler_.After(config_.batch_window,
@@ -57,20 +64,40 @@ void Network::Send(SiteId from, SiteId to, Payload payload) {
     }
     return;
   }
-  ShipBatch(from, to, {std::move(envelope)});
+  std::vector<Envelope> batch = AcquireBatchBuffer();
+  batch.push_back(std::move(envelope));
+  ShipBatch(from, to, std::move(batch));
 }
 
 void Network::FlushChannel(SiteId from, SiteId to) {
-  const auto it = pending_batches_.find(ChannelKey(from, to));
-  if (it == pending_batches_.end()) return;
+  auto& shard = Shard(pending_batches_, from);
+  const auto it = shard.find(to);
+  if (it == shard.end()) return;
   std::vector<Envelope> batch = std::move(it->second.envelopes);
   // The window closed and the channel went quiet: erase the entry rather
   // than parking an empty slot forever — Send re-creates it (and re-arms the
   // flush timer) on the channel's next payload, so long-running sims track
   // active channels instead of every pair that ever talked.
-  pending_batches_.erase(it);
-  if (batch.empty()) return;
+  shard.erase(it);
+  if (batch.empty()) {
+    ReleaseBatchBuffer(std::move(batch));
+    return;
+  }
   ShipBatch(from, to, std::move(batch));
+}
+
+std::vector<Envelope> Network::AcquireBatchBuffer() {
+  if (batch_pool_.empty()) return {};
+  std::vector<Envelope> buffer = std::move(batch_pool_.back());
+  batch_pool_.pop_back();
+  ++batch_pool_hits_;
+  return buffer;
+}
+
+void Network::ReleaseBatchBuffer(std::vector<Envelope>&& buffer) {
+  buffer.clear();
+  // Bounded: past this the extra buffers' allocations are not worth keeping.
+  if (batch_pool_.size() < 1024) batch_pool_.push_back(std::move(buffer));
 }
 
 SimTime Network::DrawLatency() {
@@ -103,7 +130,7 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
     // Enroll in the channel's retransmit queue; the entry is retired by a
     // cumulative ack (delivered), attempt exhaustion or an incarnation
     // purge (dropped).
-    SenderChannel& channel = sender_channels_[ChannelKey(from, to)];
+    SenderChannel& channel = Shard(sender_channels_, from)[to];
     if (channel.epoch == 0) channel.epoch = next_channel_epoch_++;
     channel.unacked.push_back(SenderEntry{channel.next_seq++, std::move(batch),
                                           incarnation(from), incarnation(to),
@@ -119,21 +146,22 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
     in_flight_ -= batch.size();
     DGC_LOG_TRACE("net: drop batch of " << batch.size() << " s" << from
                                         << "->s" << to);
+    ReleaseBatchBuffer(std::move(batch));
     return;
   }
 
   const SimTime latency = DrawLatency();
   // Amortized purge of inert FIFO-clamp entries: a channel whose last
   // delivery is in the past can never lift max(now + latency, last), so its
-  // entry is dead weight until the channel speaks again.
+  // entry is dead weight until the channel speaks again. The trigger is
+  // global (every shard is swept) so a shard whose sender went quiet is
+  // still purged by other sites' traffic.
   if (stats_.wire_messages % kChannelPurgePeriod == 0) {
-    const SimTime now = scheduler_.now();
-    std::erase_if(channel_last_delivery_,
-                  [now](const auto& entry) { return entry.second <= now; });
+    PurgeInertClampEntries();
   }
 
   // Clamp to preserve per-channel FIFO order (assumption R1 of Section 6.4).
-  SimTime& last = channel_last_delivery_[ChannelKey(from, to)];
+  SimTime& last = Shard(channel_last_delivery_, from)[to];
   const SimTime deliver_at = std::max(scheduler_.now() + latency, last);
   last = deliver_at;
 
@@ -141,7 +169,15 @@ void Network::ShipBatch(SiteId from, SiteId to, std::vector<Envelope> batch) {
     for (Envelope& envelope : batch) {
       Deliver(std::move(envelope));
     }
+    ReleaseBatchBuffer(std::move(batch));
   });
+}
+
+void Network::PurgeInertClampEntries() {
+  const SimTime now = scheduler_.now();
+  for (auto& shard : channel_last_delivery_) {
+    shard.erase_if([now](const auto& entry) { return entry.second <= now; });
+  }
 }
 
 // --- Reliable channels -----------------------------------------------------
@@ -175,23 +211,20 @@ void Network::TransmitWire(SiteId from, SiteId to, SenderEntry& entry) {
   }
   const SimTime latency = DrawLatency();
   if (stats_.wire_messages % kChannelPurgePeriod == 0) {
-    const SimTime now = scheduler_.now();
-    std::erase_if(channel_last_delivery_,
-                  [now](const auto& entry_kv) {
-                    return entry_kv.second <= now;
-                  });
+    PurgeInertClampEntries();
   }
   // The R1 FIFO clamp applies to every transmission; sequence numbers then
   // restore order across retransmissions the clamp cannot see.
-  SimTime& last = channel_last_delivery_[ChannelKey(from, to)];
+  SimTime& last = Shard(channel_last_delivery_, from)[to];
   const SimTime deliver_at = std::max(scheduler_.now() + latency, last);
   last = deliver_at;
   // Oldest outstanding seq at transmission time: everything below it is
   // delivered or abandoned, so the receiver may skip past gaps below it
   // (otherwise one exhausted retransmit budget wedges the channel forever).
-  const auto channel_it = sender_channels_.find(ChannelKey(from, to));
+  auto& sender_shard = Shard(sender_channels_, from);
+  const auto channel_it = sender_shard.find(to);
   const std::uint64_t base_seq =
-      channel_it != sender_channels_.end() && !channel_it->second.unacked.empty()
+      channel_it != sender_shard.end() && !channel_it->second.unacked.empty()
           ? channel_it->second.unacked.front().seq
           : entry.seq;
   scheduler_.At(deliver_at,
@@ -204,9 +237,9 @@ void Network::TransmitWire(SiteId from, SiteId to, SenderEntry& entry) {
 }
 
 void Network::ArmRetransmitTimer(SiteId from, SiteId to) {
-  const std::uint64_t key = ChannelKey(from, to);
-  const auto it = sender_channels_.find(key);
-  if (it == sender_channels_.end()) return;
+  auto& shard = Shard(sender_channels_, from);
+  const auto it = shard.find(to);
+  if (it == shard.end()) return;
   SenderChannel& channel = it->second;
   if (channel.timer_armed || channel.unacked.empty()) return;
   channel.timer_armed = true;
@@ -217,10 +250,10 @@ void Network::ArmRetransmitTimer(SiteId from, SiteId to) {
   SimTime delay = RetransmitBase() << shift;
   delay += static_cast<SimTime>(
       rng_.NextBelow(static_cast<std::uint64_t>(delay / 4) + 1));
-  scheduler_.After(delay, [this, from, to, key, epoch = channel.epoch] {
-    const auto timer_it = sender_channels_.find(key);
-    if (timer_it == sender_channels_.end() ||
-        timer_it->second.epoch != epoch) {
+  scheduler_.After(delay, [this, from, to, epoch = channel.epoch] {
+    auto& timer_shard = Shard(sender_channels_, from);
+    const auto timer_it = timer_shard.find(to);
+    if (timer_it == timer_shard.end() || timer_it->second.epoch != epoch) {
       return;  // channel purged (restart) since the timer was armed
     }
     SenderChannel& ch = timer_it->second;
@@ -241,14 +274,15 @@ void Network::ArmRetransmitTimer(SiteId from, SiteId to) {
   });
 }
 
-void Network::AdvanceReceiverTo(std::uint64_t key, std::uint64_t base_seq) {
+void Network::AdvanceReceiverTo(SiteId from, SiteId to,
+                                std::uint64_t base_seq) {
   // The sender vouches that every seq below base_seq is delivered or
   // abandoned. Deliver any stashed in-order messages below it, skip the
   // abandoned gaps, and move next_expected up so the channel cannot wait
   // forever for a wire message nobody will retransmit. Handlers may send
   // (mutating receiver state), so re-find the channel after each batch.
   for (;;) {
-    ReceiverChannel& channel = receiver_channels_[key];
+    ReceiverChannel& channel = Shard(receiver_channels_, from)[to];
     if (channel.next_expected >= base_seq) return;
     const auto next = channel.stashed.begin();
     if (next == channel.stashed.end() || next->first >= base_seq) {
@@ -287,12 +321,11 @@ void Network::OnWireArrival(SiteId from, SiteId to, std::uint64_t seq,
                                                        << "->s" << to);
     return;
   }
-  const std::uint64_t key = ChannelKey(from, to);
-  if (base_seq > receiver_channels_[key].next_expected) {
-    AdvanceReceiverTo(key, base_seq);
+  if (base_seq > Shard(receiver_channels_, from)[to].next_expected) {
+    AdvanceReceiverTo(from, to, base_seq);
   }
   {
-    ReceiverChannel& channel = receiver_channels_[key];
+    ReceiverChannel& channel = Shard(receiver_channels_, from)[to];
     if (seq < channel.next_expected) {
       // Duplicate of an already delivered wire message (its ack was lost).
       // Discard, but re-ack so the sender stops retransmitting.
@@ -314,12 +347,12 @@ void Network::OnWireArrival(SiteId from, SiteId to, std::uint64_t seq,
   // may send messages (mutating sender state), so re-find the receiver
   // channel after each batch instead of holding a reference across calls.
   for (;;) {
-    receiver_channels_[key].next_expected = seq + 1;
+    Shard(receiver_channels_, from)[to].next_expected = seq + 1;
     for (Envelope& envelope : envelopes) {
       ++stats_.inter_site_delivered;
       Dispatch(std::move(envelope));
     }
-    ReceiverChannel& channel = receiver_channels_[key];
+    ReceiverChannel& channel = Shard(receiver_channels_, from)[to];
     const auto next = channel.stashed.find(channel.next_expected);
     if (next == channel.stashed.end()) break;
     seq = next->first;
@@ -335,7 +368,7 @@ void Network::SendAck(SiteId from, SiteId to) {
   // ride the same lossy medium but are not themselves retransmitted — the
   // ack after the next (re)transmission repairs a lost one.
   const std::uint64_t cumulative =
-      receiver_channels_[ChannelKey(from, to)].next_expected;
+      Shard(receiver_channels_, from)[to].next_expected;
   ++stats_.acks_sent;
   ++stats_.wire_messages;
   stats_.wire_bytes += kEnvelopeHeaderBytes;
@@ -360,8 +393,9 @@ void Network::OnAckArrival(SiteId from, SiteId to, std::uint64_t cumulative,
     // otherwise retire fresh entries that happen to reuse low seqs.
     return;
   }
-  const auto it = sender_channels_.find(ChannelKey(from, to));
-  if (it == sender_channels_.end()) return;
+  auto& shard = Shard(sender_channels_, from);
+  const auto it = shard.find(to);
+  if (it == shard.end()) return;
   SenderChannel& channel = it->second;
   while (!channel.unacked.empty() &&
          channel.unacked.front().seq < cumulative) {
@@ -370,59 +404,85 @@ void Network::OnAckArrival(SiteId from, SiteId to, std::uint64_t cumulative,
   }
 }
 
-void Network::RetireEntry(const SenderEntry& entry, bool delivered) {
+void Network::RetireEntry(SenderEntry& entry, bool delivered) {
   DGC_CHECK(in_flight_ >= entry.envelopes.size());
   in_flight_ -= entry.envelopes.size();
   if (!delivered) stats_.dropped += entry.envelopes.size();
+  ReleaseBatchBuffer(std::move(entry.envelopes));
 }
 
 std::size_t Network::unacked_wire_messages() const {
   std::size_t total = 0;
-  for (const auto& [key, channel] : sender_channels_) {
-    (void)key;
-    total += channel.unacked.size();
+  for (const auto& shard : sender_channels_) {
+    for (const auto& [to, channel] : shard) {
+      (void)to;
+      total += channel.unacked.size();
+    }
   }
+  return total;
+}
+
+std::size_t Network::pending_batch_channels() const {
+  std::size_t total = 0;
+  for (const auto& shard : pending_batches_) total += shard.size();
+  return total;
+}
+
+std::size_t Network::channel_clamp_entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : channel_last_delivery_) total += shard.size();
   return total;
 }
 
 // --- Incarnations ----------------------------------------------------------
 
 std::uint32_t Network::incarnation(SiteId site) const {
-  const auto it = incarnations_.find(site);
-  return it == incarnations_.end() ? 0 : it->second;
+  return site < incarnations_.size() ? incarnations_[site] : 0;
 }
 
 void Network::NoteSiteRestarted(SiteId site) {
+  if (incarnations_.size() <= site) {
+    incarnations_.resize(static_cast<std::size_t>(site) + 1, 0);
+  }
   ++incarnations_[site];
+  // The dead incarnation's recovery subscription dies with the rest of its
+  // connection state — without this, a long run with restarting sites grows
+  // the listener map with stale closures. The new incarnation re-registers
+  // (Site::CrashRestart does so immediately after this call).
+  recovery_listeners_.erase(site);
   if (!config_.reliable_delivery) return;
   // The restarted process shares no transport state with its previous life:
   // dead-letter every channel touching the site, in both directions. Wire
   // messages already in the scheduler still arrive, but carry the old
   // incarnation and are rejected; with their sender entries gone, nothing
-  // retransmits them.
-  for (auto it = sender_channels_.begin(); it != sender_channels_.end();) {
-    const SiteId from = static_cast<SiteId>(it->first >> 32);
-    const SiteId to = static_cast<SiteId>(it->first & 0xffffffffu);
-    if (from == site || to == site) {
-      for (const SenderEntry& entry : it->second.unacked) {
+  // retransmits them. Sharding makes this O(sites), not O(all channel
+  // pairs): the site's own shard, plus its key in every other shard.
+  if (site < sender_channels_.size()) {
+    for (auto& [to, channel] : sender_channels_[site]) {
+      (void)to;
+      for (SenderEntry& entry : channel.unacked) {
         RetireEntry(entry, /*delivered=*/false);
       }
-      it = sender_channels_.erase(it);
-    } else {
-      ++it;
     }
+    sender_channels_[site].clear();
+  }
+  for (SiteId from = 0; from < sender_channels_.size(); ++from) {
+    if (from == site) continue;
+    auto& shard = sender_channels_[from];
+    const auto it = shard.find(site);
+    if (it == shard.end()) continue;
+    for (SenderEntry& entry : it->second.unacked) {
+      RetireEntry(entry, /*delivered=*/false);
+    }
+    shard.erase(it);
   }
   // Stashed receiver payloads were never delivered, so their sender entries
   // (just retired above when the sender or receiver is `site`) carried the
   // in-flight account; the stash itself holds none.
-  for (auto it = receiver_channels_.begin(); it != receiver_channels_.end();) {
-    const SiteId from = static_cast<SiteId>(it->first >> 32);
-    const SiteId to = static_cast<SiteId>(it->first & 0xffffffffu);
-    if (from == site || to == site) {
-      it = receiver_channels_.erase(it);
-    } else {
-      ++it;
-    }
+  if (site < receiver_channels_.size()) receiver_channels_[site].clear();
+  for (SiteId from = 0; from < receiver_channels_.size(); ++from) {
+    if (from == site) continue;
+    receiver_channels_[from].erase(site);
   }
 }
 
@@ -542,7 +602,10 @@ void Network::Dispatch(Envelope envelope) {
   DGC_LOG_TRACE("net: deliver " << PayloadKindName(envelope.payload.index())
                                 << " s" << envelope.from << "->s"
                                 << envelope.to);
-  handlers_.at(envelope.to)(envelope);
+  DGC_CHECK_MSG(
+      envelope.to < handlers_.size() && handlers_[envelope.to] != nullptr,
+      "deliver to unregistered site " << envelope.to);
+  handlers_[envelope.to](envelope);
 }
 
 }  // namespace dgc

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "net/messages.h"
 #include "sim/scheduler.h"
@@ -187,16 +188,25 @@ class Network {
   /// Channels currently holding a batching window open. Flushing erases the
   /// entry, so in steady state this tracks active channels, not every
   /// channel pair ever used.
-  [[nodiscard]] std::size_t pending_batch_channels() const {
-    return pending_batches_.size();
-  }
+  [[nodiscard]] std::size_t pending_batch_channels() const;
   /// FIFO-clamp entries currently retained (inert ones are purged
   /// periodically).
-  [[nodiscard]] std::size_t channel_clamp_entries() const {
-    return channel_last_delivery_.size();
-  }
+  [[nodiscard]] std::size_t channel_clamp_entries() const;
   /// Wire messages awaiting acknowledgement across all reliable channels.
   [[nodiscard]] std::size_t unacked_wire_messages() const;
+  /// Installed recovery listeners (a restart dead-letters the restarted
+  /// site's listener; the new incarnation re-registers).
+  [[nodiscard]] std::size_t recovery_listener_entries() const {
+    return recovery_listeners_.size();
+  }
+  /// Batch buffers parked in the envelope pool, and how many ShipBatch
+  /// buffers were served from it instead of a fresh allocation.
+  [[nodiscard]] std::size_t batch_pool_size() const {
+    return batch_pool_.size();
+  }
+  [[nodiscard]] std::uint64_t batch_pool_hits() const {
+    return batch_pool_hits_;
+  }
 
   /// Every this-many wire messages, FIFO-clamp entries whose delivery time
   /// has passed (<= now) are purged: they can never raise a future
@@ -210,6 +220,23 @@ class Network {
   }
   [[nodiscard]] std::uint64_t LinkKey(SiteId a, SiteId b) const {
     return a < b ? ChannelKey(a, b) : ChannelKey(b, a);
+  }
+
+  /// Per-channel state is sharded by sender: a vector indexed by the from
+  /// site, each slot a small sorted map keyed by the to site. Lookups touch
+  /// only the sender's shard (O(log active peers), not O(all channel pairs)),
+  /// and a site restart dead-letters one shard plus one key in each other
+  /// shard instead of scanning every channel ever used. FlatMap's pointer
+  /// discipline applies: an insert into a shard invalidates references into
+  /// that shard.
+  template <typename T>
+  using ChannelShards = std::vector<FlatMap<SiteId, T>>;
+
+  template <typename T>
+  [[nodiscard]] FlatMap<SiteId, T>& Shard(ChannelShards<T>& shards,
+                                          SiteId from) {
+    if (shards.size() <= from) shards.resize(static_cast<std::size_t>(from) + 1);
+    return shards[from];
   }
 
   void Deliver(Envelope envelope);
@@ -270,16 +297,28 @@ class Network {
                      std::uint32_t to_inc, std::vector<Envelope> envelopes);
   /// Delivers stashed in-order prefixes below `base_seq` and skips the
   /// abandoned gaps, advancing next_expected to at least base_seq.
-  void AdvanceReceiverTo(std::uint64_t key, std::uint64_t base_seq);
+  void AdvanceReceiverTo(SiteId from, SiteId to, std::uint64_t base_seq);
   /// Sends the receiver's cumulative ack for channel (from -> to) back to
   /// the sender. Acks are unreliable control frames: a lost ack is repaired
   /// by the one after the next (re)transmission.
   void SendAck(SiteId from, SiteId to);
   void OnAckArrival(SiteId from, SiteId to, std::uint64_t cumulative,
                     std::uint32_t from_inc, std::uint32_t to_inc);
-  /// Retires a sender entry's payloads from the in-flight account;
-  /// `delivered` false means they are permanently lost (counted dropped).
-  void RetireEntry(const SenderEntry& entry, bool delivered);
+  /// Retires a sender entry's payloads from the in-flight account and
+  /// returns its batch buffer to the pool; `delivered` false means the
+  /// payloads are permanently lost (counted dropped).
+  void RetireEntry(SenderEntry& entry, bool delivered);
+
+  // --- Envelope batch-buffer pool -------------------------------------
+
+  /// Hands out a cleared batch buffer, reusing a retired one's allocation
+  /// when available (delivery-rate allocations otherwise dominate the
+  /// per-message cost at scale).
+  [[nodiscard]] std::vector<Envelope> AcquireBatchBuffer();
+  void ReleaseBatchBuffer(std::vector<Envelope>&& buffer);
+
+  /// Sweeps every clamp shard for inert entries (delivery time <= now).
+  void PurgeInertClampEntries();
 
   // --- Failure-detector internals -------------------------------------
 
@@ -309,26 +348,33 @@ class Network {
   struct PendingBatch {
     std::vector<Envelope> envelopes;
   };
-  std::unordered_map<std::uint64_t, PendingBatch> pending_batches_;
+  ChannelShards<PendingBatch> pending_batches_;
 
   Scheduler& scheduler_;
   NetworkConfig config_;
   Rng rng_;
-  std::unordered_map<SiteId, Handler> handlers_;
+  /// Indexed by SiteId (sites register densely from 0); empty slots are
+  /// unregistered.
+  std::vector<Handler> handlers_;
   std::unordered_set<SiteId> site_down_;
   std::unordered_set<std::uint64_t> link_down_;
-  std::unordered_map<std::uint64_t, SimTime> channel_last_delivery_;
+  ChannelShards<SimTime> channel_last_delivery_;
   // Reliable-channel state (empty while reliable_delivery is off).
-  std::unordered_map<std::uint64_t, SenderChannel> sender_channels_;
-  std::unordered_map<std::uint64_t, ReceiverChannel> receiver_channels_;
-  std::unordered_map<SiteId, std::uint32_t> incarnations_;
+  ChannelShards<SenderChannel> sender_channels_;
+  ChannelShards<ReceiverChannel> receiver_channels_;
+  /// Indexed by SiteId; sites beyond the vector are implicitly incarnation 0.
+  std::vector<std::uint32_t> incarnations_;
   std::uint64_t next_channel_epoch_ = 1;
-  // Failure-detector state (empty while heartbeat_period is 0). Ordered
+  // Failure-detector state (empty while heartbeat_period is 0). Sorted
   // listener map: recovery notifications fire in site order, keeping the
-  // resumed traffic deterministic.
+  // resumed traffic deterministic. Listeners must not (de)register from
+  // inside a notification — NotifyRecovered iterates the map.
   std::unordered_map<SiteId, FaultRecord> site_fault_records_;
   std::unordered_map<std::uint64_t, FaultRecord> link_fault_records_;
-  std::map<SiteId, RecoveryListener> recovery_listeners_;
+  FlatMap<SiteId, RecoveryListener> recovery_listeners_;
+  /// Retired batch buffers awaiting reuse (capacity kept, contents cleared).
+  std::vector<std::vector<Envelope>> batch_pool_;
+  std::uint64_t batch_pool_hits_ = 0;
   // Chaos overrides (negative / zero = none).
   double drop_override_ = -1.0;
   SimTime extra_latency_ = 0;

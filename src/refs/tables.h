@@ -10,12 +10,12 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/config.h"
 #include "common/distance.h"
+#include "common/flat_map.h"
 #include "common/ids.h"
 
 namespace dgc {
@@ -36,9 +36,10 @@ struct SourceInfo {
 /// inref entries; they enter the local trace directly as distance-0 roots
 /// (the paper models them as permanent inrefs — same semantics).
 struct InrefEntry {
-  /// Source sites known to contain the reference. Ordered map for
-  /// deterministic iteration.
-  std::map<SiteId, SourceInfo> sources;
+  /// Source sites known to contain the reference. Sorted flat map: iteration
+  /// stays deterministic (site order) and the handful of sources per inref
+  /// fit one cache line instead of a node apiece.
+  FlatMap<SiteId, SourceInfo> sources;
 
   /// Set when a back trace confirmed this inref garbage (Section 4.5). A
   /// flagged inref is no longer used as a root by the local trace; the entry
@@ -127,9 +128,20 @@ struct OutrefEntry {
   }
 };
 
-/// Both tables of one site. Ordered maps keep every iteration deterministic.
+/// Both tables of one site. Sorted flat maps keep every iteration
+/// deterministic (the same key order std::map gave) while lookups stay
+/// cache-resident at 10^6-object scale.
+///
+/// Pointer discipline: Find*/Ensure* return pointers/references that any
+/// later structural mutation of the same table (entry insert or remove)
+/// invalidates. Callers use an entry pointer only within one handler and
+/// never across an insertion — the discipline the call sites were audited
+/// for when the tables moved off std::map.
 class RefTables {
  public:
+  using InrefMap = FlatMap<ObjectId, InrefEntry>;
+  using OutrefMap = FlatMap<ObjectId, OutrefEntry>;
+
   explicit RefTables(SiteId site, const CollectorConfig& config)
       : site_(site), config_(config) {}
 
@@ -159,10 +171,8 @@ class RefTables {
 
   void RemoveInref(ObjectId local_ref);
 
-  [[nodiscard]] const std::map<ObjectId, InrefEntry>& inrefs() const {
-    return inrefs_;
-  }
-  [[nodiscard]] std::map<ObjectId, InrefEntry>& inrefs() { return inrefs_; }
+  [[nodiscard]] const InrefMap& inrefs() const { return inrefs_; }
+  [[nodiscard]] InrefMap& inrefs() { return inrefs_; }
 
   // --- outrefs --------------------------------------------------------
 
@@ -174,10 +184,8 @@ class RefTables {
 
   void RemoveOutref(ObjectId remote_ref);
 
-  [[nodiscard]] const std::map<ObjectId, OutrefEntry>& outrefs() const {
-    return outrefs_;
-  }
-  [[nodiscard]] std::map<ObjectId, OutrefEntry>& outrefs() { return outrefs_; }
+  [[nodiscard]] const OutrefMap& outrefs() const { return outrefs_; }
+  [[nodiscard]] OutrefMap& outrefs() { return outrefs_; }
 
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
 
@@ -191,11 +199,38 @@ class RefTables {
     return mutation_count_;
   }
 
+  // --- Flat-table occupancy / reuse observability ----------------------
+  //
+  // The maps never shrink their backing vectors, so sustained churn should
+  // be absorbed by spare capacity rather than fresh allocations. These feed
+  // SiteStats, the metrics CSV, and inspect so a scale run can watch the
+  // tables stop allocating (reuses climbing, grows flat).
+
+  /// Inserts (across both tables) absorbed by spare vector capacity.
+  [[nodiscard]] std::uint64_t slot_reuses() const {
+    return inrefs_.stats().reuses + outrefs_.stats().reuses;
+  }
+  /// Inserts (across both tables) that reallocated a backing vector.
+  [[nodiscard]] std::uint64_t slot_grows() const {
+    return inrefs_.stats().grows + outrefs_.stats().grows;
+  }
+  /// Allocated entry slots across both tables (vector capacities).
+  [[nodiscard]] std::size_t slot_capacity() const {
+    return inrefs_.capacity() + outrefs_.capacity();
+  }
+  /// Live entries over allocated slots; 1.0 for empty tables.
+  [[nodiscard]] double occupancy() const {
+    const std::size_t capacity = slot_capacity();
+    if (capacity == 0) return 1.0;
+    return static_cast<double>(inrefs_.size() + outrefs_.size()) /
+           static_cast<double>(capacity);
+  }
+
  private:
   SiteId site_;
   const CollectorConfig& config_;
-  std::map<ObjectId, InrefEntry> inrefs_;
-  std::map<ObjectId, OutrefEntry> outrefs_;
+  InrefMap inrefs_;
+  OutrefMap outrefs_;
   std::uint64_t mutation_count_ = 0;
 };
 

@@ -525,6 +525,50 @@ TEST_F(NetFixture, RecoveryListenersFireAfterDetectedOutageHeals) {
   EXPECT_EQ(net->stats().fd_recoveries, 1u);
 }
 
+TEST_F(NetFixture, RestartErasesRecoveryListenerUntilReRegistered) {
+  config.heartbeat_period = 10;
+  config.heartbeat_timeout = 40;
+  config.latency = 5;
+  auto net = MakeNetwork(3);
+  std::vector<SiteId> notified;
+  net->SetRecoveryListener(0, [&](SiteId peer) { notified.push_back(peer); });
+  EXPECT_EQ(net->recovery_listener_entries(), 1u);
+  // A restart dead-letters the old incarnation's connection state; its
+  // recovery listener must go with it, not fire on the new incarnation's
+  // behalf.
+  net->NoteSiteRestarted(0);
+  EXPECT_EQ(net->recovery_listener_entries(), 0u);
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(scheduler.now() + 50);  // detected outage
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(notified.empty()) << "stale listener fired after restart";
+  // The new incarnation subscribes afresh and hears the next heal.
+  net->SetRecoveryListener(0, [&](SiteId peer) { notified.push_back(peer); });
+  EXPECT_EQ(net->recovery_listener_entries(), 1u);
+  net->SetSiteDown(1, true);
+  scheduler.RunUntil(scheduler.now() + 50);
+  net->SetSiteDown(1, false);
+  scheduler.RunUntilIdle();
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0], 1u);
+}
+
+TEST_F(NetFixture, RetiredBatchBuffersArePooledAndReused) {
+  config.batch_window = 10;
+  auto net = MakeNetwork(2);
+  net->Send(0, 1, Probe(1));
+  scheduler.RunUntilIdle();  // batch delivered, its buffer retired to the pool
+  EXPECT_EQ(net->batch_pool_size(), 1u);
+  EXPECT_EQ(net->batch_pool_hits(), 0u);
+  net->Send(0, 1, Probe(2));  // new window takes the pooled allocation
+  EXPECT_EQ(net->batch_pool_size(), 0u);
+  EXPECT_EQ(net->batch_pool_hits(), 1u);
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(net->batch_pool_size(), 1u);
+  EXPECT_EQ(received[1].size(), 2u);
+}
+
 TEST(PayloadTest, KindNamesCoverAllAlternatives) {
   for (std::size_t i = 0; i < kPayloadKinds; ++i) {
     EXPECT_NE(PayloadKindName(i), nullptr);
