@@ -1,0 +1,141 @@
+// Transport backends head-to-head: the same seeded open-loop scale scenario
+// run under the deterministic simulator and under the multi-threaded
+// engine, in one row, so the speedup (and its verdict-equality precondition)
+// is a single JSON record bench_compare.py --check-transport can gate.
+//
+// Rows:
+//   * BM_Transport_OpenLoop/<sites>/<objects_per_site>: drive the power-law
+//     request/reply churn with same-instant collection rounds
+//     (round_stagger 0 — every site's trace lands in one parallel phase,
+//     the configuration the threaded engine parallelises) under BOTH
+//     backends. Reports per-backend wall-clock, the speedup, both backends'
+//     severed/collected/reclaimed figures plus verdicts_match (1 when the
+//     threaded run reproduced the sim run's counts and survivor census
+//     exactly), host_cpus (the gate only enforces a speedup floor when the
+//     host has cores to parallelise on), and the threaded engine's
+//     queue-depth/handoff counters.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "bench_util.h"
+#include "net/transport.h"
+#include "workload/scale.h"
+
+namespace {
+
+using namespace dgc;
+
+struct RunResult {
+  double wall_ms = 0.0;
+  std::uint64_t mutations = 0;
+  std::uint64_t severed = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t objects_left = 0;
+  TransportCounters transport;
+};
+
+RunResult RunScenario(TransportKind kind, std::size_t sites,
+                      std::size_t objects_per_site) {
+  CollectorConfig config = dgc::bench::DefaultConfig();
+  NetworkConfig net;
+  net.transport = kind;
+
+  const auto start = std::chrono::steady_clock::now();
+  System system(sites, config, net, /*seed=*/42);
+
+  workload::ScaleTopologySpec topo;
+  topo.sites = sites;
+  topo.objects_per_site = objects_per_site;
+  topo.seed = 42;
+  workload::InstantiateScaleTopology(system, workload::BuildScaleTopology(topo));
+
+  workload::ScaleDriverSpec drive;
+  drive.duration = 20'000;
+  drive.mean_interarrival = 5;
+  drive.mean_lifetime = 400;
+  drive.round_period = 500;
+  drive.round_stagger = 0;  // same-instant rounds: one parallel phase each
+  drive.seed = 7;
+  workload::ScaleDriver driver(system, drive);
+  driver.Run();
+  driver.Quiesce();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  out.mutations = driver.stats().mutations;
+  out.severed = driver.stats().cohorts_severed;
+  out.collected = driver.stats().cohorts_collected;
+  out.reclaimed = system.TotalObjectsReclaimed();
+  out.objects_left = system.TotalObjects();
+  out.transport = system.transport().counters();
+  return out;
+}
+
+void BM_Transport_OpenLoop(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  const auto objects_per_site = static_cast<std::size_t>(state.range(1));
+
+  RunResult sim;
+  RunResult threaded;
+  for (auto _ : state) {
+    sim = RunScenario(TransportKind::kSim, sites, objects_per_site);
+    threaded = RunScenario(TransportKind::kThreaded, sites, objects_per_site);
+  }
+
+  const bool verdicts_match = sim.severed == threaded.severed &&
+                              sim.collected == threaded.collected &&
+                              sim.reclaimed == threaded.reclaimed &&
+                              sim.objects_left == threaded.objects_left;
+
+  state.counters["sites"] = static_cast<double>(sites);
+  state.counters["objects"] = static_cast<double>(sites * objects_per_site);
+  state.counters["host_cpus"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["sim_wall_ms"] = sim.wall_ms;
+  state.counters["threaded_wall_ms"] = threaded.wall_ms;
+  state.counters["speedup"] =
+      threaded.wall_ms == 0.0 ? 0.0 : sim.wall_ms / threaded.wall_ms;
+  state.counters["verdicts_match"] = verdicts_match ? 1.0 : 0.0;
+  state.counters["sim_cycles_severed"] = static_cast<double>(sim.severed);
+  state.counters["sim_cycles_collected"] = static_cast<double>(sim.collected);
+  state.counters["sim_reclaimed"] = static_cast<double>(sim.reclaimed);
+  state.counters["threaded_cycles_severed"] =
+      static_cast<double>(threaded.severed);
+  state.counters["threaded_cycles_collected"] =
+      static_cast<double>(threaded.collected);
+  state.counters["threaded_reclaimed"] =
+      static_cast<double>(threaded.reclaimed);
+  state.counters["timesteps"] =
+      static_cast<double>(threaded.transport.timesteps);
+  state.counters["parallel_phases"] =
+      static_cast<double>(threaded.transport.parallel_phases);
+  state.counters["site_steps"] =
+      static_cast<double>(threaded.transport.site_steps);
+  state.counters["handoffs"] = static_cast<double>(threaded.transport.handoffs);
+  state.counters["staged_sends"] =
+      static_cast<double>(threaded.transport.staged_sends);
+  state.counters["queue_peak"] =
+      static_cast<double>(threaded.transport.inbox_peak_depth);
+  state.counters["queue_contention"] =
+      static_cast<double>(threaded.transport.inbox_contention);
+}
+// The small row gates CI (and keeps TSan runs affordable); the large row is
+// the headline sim-vs-threaded comparison on the PR 7 scale scenario shape.
+BENCHMARK(BM_Transport_OpenLoop)
+    ->Args({4, 1'000})
+    ->Args({10, 2'000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dgc::bench::RunBenchmarksWithDefaultOut(argc, argv,
+                                                 "BENCH_transport.json");
+}

@@ -2,6 +2,7 @@
 //
 //   dgcsim [--sites N] [--cycle W[xK]] [--hypertext D] [--churn STEPS]
 //          [--rounds R] [--threshold D] [--crash S] [--batch W]
+//          [--transport sim|threaded] [--transport-threads N]
 //          [--dump] [--dot] [--csv]
 //
 // Builds a world, runs collection rounds, prints a system summary (and
@@ -13,6 +14,7 @@
 //   dgcsim --sites 3 --churn 60 --rounds 10 --dot > world.dot
 //   dgcsim --sites 4 --cycle 2 --crash 1 --rounds 15
 //   dgcsim --sites 4 --cycle 3 --rounds 20 --csv > series.csv
+//   dgcsim --sites 8 --cycle 4x2 --rounds 20 --transport threaded
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,7 +36,11 @@ int Usage(const char* argv0) {
                "[--batch W] [--seed S]\n"
                "          [--mark-threads N] [--trace-threads N] "
                "[--incremental-distance]\n"
-               "          [--dump] [--dot]\n",
+               "          [--transport sim|threaded] [--transport-threads N]\n"
+               "          [--dump] [--dot]\n"
+               "  --transport threaded runs each site on its own thread\n"
+               "  (deterministic; default sim). --churn is sim-only: its\n"
+               "  mutator sessions script the shared clock event-to-event.\n",
                argv0);
   return 2;
 }
@@ -57,6 +63,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool incremental_distance = false;
   bool dump = false, dot = false, csv = false;
+  TransportKind transport = TransportKind::kSim;
+  std::size_t transport_threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +99,19 @@ int main(int argc, char** argv) {
       trace_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--transport") {
+      const std::string mode = next();
+      if (mode == "sim") {
+        transport = TransportKind::kSim;
+      } else if (mode == "threaded") {
+        transport = TransportKind::kThreaded;
+      } else {
+        std::fprintf(stderr, "unknown transport '%s' (want sim|threaded)\n",
+                     mode.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--transport-threads") {
+      transport_threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--incremental-distance") {
       incremental_distance = true;
     } else if (arg == "--dump") {
@@ -104,6 +125,15 @@ int main(int argc, char** argv) {
     }
   }
   if (sites < 1 || (cycle_sites > sites)) return Usage(argv[0]);
+  if (transport == TransportKind::kThreaded && churn_steps > 0) {
+    std::fprintf(stderr,
+                 "--churn is incompatible with --transport threaded: the "
+                 "transactional churn driver's mutator sessions script the "
+                 "shared simulator clock event-to-event, which only exists "
+                 "under the sim transport. Drop --churn or use --transport "
+                 "sim.\n");
+    return 2;
+  }
 
   CollectorConfig config;
   config.suspicion_threshold = threshold;
@@ -116,7 +146,12 @@ int main(int argc, char** argv) {
   config.incremental_distance = incremental_distance;
   NetworkConfig net;
   net.batch_window = batch_window;
+  net.transport = transport;
+  net.transport_threads = transport_threads;
   System system(sites, config, net, seed);
+  if (transport == TransportKind::kThreaded) {
+    std::printf("transport: threaded\n");
+  }
   Rng rng(seed);
 
   if (cycle_sites > 0) {

@@ -7,6 +7,7 @@ Usage:
     bench_compare.py --check-parallel-mark BENCH_parallel_mark.json
     bench_compare.py --check-distance BENCH_distance.json
     bench_compare.py --check-scale BENCH_scale.json
+    bench_compare.py --check-transport BENCH_transport.json
     bench_compare.py --self-test
 
 Compares every benchmark present in both files. Gated user counters:
@@ -58,6 +59,16 @@ severed) with a bounded time-to-collect tail (p99 <= 10000 simulated
 ticks); and each flat/map table-mutation pair must show the flat table
 measurably cheaper than the std::map baseline (time ratio <= 0.95). The
 open-loop counters are simulation-clock values, deterministic per seed.
+
+``--check-transport`` gates a single BENCH_transport.json on the threaded
+backend's correctness contract: every row must show verdicts_match == 1 with
+the threaded run's cycles_severed/cycles_collected/reclaimed exactly equal
+to the sim run's (same seed, same garbage verdicts, same reclaim set — the
+equality is the gate, always, on any host), on a non-vacuous run
+(cycles_severed > 0). The speedup floor (threaded at least as fast as sim)
+is enforced only when the host has enough cores (host_cpus >= 4) to
+parallelise on; on smaller hosts it is reported as info — absent cores make
+the floor physically impossible, not a regression.
 
 Every gate degrades with a clear one-line error (exit 2, never a Python
 traceback) when its input or baseline JSON is missing or malformed.
@@ -444,6 +455,73 @@ def check_scale(path):
     return 0
 
 
+# --- transport gate ---------------------------------------------------------
+
+# Threaded must at least match sim wall-clock — but only judged on hosts with
+# cores to parallelise on.
+MIN_TRANSPORT_SPEEDUP = 1.0
+MIN_CPUS_FOR_TRANSPORT_SPEEDUP = 4
+
+
+def check_transport(path):
+    """Gate BENCH_transport.json: threaded == sim verdicts, conditional speedup.
+
+    The equality leg (same severed/collected/reclaimed figures, row-level
+    verdicts_match flag covering the survivor census) is unconditional: it
+    holds by the engine's determinism argument and any violation is a
+    correctness bug, not noise. The speedup leg is wall-clock and only
+    enforced when host_cpus suffices.
+    """
+    rows = load_benchmarks(path)
+    failures = []
+    checked = 0
+    for name in sorted(rows):
+        row = rows[name]
+        if "verdicts_match" not in row or "sim_cycles_severed" not in row:
+            continue
+        checked += 1
+        severed = float(row["sim_cycles_severed"])
+        collected = float(row.get("sim_cycles_collected", 0.0))
+        reclaimed = float(row.get("sim_reclaimed", 0.0))
+        t_severed = float(row.get("threaded_cycles_severed", -1.0))
+        t_collected = float(row.get("threaded_cycles_collected", -1.0))
+        t_reclaimed = float(row.get("threaded_reclaimed", -1.0))
+        speedup = float(row.get("speedup", 0.0))
+        host_cpus = float(row.get("host_cpus", 0.0))
+        problems = []
+        if severed <= 0:
+            problems.append("vacuous_run")
+        if float(row["verdicts_match"]) != 1.0:
+            problems.append("verdicts_match")
+        if (severed, collected, reclaimed) != (t_severed, t_collected,
+                                               t_reclaimed):
+            problems.append("sim_threaded_equality")
+        gate_speedup = host_cpus >= MIN_CPUS_FOR_TRANSPORT_SPEEDUP
+        if gate_speedup and speedup < MIN_TRANSPORT_SPEEDUP:
+            problems.append("speedup")
+        ok = not problems
+        speedup_note = (f"speedup {speedup:.2f}x (min "
+                        f"{MIN_TRANSPORT_SPEEDUP:g}x)" if gate_speedup else
+                        f"speedup {speedup:.2f}x (info: host_cpus "
+                        f"{host_cpus:g} < "
+                        f"{MIN_CPUS_FOR_TRANSPORT_SPEEDUP})")
+        print(f"{'ok' if ok else 'FAIL':>10}  {name}: "
+              f"sim {severed:g}/{collected:g}/{reclaimed:g} vs threaded "
+              f"{t_severed:g}/{t_collected:g}/{t_reclaimed:g} "
+              f"(severed/collected/reclaimed), {speedup_note}")
+        failures.extend(f"{name} ({p})" for p in problems)
+    if checked == 0:
+        _die(f"error: {path} has no rows with verdicts_match/"
+             "sim_cycles_severed counters (not a transport benchmark file?)")
+    if failures:
+        print(f"\n{len(failures)} transport bound(s) violated:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"\nthreaded backend matches sim on all {checked} row(s)")
+    return 0
+
+
 # --- self test --------------------------------------------------------------
 
 _FIXTURE_BASE = {
@@ -498,6 +576,26 @@ _FIXTURE_SCALE = {
          "real_time": 11000.0, "flat": 0.0, "entries": 2048.0},
         {"name": "BM_Scale_TableMutation/1/2048", "run_type": "iteration",
          "real_time": 8500.0, "flat": 1.0, "entries": 2048.0},
+    ]
+}
+
+_FIXTURE_TRANSPORT = {
+    "benchmarks": [
+        {"name": "BM_Transport_OpenLoop/4/1000/iterations:1",
+         "run_type": "iteration", "real_time": 900.0, "host_cpus": 8.0,
+         "sim_wall_ms": 400.0, "threaded_wall_ms": 250.0, "speedup": 1.6,
+         "verdicts_match": 1.0, "sim_cycles_severed": 800.0,
+         "sim_cycles_collected": 700.0, "sim_reclaimed": 2400.0,
+         "threaded_cycles_severed": 800.0,
+         "threaded_cycles_collected": 700.0, "threaded_reclaimed": 2400.0},
+        {"name": "BM_Transport_OpenLoop/10/2000/iterations:1",
+         "run_type": "iteration", "real_time": 2100.0, "host_cpus": 8.0,
+         "sim_wall_ms": 1200.0, "threaded_wall_ms": 600.0, "speedup": 2.0,
+         "verdicts_match": 1.0, "sim_cycles_severed": 4200.0,
+         "sim_cycles_collected": 3600.0, "sim_reclaimed": 12600.0,
+         "threaded_cycles_severed": 4200.0,
+         "threaded_cycles_collected": 3600.0,
+         "threaded_reclaimed": 12600.0},
     ]
 }
 
@@ -687,6 +785,51 @@ def _self_test():
     regressed["benchmarks"][2]["real_time"] = 11000.0
     assert scale_with(regressed) == 1, "flat-vs-map regression must fail"
 
+    def transport_with(fixture):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "transport.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fixture, fh)
+            return check_transport(path)
+
+    # Transport bounds: the healthy fixture passes.
+    assert transport_with(copy.deepcopy(_FIXTURE_TRANSPORT)) == 0, \
+        "healthy transport run must pass"
+
+    # A threaded run with different verdicts fails on any host.
+    diverged = copy.deepcopy(_FIXTURE_TRANSPORT)
+    diverged["benchmarks"][0]["verdicts_match"] = 0.0
+    assert transport_with(diverged) == 1, "verdict divergence must fail"
+
+    # A threaded run with a different reclaim count fails even if the
+    # row-level flag lies.
+    short = copy.deepcopy(_FIXTURE_TRANSPORT)
+    short["benchmarks"][1]["threaded_reclaimed"] = 12599.0
+    assert transport_with(short) == 1, "reclaim-set mismatch must fail"
+
+    # A run that never severed anything is vacuous and fails.
+    idle = copy.deepcopy(_FIXTURE_TRANSPORT)
+    for row in idle["benchmarks"]:
+        for key in ("sim_cycles_severed", "threaded_cycles_severed",
+                    "sim_cycles_collected", "threaded_cycles_collected",
+                    "sim_reclaimed", "threaded_reclaimed"):
+            row[key] = 0.0
+    assert transport_with(idle) == 1, "vacuous transport run must fail"
+
+    # Threaded slower than sim fails on a multi-core host...
+    sluggish = copy.deepcopy(_FIXTURE_TRANSPORT)
+    sluggish["benchmarks"][1]["speedup"] = 0.7
+    assert transport_with(sluggish) == 1, \
+        "threaded slower than sim on a big host must fail"
+
+    # ...but the same speedup on a single-core host is info-only (there is
+    # nothing to parallelise on).
+    one_cpu = copy.deepcopy(sluggish)
+    for row in one_cpu["benchmarks"]:
+        row["host_cpus"] = 1.0
+    assert transport_with(one_cpu) == 0, \
+        "speedup must not be gated without the cores"
+
     # Every gate must degrade with a clear message and exit code 2 — never a
     # Python traceback — when its input/baseline JSON does not exist.
     def expect_clean_exit(fn, *args):
@@ -704,6 +847,7 @@ def _self_test():
     expect_clean_exit(check_parallel_mark, missing)
     expect_clean_exit(check_distance, missing)
     expect_clean_exit(check_scale, missing)
+    expect_clean_exit(check_transport, missing)
 
     # ...and the same for structurally malformed files.
     with tempfile.TemporaryDirectory() as tmp:
@@ -711,6 +855,7 @@ def _self_test():
         with open(broken, "w", encoding="utf-8") as fh:
             fh.write("{\"benchmarks\": [{\"real_time\": 1.0}]}")
         expect_clean_exit(check_distance, broken)
+        expect_clean_exit(check_transport, broken)
         not_bench = os.path.join(tmp, "not_bench.json")
         with open(not_bench, "w", encoding="utf-8") as fh:
             fh.write("{\"context\": {}}")
@@ -741,6 +886,10 @@ def main(argv=None):
     parser.add_argument("--check-scale", metavar="FILE",
                         help="gate a BENCH_scale.json on absolute open-loop "
                              "and flat-table bounds (no baseline needed)")
+    parser.add_argument("--check-transport", metavar="FILE",
+                        help="gate a BENCH_transport.json on sim/threaded "
+                             "verdict equality and (cores permitting) the "
+                             "speedup floor (no baseline needed)")
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -753,6 +902,8 @@ def main(argv=None):
         return check_distance(args.check_distance)
     if args.check_scale:
         return check_scale(args.check_scale)
+    if args.check_transport:
+        return check_transport(args.check_transport)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2

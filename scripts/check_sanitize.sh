@@ -3,9 +3,10 @@
 # test suite under it. Slab recycling, flat visit records, and the message
 # batching paths all juggle raw slots and ids — ASan + UBSan is the cheap way
 # to prove none of them touch freed or uninitialized memory. The work-stealing
-# mark, the shared worker pool, and the parallel trace executor add real
-# multithreading — TSan is the cheap way to prove the claim protocol and the
-# deque handoffs are race-free.
+# mark, the shared worker pool, the parallel trace executor, and the threaded
+# transport's per-site threads add real multithreading — TSan is the cheap way
+# to prove the claim protocol, the deque handoffs, and the MPSC inbox queues
+# are race-free.
 #
 # Usage:
 #   check_sanitize.sh             # ASan+UBSan, full suite (includes chaos)
@@ -14,12 +15,16 @@
 #                                 # parking, and restart-purge paths hardest,
 #                                 # so this is the fast sanitizer smoke run
 #   check_sanitize.sh --tsan      # ThreadSanitizer over the concurrency-heavy
-#                                 # suites (-L "parallel|chaos|distance|scale"):
+#                                 # suites
+#                                 # (-L "parallel|chaos|distance|scale|transport"):
 #                                 # the parallel mark/trace tests, the chaos
 #                                 # harness, the distance-label suite (whose
 #                                 # config matrix runs mark_threads > 1 against
-#                                 # the listener-driven label plane), and the
-#                                 # down-scaled open-loop scale smoke
+#                                 # the listener-driven label plane), the
+#                                 # down-scaled open-loop scale smoke, and the
+#                                 # threaded-transport suite (the MPSC inbox
+#                                 # hammer and the two-site ping-pong smoke at
+#                                 # eight threads are its data-race probes)
 #   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,7 +39,7 @@ if [[ "${1:-}" == "--chaos" ]]; then
 elif [[ "${1:-}" == "--tsan" ]]; then
   SANITIZE=thread
   DEFAULT_BUILD_DIR=build-tsan
-  CTEST_ARGS+=(-L 'parallel|chaos|distance|scale')
+  CTEST_ARGS+=(-L 'parallel|chaos|distance|scale|transport')
   shift
 fi
 CTEST_ARGS+=("$@")

@@ -9,13 +9,13 @@
 
 namespace dgc {
 
-BackTracer::BackTracer(SiteId site, RefTables& tables, Network& network,
+BackTracer::BackTracer(SiteId site, RefTables& tables, Transport& transport,
                        Scheduler& scheduler,
                        std::function<const SiteBackInfo&()> back_info,
                        std::function<bool(ObjectId)> is_root_object)
     : site_(site),
       tables_(tables),
-      network_(network),
+      transport_(transport),
       scheduler_(scheduler),
       back_info_(std::move(back_info)),
       is_root_object_(std::move(is_root_object)) {
@@ -76,7 +76,7 @@ TraceId BackTracer::StartTrace(ObjectId outref_ref) {
   root.pending = 1;
   DGC_LOG_DEBUG("site " << site_ << ": start " << trace << " from outref "
                         << outref_ref);
-  network_.Send(site_, site_,
+  transport_.Send(site_, site_,
                 BackLocalCallMsg{trace, outref_ref, FrameId{site_, root.id}});
   ArmTimeout(root.id, trace);
   return trace;
@@ -125,7 +125,7 @@ void BackTracer::HandleLocalCall(const Envelope& envelope,
   for (const ObjectId inref_obj : inset_it->second) {
     // Local steps stay on this site; sent as self-messages to keep every
     // step asynchronous (they are not inter-site traffic).
-    network_.Send(site_, site_,
+    transport_.Send(site_, site_,
                   BackRemoteCallMsg{msg.trace, inref_obj,
                                     FrameId{site_, frame.id}});
   }
@@ -188,7 +188,7 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
     } else if (batch && source != site_) {
       QueueBackCall(source, call);
     } else {
-      network_.Send(site_, source, call);
+      transport_.Send(site_, source, call);
     }
   }
   ArmTimeout(frame.id, msg.trace);
@@ -197,8 +197,8 @@ void BackTracer::HandleRemoteCall(const Envelope& envelope,
 
 bool BackTracer::ShouldPark(SiteId dest) const {
   return tables_.config().park_on_suspected_failure &&
-         network_.failure_detection_enabled() &&
-         network_.IsPeerSuspected(site_, dest);
+         transport_.failure_detection_enabled() &&
+         transport_.IsPeerSuspected(site_, dest);
 }
 
 void BackTracer::ParkCall(SiteId dest, const BackLocalCallMsg& call,
@@ -230,7 +230,7 @@ void BackTracer::OnPeerRecovered(SiteId peer) {
     if (batch) {
       QueueBackCall(peer, parked.call);
     } else {
-      network_.Send(site_, peer, parked.call);
+      transport_.Send(site_, peer, parked.call);
     }
     if (frame->parked == 0 && frame->timeout_deferred) {
       frame->timeout_deferred = false;
@@ -265,11 +265,11 @@ void BackTracer::FlushPendingCalls() {
     if (calls.size() == 1) {
       // A lone call ships as the plain message: the batch framing buys
       // nothing and the per-trace message counts of §4.6 stay exact.
-      network_.Send(site_, dest, calls.front());
+      transport_.Send(site_, dest, calls.front());
     } else {
       stats_.calls_batched += calls.size();
       ++stats_.call_batches_sent;
-      network_.Send(site_, dest, BackCallBatchMsg{std::move(calls)});
+      transport_.Send(site_, dest, BackCallBatchMsg{std::move(calls)});
     }
   }
 }
@@ -299,7 +299,7 @@ void BackTracer::HandleReply(const BackReplyMsg& msg) {
 
 void BackTracer::Reply(TraceId trace, FrameId to, BackResult result,
                        std::vector<SiteId> participants) {
-  network_.Send(site_, to.site,
+  transport_.Send(site_, to.site,
                 BackReplyMsg{trace, to, result, std::move(participants)});
 }
 
@@ -328,7 +328,7 @@ void BackTracer::FinalizeFrame(Frame& frame) {
     // the 2E + P bound. The initiator is a participant too; its report is a
     // self-delivery.
     for (const SiteId participant : frame.participants) {
-      network_.Send(site_, participant, BackReportMsg{frame.trace, outcome});
+      transport_.Send(site_, participant, BackReportMsg{frame.trace, outcome});
     }
     if (outcome_observer_) {
       outcome_observer_(TraceOutcome{frame.trace, frame.start_outref, outcome,
@@ -571,10 +571,10 @@ void BackTracer::ResolveWaiters(VisitRecord& record, BackResult outcome) {
 
 void BackTracer::RequeueWaiter(const Waiter& waiter) {
   if (waiter.kind == IorefKind::kOutref) {
-    network_.Send(site_, site_,
+    transport_.Send(site_, site_,
                   BackLocalCallMsg{waiter.trace, waiter.ref, waiter.caller});
   } else {
-    network_.Send(site_, site_,
+    transport_.Send(site_, site_,
                   BackRemoteCallMsg{waiter.trace, waiter.ref, waiter.caller});
   }
   ++stats_.waiters_requeued;

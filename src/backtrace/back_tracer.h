@@ -49,7 +49,7 @@
 #include "backtrace/verdict_cache.h"
 #include "common/config.h"
 #include "common/ids.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "refs/tables.h"
 #include "sim/scheduler.h"
 
@@ -97,7 +97,7 @@ class BackTracer {
   /// `back_info` yields the site's *current* back information (the old copy
   /// while a local trace is in flight, per Section 6.2). `is_root_object`
   /// answers whether a local object is a persistent or application root.
-  BackTracer(SiteId site, RefTables& tables, Network& network,
+  BackTracer(SiteId site, RefTables& tables, Transport& transport,
              Scheduler& scheduler,
              std::function<const SiteBackInfo&()> back_info,
              std::function<bool(ObjectId)> is_root_object);
@@ -269,7 +269,7 @@ class BackTracer {
 
   SiteId site_;
   RefTables& tables_;
-  Network& network_;
+  Transport& transport_;
   Scheduler& scheduler_;
   std::function<const SiteBackInfo&()> back_info_;
   std::function<bool(ObjectId)> is_root_object_;

@@ -231,6 +231,19 @@ struct CollectorConfig {
   bool short_circuit_live_replies = false;
 };
 
+/// Which transport backend carries cross-site traffic (see src/net/transport.h).
+enum class TransportKind : std::uint8_t {
+  /// Single-threaded deterministic simulator: one Scheduler runs every site's
+  /// events interleaved on the caller's thread. The historical (seed) path,
+  /// bit for bit.
+  kSim,
+  /// In-process multi-threaded backend: each site's events run thread-confined
+  /// on worker threads under a conservative time-stepped engine; cross-site
+  /// messages flow through per-site MPSC inboxes. Reproducible for a given
+  /// seed and produces the same garbage verdicts/reclaim sets as kSim.
+  kThreaded,
+};
+
 struct NetworkConfig {
   /// Fixed transit latency plus uniform jitter in [0, latency_jitter].
   SimTime latency = 5;
@@ -279,6 +292,21 @@ struct NetworkConfig {
   /// Outage duration after which a down site or severed link is suspected.
   /// Zero derives 4 × heartbeat_period (four missed heartbeats).
   SimTime heartbeat_timeout = 0;
+
+  /// Transport backend (see TransportKind). kSim is the seed-identical
+  /// default; kThreaded runs sites concurrently on worker threads.
+  TransportKind transport = TransportKind::kSim;
+
+  /// Worker threads for TransportKind::kThreaded. Zero sizes the pool to
+  /// hardware_concurrency (capped by the site count). Ignored under kSim.
+  std::size_t transport_threads = 0;
+
+  /// Soft capacity bound for each site's threaded-transport inbox. A hard
+  /// bound would let a full inbox block the delivering coordinator and
+  /// deadlock the barrier engine, so overflows are admitted but counted
+  /// (TransportCounters::inbox_overflows) — the counter is the back-pressure
+  /// signal. Zero = unbounded (nothing counted).
+  std::size_t transport_queue_capacity = 0;
 };
 
 }  // namespace dgc

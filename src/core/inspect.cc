@@ -89,6 +89,13 @@ std::string DescribeSite(const Site& site) {
        << site.stats().objects_relabeled << " objects relabeled, "
        << site.stats().label_serves << " label serves\n";
   }
+  if (site.stats().transport_handoffs + site.stats().transport_staged_sends >
+      0) {
+    os << "  transport: " << site.stats().transport_handoffs
+       << " inbox handoffs, " << site.stats().transport_staged_sends
+       << " staged sends, queue peak " << site.stats().transport_queue_peak
+       << " (contention " << site.stats().transport_queue_contention << ")\n";
+  }
   os << "  ref tables: " << site.stats().table_slot_capacity
      << " slots (occupancy " << site.stats().table_occupancy << "), "
      << site.stats().table_slot_reuses << " slot reuses, "
@@ -155,6 +162,16 @@ std::string DescribeSystem(const System& system) {
        << " tasks (occupancy " << pool.occupancy() << "), "
        << system.trace_executor().stats().batches << " trace rounds, "
        << mark_ns << " ns marking, " << steals << " shard steals\n";
+  }
+  if (system.transport().kind() == TransportKind::kThreaded) {
+    const TransportCounters transport = system.transport().counters();
+    os << "  transport: threaded, " << transport.timesteps << " timesteps, "
+       << transport.parallel_phases << " parallel phases, "
+       << transport.site_steps << " site steps, " << transport.handoffs
+       << " inbox handoffs, " << transport.staged_sends
+       << " staged sends (queue peak " << transport.inbox_peak_depth
+       << ", contention " << transport.inbox_contention << ", overflows "
+       << transport.inbox_overflows << ")\n";
   }
   return os.str();
 }

@@ -7,7 +7,7 @@ namespace dgc {
 void MetricsRecorder::Capture(const System& system) {
   MetricsSample sample;
   sample.round = system.rounds_run();
-  sample.time = system.scheduler().now();
+  sample.time = system.now();
   sample.objects_stored = system.TotalObjects();
   sample.objects_reclaimed = system.TotalObjectsReclaimed();
   std::size_t table_live_entries = 0;
@@ -64,6 +64,14 @@ void MetricsRecorder::Capture(const System& system) {
   sample.slab_slot_capacity = occupancy.slot_capacity;
   sample.slab_free_slots = occupancy.free_slots;
   sample.slab_occupancy = occupancy.occupancy();
+  const TransportCounters transport = system.transport().counters();
+  sample.transport_timesteps = transport.timesteps;
+  sample.transport_phases = transport.parallel_phases;
+  sample.transport_site_steps = transport.site_steps;
+  sample.transport_handoffs = transport.handoffs;
+  sample.transport_staged = transport.staged_sends;
+  sample.transport_queue_peak = transport.inbox_peak_depth;
+  sample.transport_queue_contention = transport.inbox_contention;
   sample.table_occupancy =
       sample.table_slot_capacity == 0
           ? 1.0
@@ -92,7 +100,10 @@ std::string MetricsRecorder::ToCsv() const {
         "stale_incarnation_rejected,calls_parked,fd_suspicions,"
         "distance_repairs,distance_fallbacks,objects_relabeled,"
         "label_serves,table_slot_reuses,table_slot_grows,"
-        "table_slot_capacity,table_occupancy\n";
+        "table_slot_capacity,table_occupancy,transport_timesteps,"
+        "transport_phases,transport_site_steps,transport_handoffs,"
+        "transport_staged,transport_queue_peak,"
+        "transport_queue_contention\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -112,7 +123,11 @@ std::string MetricsRecorder::ToCsv() const {
        << s.distance_repairs << ',' << s.distance_fallbacks << ','
        << s.objects_relabeled << ',' << s.label_serves << ','
        << s.table_slot_reuses << ',' << s.table_slot_grows << ','
-       << s.table_slot_capacity << ',' << s.table_occupancy << '\n';
+       << s.table_slot_capacity << ',' << s.table_occupancy << ','
+       << s.transport_timesteps << ',' << s.transport_phases << ','
+       << s.transport_site_steps << ',' << s.transport_handoffs << ','
+       << s.transport_staged << ',' << s.transport_queue_peak << ','
+       << s.transport_queue_contention << '\n';
   }
   return os.str();
 }

@@ -66,6 +66,15 @@ struct MetricsSample {
   std::uint64_t table_slot_grows = 0;
   std::size_t table_slot_capacity = 0;
   double table_occupancy = 1.0;
+  // Threaded-transport engine accounting (cumulative; all zero under the
+  // sim transport).
+  std::uint64_t transport_timesteps = 0;
+  std::uint64_t transport_phases = 0;     // parallel phases run
+  std::uint64_t transport_site_steps = 0;
+  std::uint64_t transport_handoffs = 0;   // deliveries routed into inboxes
+  std::uint64_t transport_staged = 0;     // site-thread sends replayed
+  std::uint64_t transport_queue_peak = 0;
+  std::uint64_t transport_queue_contention = 0;
 };
 
 class MetricsRecorder {

@@ -8,23 +8,22 @@
 
 namespace dgc {
 
-Site::Site(SiteId id, Network& network, Scheduler& scheduler,
-           const CollectorConfig& config)
+Site::Site(SiteId id, Transport& transport, const CollectorConfig& config)
     : id_(id),
-      network_(network),
-      scheduler_(scheduler),
+      transport_(transport),
+      scheduler_(transport.SchedulerFor(id)),
       config_(config),
       heap_(id),
       tables_(id, config_),
       collector_(heap_, tables_),
       back_tracer_(
-          id, tables_, network, scheduler,
+          id, tables_, transport, scheduler_,
           [this]() -> const SiteBackInfo& { return back_info_; },
           [this](ObjectId obj) { return IsRootObject(obj); }) {
-  network_.RegisterSite(id, [this](const Envelope& envelope) {
+  transport_.RegisterSite(id, [this](const Envelope& envelope) {
     HandleMessage(envelope);
   });
-  network_.SetRecoveryListener(id, [this](SiteId peer) {
+  transport_.SetRecoveryListener(id, [this](SiteId peer) {
     back_tracer_.OnPeerRecovered(peer);
   });
 }
@@ -118,7 +117,7 @@ void Site::HandleInsert(const Envelope& envelope, const InsertMsg& msg) {
   // "(Also, the transfer barrier applies to inref z.)" — §6.1.2 case 4.
   ApplyTransferBarrier(msg.ref);
   if (msg.pinned_site != kInvalidSite) {
-    network_.Send(id_, msg.pinned_site, InsertAckMsg{msg.ref, msg.new_source});
+    transport_.Send(id_, msg.pinned_site, InsertAckMsg{msg.ref, msg.new_source});
   }
   (void)envelope;
 }
@@ -245,12 +244,12 @@ void Site::ReceiveReference(ObjectId ref, std::function<void()> done,
     // protection gap, no ack wait. The pin still holds until the ack so the
     // outref stays clean and untrimmed meanwhile.
     deferred_inserts_.insert(ref);
-    network_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
+    transport_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
     done();
     return;
   }
   pending_insert_acks_[ref].push_back(std::move(done));
-  network_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
+  transport_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
 }
 
 void Site::FlushDeferredInserts() { ResendPendingInserts(); }
@@ -259,11 +258,11 @@ void Site::ResendPendingInserts() {
   // Both queues hold pinned outrefs awaiting the owner's ack; inserts are
   // idempotent, so resending recovers from any lost message.
   for (const ObjectId ref : deferred_inserts_) {
-    network_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
+    transport_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
   }
   for (const auto& [ref, continuations] : pending_insert_acks_) {
     (void)continuations;
-    network_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
+    transport_.Send(id_, ref.site, InsertMsg{ref, id_, id_});
   }
 }
 
@@ -343,7 +342,7 @@ void Site::HandleMutatorRead(const Envelope& envelope,
   // are still in flight. Remote references pin our outref; our own objects
   // are self-retained as temporary roots.
   if (value.valid()) RetainServedReference(value);
-  network_.Send(id_, envelope.from, MutatorReadReplyMsg{msg.session, value});
+  transport_.Send(id_, envelope.from, MutatorReadReplyMsg{msg.session, value});
 }
 
 void Site::RetainServedReference(ObjectId ref) {
@@ -375,7 +374,7 @@ void Site::HandleMutatorReadReply(const Envelope& envelope,
     // Duplicate reply from a retried RPC: the first one won. Release the
     // server's (duplicate) retention so it does not leak.
     if (msg.value.valid()) {
-      network_.Send(id_, envelope.from, PinReleaseMsg{msg.value});
+      transport_.Send(id_, envelope.from, PinReleaseMsg{msg.value});
     }
     return;
   }
@@ -393,7 +392,7 @@ void Site::HandleMutatorReadReply(const Envelope& envelope,
       value,
       [this, continuation = std::move(continuation), value, server] {
         // Release the server's retention (outref pin or self-root).
-        network_.Send(id_, server, PinReleaseMsg{value});
+        transport_.Send(id_, server, PinReleaseMsg{value});
         continuation(value);
       },
       envelope.from);
@@ -408,7 +407,7 @@ void Site::HandleMutatorWrite(const Envelope& envelope,
   const SiteId requester = envelope.from;
   const auto finish = [this, msg, requester] {
     heap_.SetSlot(msg.target, msg.slot, msg.value);
-    network_.Send(id_, requester, MutatorWriteAckMsg{msg.session});
+    transport_.Send(id_, requester, MutatorWriteAckMsg{msg.session});
   };
   if (!msg.value.valid()) {
     finish();
@@ -470,7 +469,7 @@ void Site::HandleFetch(const Envelope& envelope, const FetchMsg& msg) {
   for (const ObjectId ref : slots) {
     if (ref.valid()) RetainServedReference(ref);
   }
-  network_.Send(id_, envelope.from,
+  transport_.Send(id_, envelope.from,
                 FetchReplyMsg{msg.session, msg.target, slots});
 }
 
@@ -501,7 +500,7 @@ void Site::HandleCommit(const Envelope& envelope, const CommitMsg& msg) {
     for (const CommitWrite& write : *writes) {
       heap_.SetSlot(write.target, write.slot, write.value);
     }
-    network_.Send(id_, requester, CommitAckMsg{session});
+    transport_.Send(id_, requester, CommitAckMsg{session});
   };
   for (const CommitWrite& write : msg.writes) {
     if (write.value.valid()) ++*pending;
@@ -595,10 +594,10 @@ void Site::CrashRestart() {
   // rejected at arrival and (with reliable delivery) every transport
   // channel touching this site is dead-lettered — its connection state died
   // with the process too.
-  network_.NoteSiteRestarted(id_);
+  transport_.NoteSiteRestarted(id_);
   // Dead-lettering dropped the old incarnation's recovery listener with the
   // rest of its connection state; the new incarnation subscribes afresh.
-  network_.SetRecoveryListener(id_, [this](SiteId peer) {
+  transport_.SetRecoveryListener(id_, [this](SiteId peer) {
     back_tracer_.OnPeerRecovered(peer);
   });
   // Volatile state dies with the process.
@@ -625,7 +624,7 @@ void Site::CrashRestart() {
     entry.pin_count = 0;
     const Distance carried =
         entry.distance == kDistanceInfinity ? 1 : entry.distance;
-    network_.Send(id_, ref.site,
+    transport_.Send(id_, ref.site,
                   InsertMsg{ref, id_, /*pinned_site=*/kInvalidSite, carried});
   }
 }
@@ -701,7 +700,7 @@ void Site::ApplyTraceResult(TraceResult result) {
   for (auto& [target, msg] : updates) {
     stats_.update_entries_sent += msg.entries.size();
     ++stats_.updates_sent;
-    network_.Send(id_, target, std::move(msg));
+    transport_.Send(id_, target, std::move(msg));
   }
 
   // 6. Post-trace housekeeping: retry unacknowledged deferred inserts,

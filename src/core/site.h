@@ -29,13 +29,19 @@
 #include "common/flat_map.h"
 #include "common/ids.h"
 #include "localgc/local_collector.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "refs/tables.h"
 #include "sim/scheduler.h"
 #include "store/heap.h"
 
 namespace dgc {
 
+/// Per-site counters. Explicitly single-writer: every field is accumulated
+/// by the owning site's protocol handlers, which run on exactly one thread
+/// at a time (the shared simulation thread under SimTransport; the site's
+/// thread during a parallel phase under ThreadedTransport, ordered against
+/// coordinator reads by the phase barrier). No field may be written from
+/// another site or from the coordinator mid-phase.
 struct SiteStats {
   std::uint64_t local_traces = 0;
   std::uint64_t updates_sent = 0;
@@ -64,12 +70,19 @@ struct SiteStats {
   std::uint64_t table_slot_grows = 0;
   std::size_t table_slot_capacity = 0;
   double table_occupancy = 1.0;
+  // Transport accounting, mirrored from the transport when stats() is read
+  // (all zero under SimTransport): envelopes handed to this site's inbox,
+  // sends staged on its thread, and its inbox's high-water mark and lock
+  // contention.
+  std::uint64_t transport_handoffs = 0;
+  std::uint64_t transport_staged_sends = 0;
+  std::uint64_t transport_queue_peak = 0;
+  std::uint64_t transport_queue_contention = 0;
 };
 
 class Site {
  public:
-  Site(SiteId id, Network& network, Scheduler& scheduler,
-       const CollectorConfig& config);
+  Site(SiteId id, Transport& transport, const CollectorConfig& config);
 
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
@@ -91,6 +104,11 @@ class Site {
     stats_.table_slot_grows = tables_.slot_grows();
     stats_.table_slot_capacity = tables_.slot_capacity();
     stats_.table_occupancy = tables_.occupancy();
+    const SiteTransportCounters transport = transport_.site_counters(id_);
+    stats_.transport_handoffs = transport.handoffs;
+    stats_.transport_staged_sends = transport.staged_sends;
+    stats_.transport_queue_peak = transport.queue_peak_depth;
+    stats_.transport_queue_contention = transport.queue_contention;
     return stats_;
   }
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
@@ -238,7 +256,10 @@ class Site {
   void CleanOutref(ObjectId remote_ref);
 
   SiteId id_;
-  Network& network_;
+  Transport& transport_;
+  /// This site's own scheduler (== the control scheduler under
+  /// SimTransport; the site thread's private scheduler under
+  /// ThreadedTransport).
   Scheduler& scheduler_;
   CollectorConfig config_;
 

@@ -25,7 +25,8 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
                const NetworkConfig& network_config, std::uint64_t seed)
     : collector_config_(collector_config),
       rng_(seed),
-      network_(scheduler_, network_config, rng_.Fork()),
+      transport_(CreateTransport(site_count, scheduler_, network_config,
+                                 rng_.Fork())),
       pool_(PoolWorkersFor(collector_config)),
       trace_executor_(pool_, collector_config.trace_threads) {
   DGC_CHECK(site_count >= 1);
@@ -46,8 +47,8 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
   }
   sites_.reserve(site_count);
   for (std::size_t i = 0; i < site_count; ++i) {
-    sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), network_,
-                                            scheduler_, collector_config_));
+    sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i),
+                                            *transport_, collector_config_));
     sites_.back()->set_worker_pool(&pool_);
   }
 }
@@ -105,10 +106,17 @@ void System::RunRoundParallel() {
 }
 
 void System::RunRoundStaggered(SimTime stagger) {
+  // Schedule each site's trace on its own scheduler: under the sim
+  // transport every SchedulerFor is the shared scheduler and the At calls
+  // reproduce the historical After(offset) schedule exactly; under the
+  // threaded transport the traces run on the site threads — with stagger 0
+  // they all land in one parallel phase, which is where the backend's
+  // speedup comes from.
+  const SimTime base = transport_->now();
   SimTime offset = 0;
   for (auto& s : sites_) {
     Site* raw = s.get();
-    scheduler_.After(offset, [raw] {
+    transport_->SchedulerFor(raw->id()).At(base + offset, [raw] {
       if (!raw->trace_in_flight()) raw->StartLocalTrace();
     });
     offset += stagger;
@@ -121,17 +129,17 @@ void System::RunRounds(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) RunRound();
 }
 
-void System::SettleNetwork() { scheduler_.RunUntilIdle(); }
+void System::SettleNetwork() { transport_->Settle(); }
 
 void System::ArmFaultPlan(const FaultPlan& plan) {
   FaultHooks hooks;
   hooks.set_site_down = [this](SiteId site, bool down) {
     DGC_CHECK(site < sites_.size());
-    network_.SetSiteDown(site, down);
+    network().SetSiteDown(site, down);
   };
   hooks.set_link_down = [this](SiteId a, SiteId b, bool down) {
     DGC_CHECK(a < sites_.size() && b < sites_.size());
-    network_.SetLinkDown(a, b, down);
+    network().SetLinkDown(a, b, down);
   };
   hooks.crash_restart = [this](SiteId site) {
     DGC_CHECK(site < sites_.size());
@@ -144,18 +152,18 @@ void System::ArmFaultPlan(const FaultPlan& plan) {
   const auto open_bursts = std::make_shared<int>(0);
   hooks.begin_drop_burst = [this, open_bursts](double p) {
     ++*open_bursts;
-    network_.set_drop_probability_override(p);
+    network().set_drop_probability_override(p);
   };
   hooks.end_drop_burst = [this, open_bursts] {
-    if (--*open_bursts == 0) network_.set_drop_probability_override(-1.0);
+    if (--*open_bursts == 0) network().set_drop_probability_override(-1.0);
   };
   const auto open_spikes = std::make_shared<int>(0);
   hooks.begin_latency_spike = [this, open_spikes](SimTime extra) {
     ++*open_spikes;
-    network_.set_extra_latency(extra);
+    network().set_extra_latency(extra);
   };
   hooks.end_latency_spike = [this, open_spikes] {
-    if (--*open_spikes == 0) network_.set_extra_latency(0);
+    if (--*open_spikes == 0) network().set_extra_latency(0);
   };
   plan.Schedule(scheduler_, std::move(hooks));
 }

@@ -18,7 +18,7 @@
 #include "common/worker_pool.h"
 #include "core/parallel_trace.h"
 #include "core/site.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "sim/fault_plan.h"
 #include "sim/scheduler.h"
 
@@ -41,11 +41,28 @@ class System {
     DGC_CHECK(id < sites_.size());
     return *sites_[id];
   }
+  /// The control scheduler (== every site's scheduler under the sim
+  /// transport). Driving it directly bypasses the threaded engine; prefer
+  /// now()/RunUntilTime()/SettleNetwork() in transport-agnostic code.
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
-  [[nodiscard]] Network& network() { return network_; }
-  [[nodiscard]] const Network& network() const { return network_; }
+  [[nodiscard]] Network& network() { return transport_->network(); }
+  [[nodiscard]] const Network& network() const {
+    return transport_->network();
+  }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Global simulated time (all schedulers agree whenever the world is
+  /// settled).
+  [[nodiscard]] SimTime now() const { return transport_->now(); }
+
+  /// The scheduler a given site's timers live on (the shared scheduler
+  /// under the sim transport; the site's private one under threaded).
+  [[nodiscard]] Scheduler& SchedulerFor(SiteId site) {
+    return transport_->SchedulerFor(site);
+  }
 
   // --- World building (god mode; bypasses the mutator protocol) --------
 
@@ -77,15 +94,17 @@ class System {
 
   void RunRounds(std::size_t n);
 
-  /// Drains the scheduler (message deliveries, back traces, timeouts).
+  /// Drains all schedulers (message deliveries, back traces, timeouts).
   void SettleNetwork();
 
   /// Advances the simulated clock by `delta`, running any events that fall
   /// due. Useful for timeout/lease experiments in otherwise-quiet worlds,
   /// where no events would otherwise move time forward.
-  void AdvanceTime(SimTime delta) {
-    scheduler_.RunUntil(scheduler_.now() + delta);
-  }
+  void AdvanceTime(SimTime delta) { RunUntilTime(now() + delta); }
+
+  /// Runs every event (on every scheduler) with time <= t, then advances
+  /// all clocks to t.
+  void RunUntilTime(SimTime t) { transport_->RunUntilTime(t); }
 
   [[nodiscard]] std::size_t rounds_run() const { return rounds_; }
 
@@ -181,7 +200,10 @@ class System {
   CollectorConfig collector_config_;
   Scheduler scheduler_;
   Rng rng_;
-  Network network_;
+  /// The pluggable message/time engine (owns the Network). Declared in the
+  /// old Network member's position so rng_.Fork() order — and with it every
+  /// seeded run — is unchanged.
+  std::unique_ptr<Transport> transport_;
   /// Persistent worker pool shared by both scheduling levels: per-site trace
   /// computations (coarse tasks, capped at trace_threads) and intra-site
   /// mark/sweep/refold shards (fine tasks, capped at mark_threads). Sized so

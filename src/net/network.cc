@@ -605,6 +605,13 @@ void Network::Dispatch(Envelope envelope) {
   DGC_CHECK_MSG(
       envelope.to < handlers_.size() && handlers_[envelope.to] != nullptr,
       "deliver to unregistered site " << envelope.to);
+  if (dispatcher_) {
+    // Transport interposition (ThreadedTransport inbox routing); the
+    // registered-handler check above still applies so an unregistered
+    // destination fails identically under either backend.
+    dispatcher_(std::move(envelope));
+    return;
+  }
   handlers_[envelope.to](envelope);
 }
 

@@ -102,12 +102,27 @@ struct NetworkStats {
   }
 };
 
+// Thread-confinement note (transport seam, satellite audit): every mutable
+// member of Network — the FIFO-clamp shards (channel_last_delivery_), the
+// reliable sender/receiver channels (whose out-of-order stash is a std::map
+// mutated while being iterated by AdvanceReceiverTo/OnWireArrival), the
+// pending-batch shards, incarnations, fault records, and stats — is written
+// with NO internal synchronization. The class is single-writer by contract:
+// under SimTransport everything runs on the caller's thread; under
+// ThreadedTransport the whole Network object is confined to the coordinator
+// thread (sites *stage* sends on their own threads and the coordinator
+// replays them into Send between parallel phases, see
+// net/threaded_transport.h). Concurrent enqueue into Send/ShipBatch would
+// invalidate FlatMap iterators mid-shard and corrupt the stash maps — the
+// seam keeps that structurally impossible instead of guarding it with locks.
 class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
   /// Invoked (per observer site) when the failure detector reports a
   /// previously suspected peer healed.
   using RecoveryListener = std::function<void(SiteId peer)>;
+  /// Delivery interposer (see set_dispatcher).
+  using Dispatcher = std::function<void(Envelope&&)>;
 
   Network(Scheduler& scheduler, NetworkConfig config, Rng rng);
 
@@ -169,6 +184,17 @@ class Network {
 
   /// Installs `observer`'s recovery listener (at most one per site).
   void SetRecoveryListener(SiteId observer, RecoveryListener listener);
+
+  /// Interposes on final delivery: when set, every envelope that would be
+  /// handed to its destination handler goes to `dispatcher` instead (after
+  /// all transport processing — FIFO clamp, reliable reassembly, incarnation
+  /// checks, stats). ThreadedTransport uses this to route deliveries into
+  /// per-site inboxes so the handler runs on the destination site's thread;
+  /// null (default) calls the registered handler directly, bit-identical to
+  /// the historical path.
+  void set_dispatcher(Dispatcher dispatcher) {
+    dispatcher_ = std::move(dispatcher);
+  }
 
   // --- Chaos-injection overrides --------------------------------------
 
@@ -356,6 +382,9 @@ class Network {
   /// Indexed by SiteId (sites register densely from 0); empty slots are
   /// unregistered.
   std::vector<Handler> handlers_;
+  /// When set, Dispatch routes here instead of handlers_ (see
+  /// set_dispatcher).
+  Dispatcher dispatcher_;
   std::unordered_set<SiteId> site_down_;
   std::unordered_set<std::uint64_t> link_down_;
   ChannelShards<SimTime> channel_last_delivery_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -42,6 +43,19 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Sentinel returned by next_event_time() when the queue is empty — larger
+  /// than any schedulable instant, so min() folds across schedulers ignore
+  /// idle ones.
+  static constexpr SimTime kNoPendingEvent =
+      std::numeric_limits<SimTime>::max();
+
+  /// Instant of the earliest pending event, or kNoPendingEvent when idle.
+  /// The conservative time-stepped transport engine uses this to pick the
+  /// next global timestep across many schedulers.
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? kNoPendingEvent : queue_.top().time;
+  }
 
  private:
   struct Event {

@@ -117,8 +117,7 @@ SiteId ScaleDriver::BiasedSite() {
 }
 
 void ScaleDriver::Run() {
-  Scheduler& scheduler = system_.scheduler();
-  const SimTime start = scheduler.now();
+  const SimTime start = system_.now();
   const SimTime end = start + spec_.duration;
   SimTime next_spawn = start + NextExponential(spec_.mean_interarrival);
   SimTime next_round = start + spec_.round_period;
@@ -129,7 +128,7 @@ void ScaleDriver::Run() {
     // Open loop: advance the world exactly to the next driver event —
     // in-flight messages, traces and back traces run as their times come
     // up, but the driver never waits for them.
-    scheduler.RunUntil(next);
+    system_.RunUntilTime(next);
     while (!live_.empty() && live_.back().sever_at <= next) {
       Cohort cohort = std::move(live_.back());
       live_.pop_back();
@@ -145,7 +144,7 @@ void ScaleDriver::Run() {
       next_round += spec_.round_period;
     }
   }
-  scheduler.RunUntil(end);
+  system_.RunUntilTime(end);
   Harvest();
   stats_.drove_for += spec_.duration;
 }
@@ -190,8 +189,7 @@ void ScaleDriver::Spawn() {
   }
   system_.Wire(cohort.tether, 0, cohort.objects.front());
 
-  cohort.sever_at =
-      system_.scheduler().now() + NextExponential(spec_.mean_lifetime);
+  cohort.sever_at = system_.now() + NextExponential(spec_.mean_lifetime);
   // Keep live_ sorted by sever_at descending so the soonest sever is at the
   // back (pop without shifting).
   const auto pos = std::upper_bound(
@@ -207,12 +205,12 @@ void ScaleDriver::Sever(Cohort cohort) {
   // The tether object stays rooted and is recycled for a later cohort at the
   // same site, so long runs do not grow the root set without bound.
   free_tethers_[cohort.tether.site].push_back(cohort.tether);
-  cohort.severed_at = system_.scheduler().now();
+  cohort.severed_at = system_.now();
   pending_.push_back(std::move(cohort));
 }
 
 void ScaleDriver::Harvest() {
-  const SimTime now = system_.scheduler().now();
+  const SimTime now = system_.now();
   for (std::size_t i = 0; i < pending_.size();) {
     const Cohort& cohort = pending_[i];
     const bool reclaimed =
@@ -231,10 +229,16 @@ void ScaleDriver::Harvest() {
 
 void ScaleDriver::StartStaggeredRound() {
   ++stats_.rounds_started;
+  // Each site's trace is scheduled on its own scheduler so the threaded
+  // transport runs it on the site's thread; under the sim transport every
+  // SchedulerFor is the shared scheduler and this is the historical
+  // After(offset) schedule verbatim. With round_stagger 0 all traces share
+  // one instant — one parallel phase under the threaded backend.
+  const SimTime base = system_.now();
   SimTime offset = 0;
   for (SiteId s = 0; s < system_.site_count(); ++s) {
     Site* site = &system_.site(s);
-    system_.scheduler().After(offset, [site] {
+    system_.SchedulerFor(s).At(base + offset, [site] {
       if (!site->trace_in_flight()) site->StartLocalTrace();
     });
     offset += spec_.round_stagger;
