@@ -2,11 +2,19 @@
 //
 //   dgcsim [--sites N] [--cycle W[xK]] [--hypertext D] [--churn STEPS]
 //          [--rounds R] [--threshold D] [--crash S] [--batch W]
-//          [--transport sim|threaded] [--transport-threads N]
+//          [--transport sim|threaded|socket] [--transport-threads N]
 //          [--dump] [--dot] [--csv]
+//   dgcsim --role site --site N --socket PATH [--snapshot PATH]
 //
 // Builds a world, runs collection rounds, prints a system summary (and
 // optionally per-site tables or a Graphviz export of the final graph).
+//
+// Under --transport socket every site is its own OS process: the
+// coordinator re-execs this binary with `--role site`, and the site role
+// runs the frame loop in net/site_host.h against the coordinator's
+// Unix-domain socket. The site role is spawned by the supervisor — users
+// never type it — but it is a plain CLI so `ps` output and core dumps
+// read sensibly.
 //
 // Examples:
 //   dgcsim --sites 4 --cycle 3x2 --rounds 20 --dump
@@ -15,18 +23,34 @@
 //   dgcsim --sites 4 --cycle 2 --crash 1 --rounds 15
 //   dgcsim --sites 4 --cycle 3 --rounds 20 --csv > series.csv
 //   dgcsim --sites 8 --cycle 4x2 --rounds 20 --transport threaded
+//   dgcsim --sites 4 --cycle 3 --rounds 12 --transport socket --crash 1
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/inspect.h"
 #include "core/metrics.h"
 #include "core/system.h"
+#include "net/site_host.h"
+#include "net/socket_world.h"
 #include "workload/builders.h"
 #include "workload/churn.h"
 
 namespace {
+
+const char* TransportName(dgc::TransportKind kind) {
+  switch (kind) {
+    case dgc::TransportKind::kSim:
+      return "sim";
+    case dgc::TransportKind::kThreaded:
+      return "threaded";
+    case dgc::TransportKind::kSocket:
+      return "socket";
+  }
+  return "?";
+}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -36,19 +60,161 @@ int Usage(const char* argv0) {
                "[--batch W] [--seed S]\n"
                "          [--mark-threads N] [--trace-threads N] "
                "[--incremental-distance]\n"
-               "          [--transport sim|threaded] [--transport-threads N]\n"
+               "          [--transport sim|threaded|socket] "
+               "[--transport-threads N]\n"
                "          [--dump] [--dot]\n"
-               "  --transport threaded runs each site on its own thread\n"
-               "  (deterministic; default sim). --churn is sim-only: its\n"
-               "  mutator sessions script the shared clock event-to-event.\n",
-               argv0);
+               "       %s --role site --site N --socket PATH "
+               "[--snapshot PATH]\n"
+               "  --transport threaded runs each site on its own thread;\n"
+               "  --transport socket runs each site as its own OS process\n"
+               "  (both deterministic at the protocol level; default sim).\n"
+               "  --churn is sim-only: its mutator sessions script the\n"
+               "  shared clock event-to-event. --role site is the process\n"
+               "  the socket coordinator spawns — not for interactive use.\n",
+               argv0, argv0);
   return 2;
+}
+
+/// The site half of --transport socket: parses only the flags the
+/// coordinator's supervisor appends and hands off to the frame loop.
+int RunSiteRole(int argc, char** argv) {
+  dgc::SiteHostOptions options;
+  bool have_site = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dgcsim: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--role") {
+      next();  // dispatched on before we got here
+    } else if (arg == "--site") {
+      options.site = static_cast<dgc::SiteId>(
+          std::strtoul(next(), nullptr, 10));
+      have_site = true;
+    } else if (arg == "--socket") {
+      options.socket_path = next();
+    } else if (arg == "--snapshot") {
+      options.snapshot_path = next();
+    } else {
+      std::fprintf(stderr, "dgcsim: unknown site-role option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (!have_site || options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "dgcsim: --role site needs --site N and --socket PATH\n");
+    return 2;
+  }
+  return dgc::RunSiteProcess(options);
+}
+
+/// The coordinator half of --transport socket. The in-process drivers
+/// (System, workload builders, DescribeSystem) cannot host real site
+/// processes, so this runs the canonical paper demo over SocketWorld's
+/// god-mode surface instead: a cross-site ring whose tether is cut —
+/// distributed garbage only back tracing collects — with --crash mapped
+/// to a real kill -9 plus supervised restart.
+int RunSocketCoordinator(const char* argv0, std::size_t sites,
+                         std::size_t cycle_sites, std::size_t cycle_objects,
+                         std::size_t rounds, dgc::Distance threshold,
+                         int crash_site, std::uint64_t seed) {
+  using namespace dgc;
+  SocketWorldOptions options;
+  options.site_count = sites;
+  options.collector.suspicion_threshold = threshold;
+  options.collector.estimated_cycle_length =
+      static_cast<Distance>(cycle_sites > 0 ? cycle_sites + 2 : 8);
+  options.seed = seed;
+  options.site_exec_argv = {argv0};
+  SocketWorld world(std::move(options));
+  std::printf("transport: socket (%zu site processes, state in %s)\n", sites,
+              world.state_dir().c_str());
+
+  std::vector<ObjectId> ring;
+  if (cycle_sites > 0) {
+    for (std::size_t k = 0; k < cycle_sites; ++k) {
+      for (std::size_t j = 0; j < cycle_objects; ++j) {
+        ring.push_back(world.NewObject(static_cast<SiteId>(k % sites), 2));
+      }
+    }
+    for (std::size_t k = 0; k < ring.size(); ++k) {
+      world.Wire(ring[k], 0, ring[(k + 1) % ring.size()]);
+    }
+    const ObjectId tether = world.NewObject(0, 2);
+    world.SetPersistentRoot(tether);
+    world.Wire(tether, 0, ring.front());
+    world.Unwire(tether, 0);
+    std::printf(
+        "built a %zu-site garbage ring (%zu objects) and cut its tether\n",
+        cycle_sites, ring.size());
+  }
+
+  const std::uint64_t before = world.TotalObjects();
+  const bool crash = crash_site >= 0 &&
+                     static_cast<std::size_t>(crash_site) < sites;
+  if (crash && rounds > 0) {
+    // Kill after the first round so traces are in flight: the supervisor
+    // restarts the process, the handshake fences the old incarnation, and
+    // the ring must still collect.
+    world.RunRounds(1);
+    world.KillSite(static_cast<SiteId>(crash_site));
+    std::printf("kill -9 site %d (supervisor restarts it)\n", crash_site);
+    if (rounds > 1) world.RunRounds(rounds - 1);
+  } else {
+    world.RunRounds(rounds);
+  }
+  world.SettleNetwork();
+
+  std::printf("ran %zu rounds: %llu -> %llu objects (%llu reclaimed)\n",
+              rounds, static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(world.TotalObjects()),
+              static_cast<unsigned long long>(world.TotalObjectsReclaimed()));
+  const SocketCounters& counters = world.transport().socket_counters();
+  std::printf("sockets: %llu handshakes, %llu restarts accepted, "
+              "%llu reconnects, %llu step timeouts\n",
+              static_cast<unsigned long long>(counters.handshakes_accepted),
+              static_cast<unsigned long long>(counters.restarts_accepted),
+              static_cast<unsigned long long>(counters.reconnects),
+              static_cast<unsigned long long>(counters.step_timeouts));
+  std::printf("incarnations:");
+  for (SiteId s = 0; s < sites; ++s) {
+    std::printf(" s%u=%u", static_cast<unsigned>(s), world.incarnation(s));
+  }
+  std::printf("\n");
+
+  bool leaked = false;
+  for (const ObjectId id : ring) {
+    if (world.ObjectExists(id)) leaked = true;
+  }
+  if (!ring.empty()) {
+    std::printf("ring: %s\n", leaked ? "LEAKED" : "collected");
+  }
+  return leaked ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dgc;
+
+  // Role dispatch first: a site process must not run the coordinator
+  // parse (its flag set is disjoint and appended by the supervisor).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--role") == 0) {
+      const char* role = i + 1 < argc ? argv[i + 1] : "";
+      if (std::strcmp(role, "site") == 0) return RunSiteRole(argc, argv);
+      std::fprintf(stderr,
+                   "dgcsim: unknown role '%s' (valid roles: site; the "
+                   "coordinator role is the default)\n",
+                   role);
+      return 2;
+    }
+  }
 
   std::size_t sites = 4;
   std::size_t cycle_sites = 0, cycle_objects = 1;
@@ -105,10 +271,14 @@ int main(int argc, char** argv) {
         transport = TransportKind::kSim;
       } else if (mode == "threaded") {
         transport = TransportKind::kThreaded;
+      } else if (mode == "socket") {
+        transport = TransportKind::kSocket;
       } else {
-        std::fprintf(stderr, "unknown transport '%s' (want sim|threaded)\n",
+        std::fprintf(stderr,
+                     "dgcsim: unknown transport '%s' (valid backends: sim, "
+                     "threaded, socket)\n",
                      mode.c_str());
-        return Usage(argv[0]);
+        return 2;
       }
     } else if (arg == "--transport-threads") {
       transport_threads = std::strtoull(next(), nullptr, 10);
@@ -125,14 +295,27 @@ int main(int argc, char** argv) {
     }
   }
   if (sites < 1 || (cycle_sites > sites)) return Usage(argv[0]);
-  if (transport == TransportKind::kThreaded && churn_steps > 0) {
+  // One rejection path for every non-sim backend: the transactional churn
+  // driver's mutator sessions script the shared simulator clock
+  // event-to-event, which only the sim transport has.
+  if (churn_steps > 0 && transport != TransportKind::kSim) {
     std::fprintf(stderr,
-                 "--churn is incompatible with --transport threaded: the "
-                 "transactional churn driver's mutator sessions script the "
-                 "shared simulator clock event-to-event, which only exists "
-                 "under the sim transport. Drop --churn or use --transport "
-                 "sim.\n");
+                 "dgcsim: --churn is incompatible with --transport %s: the "
+                 "churn driver's mutator sessions script the shared "
+                 "simulator clock event-to-event, which only exists under "
+                 "the sim transport. Drop --churn or use --transport sim.\n",
+                 TransportName(transport));
     return 2;
+  }
+  if (transport == TransportKind::kSocket) {
+    if (hypertext_docs > 0 || dump || dot || csv) {
+      std::fprintf(stderr,
+                   "dgcsim: --hypertext/--dump/--dot/--csv need the "
+                   "in-process world; use --transport sim or threaded\n");
+      return 2;
+    }
+    return RunSocketCoordinator(argv[0], sites, cycle_sites, cycle_objects,
+                                rounds, threshold, crash_site, seed);
   }
 
   CollectorConfig config;

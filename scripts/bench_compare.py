@@ -464,13 +464,19 @@ MIN_CPUS_FOR_TRANSPORT_SPEEDUP = 4
 
 
 def check_transport(path):
-    """Gate BENCH_transport.json: threaded == sim verdicts, conditional speedup.
+    """Gate BENCH_transport.json: every backend == sim verdicts.
+
+    Rows come in two shapes, keyed by which backend counters they carry.
+    Threaded rows (threaded_* counters) are gated on equality plus a
+    wall-clock speedup floor enforced only when host_cpus suffices. Socket
+    rows (socket_* counters, from the real-process backend) are gated on
+    equality only — site processes pay real fork/socket syscalls, so their
+    wall-clock is reported as information, never enforced.
 
     The equality leg (same severed/collected/reclaimed figures, row-level
-    verdicts_match flag covering the survivor census) is unconditional: it
-    holds by the engine's determinism argument and any violation is a
-    correctness bug, not noise. The speedup leg is wall-clock and only
-    enforced when host_cpus suffices.
+    verdicts_match flag covering the survivor census) is unconditional for
+    both shapes: it holds by the engines' determinism argument and any
+    violation is a correctness bug, not noise.
     """
     rows = load_benchmarks(path)
     failures = []
@@ -483,32 +489,51 @@ def check_transport(path):
         severed = float(row["sim_cycles_severed"])
         collected = float(row.get("sim_cycles_collected", 0.0))
         reclaimed = float(row.get("sim_reclaimed", 0.0))
-        t_severed = float(row.get("threaded_cycles_severed", -1.0))
-        t_collected = float(row.get("threaded_cycles_collected", -1.0))
-        t_reclaimed = float(row.get("threaded_reclaimed", -1.0))
-        speedup = float(row.get("speedup", 0.0))
-        host_cpus = float(row.get("host_cpus", 0.0))
         problems = []
         if severed <= 0:
             problems.append("vacuous_run")
         if float(row["verdicts_match"]) != 1.0:
             problems.append("verdicts_match")
-        if (severed, collected, reclaimed) != (t_severed, t_collected,
-                                               t_reclaimed):
-            problems.append("sim_threaded_equality")
-        gate_speedup = host_cpus >= MIN_CPUS_FOR_TRANSPORT_SPEEDUP
-        if gate_speedup and speedup < MIN_TRANSPORT_SPEEDUP:
-            problems.append("speedup")
+        notes = []
+        compared = []
+        if "threaded_cycles_severed" in row:
+            t_severed = float(row["threaded_cycles_severed"])
+            t_collected = float(row.get("threaded_cycles_collected", -1.0))
+            t_reclaimed = float(row.get("threaded_reclaimed", -1.0))
+            if (severed, collected, reclaimed) != (t_severed, t_collected,
+                                                   t_reclaimed):
+                problems.append("sim_threaded_equality")
+            compared.append(
+                f"threaded {t_severed:g}/{t_collected:g}/{t_reclaimed:g}")
+            speedup = float(row.get("speedup", 0.0))
+            host_cpus = float(row.get("host_cpus", 0.0))
+            gate_speedup = host_cpus >= MIN_CPUS_FOR_TRANSPORT_SPEEDUP
+            if gate_speedup and speedup < MIN_TRANSPORT_SPEEDUP:
+                problems.append("speedup")
+            notes.append(f"speedup {speedup:.2f}x (min "
+                         f"{MIN_TRANSPORT_SPEEDUP:g}x)" if gate_speedup else
+                         f"speedup {speedup:.2f}x (info: host_cpus "
+                         f"{host_cpus:g} < "
+                         f"{MIN_CPUS_FOR_TRANSPORT_SPEEDUP})")
+        if "socket_cycles_severed" in row:
+            s_severed = float(row["socket_cycles_severed"])
+            s_collected = float(row.get("socket_cycles_collected", -1.0))
+            s_reclaimed = float(row.get("socket_reclaimed", -1.0))
+            if (severed, collected, reclaimed) != (s_severed, s_collected,
+                                                   s_reclaimed):
+                problems.append("sim_socket_equality")
+            compared.append(
+                f"socket {s_severed:g}/{s_collected:g}/{s_reclaimed:g}")
+            notes.append(f"socket wall {float(row.get('socket_wall_ms', 0)):g}ms"
+                         f" vs sim {float(row.get('sim_wall_ms', 0)):g}ms"
+                         " (info)")
+        if not compared:
+            problems.append("no_backend_counters")
         ok = not problems
-        speedup_note = (f"speedup {speedup:.2f}x (min "
-                        f"{MIN_TRANSPORT_SPEEDUP:g}x)" if gate_speedup else
-                        f"speedup {speedup:.2f}x (info: host_cpus "
-                        f"{host_cpus:g} < "
-                        f"{MIN_CPUS_FOR_TRANSPORT_SPEEDUP})")
         print(f"{'ok' if ok else 'FAIL':>10}  {name}: "
-              f"sim {severed:g}/{collected:g}/{reclaimed:g} vs threaded "
-              f"{t_severed:g}/{t_collected:g}/{t_reclaimed:g} "
-              f"(severed/collected/reclaimed), {speedup_note}")
+              f"sim {severed:g}/{collected:g}/{reclaimed:g} vs "
+              f"{', '.join(compared) or '(nothing)'} "
+              f"(severed/collected/reclaimed), {'; '.join(notes)}")
         failures.extend(f"{name} ({p})" for p in problems)
     if checked == 0:
         _die(f"error: {path} has no rows with verdicts_match/"
@@ -518,7 +543,7 @@ def check_transport(path):
         for name in failures:
             print(f"  {name}")
         return 1
-    print(f"\nthreaded backend matches sim on all {checked} row(s)")
+    print(f"\nall backends match sim on all {checked} row(s)")
     return 0
 
 
@@ -596,6 +621,17 @@ _FIXTURE_TRANSPORT = {
          "threaded_cycles_severed": 4200.0,
          "threaded_cycles_collected": 3600.0,
          "threaded_reclaimed": 12600.0},
+        # The socket row carries socket_* counters and no speedup field:
+        # real processes are slower than the simulator by design, so only
+        # verdict equality is enforceable.
+        {"name": "BM_Transport_ScriptedChurn/iterations:1",
+         "run_type": "iteration", "real_time": 120.0, "host_cpus": 8.0,
+         "sim_wall_ms": 0.5, "socket_wall_ms": 115.0,
+         "verdicts_match": 1.0, "sim_cycles_severed": 8.0,
+         "sim_cycles_collected": 8.0, "sim_reclaimed": 32.0,
+         "socket_cycles_severed": 8.0, "socket_cycles_collected": 8.0,
+         "socket_reclaimed": 32.0, "handshakes": 4.0,
+         "step_requests": 165.0, "build_ops": 168.0, "step_timeouts": 0.0},
     ]
 }
 
@@ -829,6 +865,27 @@ def _self_test():
         row["host_cpus"] = 1.0
     assert transport_with(one_cpu) == 0, \
         "speedup must not be gated without the cores"
+
+    # The socket row is equality-gated like the threaded rows: a reclaim
+    # divergence between the process backend and sim fails...
+    socket_diverged = copy.deepcopy(_FIXTURE_TRANSPORT)
+    socket_diverged["benchmarks"][2]["socket_reclaimed"] = 31.0
+    assert transport_with(socket_diverged) == 1, \
+        "sim-socket reclaim mismatch must fail"
+
+    # ...and a census mismatch flagged by the row fails even with counts
+    # equal.
+    socket_census = copy.deepcopy(_FIXTURE_TRANSPORT)
+    socket_census["benchmarks"][2]["verdicts_match"] = 0.0
+    assert transport_with(socket_census) == 1, \
+        "socket census divergence must fail"
+
+    # But the socket row carries no speedup field, and real processes being
+    # slower than the simulator must never fail the gate on any host.
+    socket_slow = copy.deepcopy(_FIXTURE_TRANSPORT)
+    socket_slow["benchmarks"][2]["socket_wall_ms"] = 99999.0
+    assert transport_with(socket_slow) == 0, \
+        "socket wall-clock is informational, not gated"
 
     # Every gate must degrade with a clear message and exit code 2 — never a
     # Python traceback — when its input/baseline JSON does not exist.

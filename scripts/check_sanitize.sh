@@ -9,11 +9,17 @@
 # are race-free.
 #
 # Usage:
-#   check_sanitize.sh             # ASan+UBSan, full suite (includes chaos)
+#   check_sanitize.sh             # ASan+UBSan, full suite (includes chaos and
+#                                 # the socket-transport process tests)
 #   check_sanitize.sh --chaos     # ASan+UBSan, only the chaos suite (-L chaos):
 #                                 # fault plans exercise the retransmit,
 #                                 # parking, and restart-purge paths hardest,
 #                                 # so this is the fast sanitizer smoke run
+#   check_sanitize.sh --socket    # ASan+UBSan, only the socket suite
+#                                 # (-L socket): real site processes, kill -9 /
+#                                 # SIGSTOP chaos, snapshot restore — the fork
+#                                 # server inherits ASan fine, and leaks in
+#                                 # short-lived site processes still report
 #   check_sanitize.sh --tsan      # ThreadSanitizer over the concurrency-heavy
 #                                 # suites
 #                                 # (-L "parallel|chaos|distance|scale|transport"):
@@ -24,7 +30,14 @@
 #                                 # down-scaled open-loop scale smoke, and the
 #                                 # threaded-transport suite (the MPSC inbox
 #                                 # hammer and the two-site ping-pong smoke at
-#                                 # eight threads are its data-race probes)
+#                                 # eight threads are its data-race probes).
+#                                 # The socket label is deliberately absent:
+#                                 # its tests fork site processes (and kill -9
+#                                 # them mid-run), and TSan state does not
+#                                 # survive fork-without-exec — each process is
+#                                 # single-threaded anyway, so TSan has nothing
+#                                 # to check that the in-process transports
+#                                 # don't already cover
 #   check_sanitize.sh [ctest args...]   # any extra args pass through to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +48,9 @@ DEFAULT_BUILD_DIR=build-asan
 CTEST_ARGS=()
 if [[ "${1:-}" == "--chaos" ]]; then
   CTEST_ARGS+=(-L chaos)
+  shift
+elif [[ "${1:-}" == "--socket" ]]; then
+  CTEST_ARGS+=(-L socket)
   shift
 elif [[ "${1:-}" == "--tsan" ]]; then
   SANITIZE=thread

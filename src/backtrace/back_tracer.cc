@@ -239,6 +239,52 @@ void BackTracer::OnPeerRecovered(SiteId peer) {
   }
 }
 
+void BackTracer::OnPeerRestarted(SiteId peer) {
+  if (peer == site_) return;
+  const auto dead = [peer](TraceId trace) { return trace.initiator == peer; };
+  // Frames of the peer's traces first: every reply they could produce climbs
+  // toward an activation frame that died with the old incarnation (anything
+  // still in flight is discarded by stale-incarnation fencing). Erasing
+  // without finalizing is deliberate — there is no live caller to answer.
+  std::vector<std::uint64_t> dead_frames;
+  frames_.ForEach([&](Frame& frame) {
+    if (dead(frame.trace)) dead_frames.push_back(frame.id);
+  });
+  for (const std::uint64_t id : dead_frames) frames_.Erase(id);
+  // Queued and parked steps of those traces must not be dispatched: landing
+  // on a live site they would re-mark iorefs visited for a trace that can
+  // never report, recreating exactly the wedge being scrubbed. (Parked
+  // calls of *live* traces are untouched; OnPeerRecovered resumes them.)
+  for (auto& [dest, calls] : pending_calls_) {
+    std::erase_if(calls, [&](const BackLocalCallMsg& c) { return dead(c.trace); });
+  }
+  for (auto& [dest, calls] : parked_calls_) {
+    std::erase_if(calls, [&](const ParkedCall& p) { return dead(p.call.trace); });
+  }
+  // Scrub the visit records. Waiters coalesced onto a dead trace's record
+  // are resolved Live (safe; re-dispatch lets their traces traverse the
+  // region themselves now that the marks clear). Waiters that *belong* to a
+  // dead trace are dropped everywhere first, so no resolution below can
+  // requeue a call on the dead trace's behalf.
+  for (auto& [trace, record] : visit_records_) {
+    (void)trace;
+    std::erase_if(record.waiters,
+                  [&](const Waiter& w) { return dead(w.trace); });
+  }
+  for (std::size_t i = 0; i < visit_records_.size();) {
+    if (dead(visit_records_[i].first)) {
+      VisitRecord& record = visit_records_[i].second;
+      ResolveWaiters(record, BackResult::kLive);
+      ClearRecordMarks(record, visit_records_[i].first);
+      ++stats_.records_scrubbed;
+      visit_records_[i] = std::move(visit_records_.back());
+      visit_records_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
 void BackTracer::HandleCallBatch(const Envelope& envelope,
                                  const BackCallBatchMsg& msg) {
   for (const BackLocalCallMsg& call : msg.calls) {

@@ -65,6 +65,9 @@ struct BackTracerStats {
   std::uint64_t timeouts = 0;
   std::uint64_t inrefs_flagged = 0;
   std::uint64_t records_expired = 0;
+  /// Visit records scrubbed because their trace's initiator restarted (the
+  /// report can never arrive; waiting out report_timeout would be dead time).
+  std::uint64_t records_scrubbed = 0;
   // Verdict cache (mirrors VerdictCache::Stats for aggregation/benches).
   std::uint64_t verdicts_recorded = 0;
   std::uint64_t cache_hits = 0;
@@ -133,6 +136,17 @@ class BackTracer {
   /// call parked on it (for frames still alive) and re-arms the call
   /// timeouts that were deferred while the frames had parked children.
   void OnPeerRecovered(SiteId peer);
+
+  /// The peer came back as a *new incarnation*: every activation frame its
+  /// old process owned is gone for certain, so no trace it initiated can
+  /// ever finish or report. Drops this site's frames, parked/batched calls
+  /// and visit records belonging to those traces (resolving coalesced
+  /// waiters Live — always safe, Section 4.6) so the suspects their visited
+  /// marks cover become traceable again immediately instead of after
+  /// report_timeout. Called before OnPeerRecovered when the failure
+  /// detector (or the socket coordinator's restart handshake) reports the
+  /// heal was a replacement process.
+  void OnPeerRestarted(SiteId peer);
 
   /// Expires visit records whose trace outcome never arrived (crashed
   /// initiator / lost report), assuming Live per Section 4.6.

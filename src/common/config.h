@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/distance.h"
 
@@ -242,6 +243,55 @@ enum class TransportKind : std::uint8_t {
   /// messages flow through per-site MPSC inboxes. Reproducible for a given
   /// seed and produces the same garbage verdicts/reclaim sets as kSim.
   kThreaded,
+  /// Real-process backend: each site is its own OS process connected to the
+  /// coordinator over Unix-domain sockets (length-prefixed frames, TCP-ready
+  /// addressing). The coordinator owns the Network, the seeds, and the same
+  /// conservative time-stepped engine as kThreaded, so seeded runs produce
+  /// the same garbage verdicts/reclaim sets as kSim. System cannot construct
+  /// this backend (sites live in other processes); drive it through
+  /// SocketWorld (net/socket_world.h) or `dgcsim --transport socket`.
+  kSocket,
+};
+
+/// Knobs for TransportKind::kSocket: where the rendezvous socket lives, how
+/// long the coordinator waits on a site process, and how the supervisor
+/// restarts crashed ones. All real-time values are wall-clock milliseconds —
+/// the one place the otherwise simulated-time system touches real clocks.
+struct SocketConfig {
+  /// Directory for the coordinator's listening socket, site snapshots, and
+  /// any per-run scratch. Empty (default) creates a private mkdtemp
+  /// directory, which keeps parallel test runs from colliding.
+  std::string state_dir;
+
+  /// How long the coordinator waits for one site's StepReply before marking
+  /// the process unresponsive (SIGSTOP'd, wedged, or dying). The site is
+  /// then treated as down — the failure detector and park machinery take
+  /// over — until its late reply arrives or the supervisor replaces it.
+  int step_timeout_ms = 2000;
+
+  /// How long Settle() keeps waiting, in real time, for pending supervisor
+  /// restarts and owed replies from unresponsive sites after simulated work
+  /// runs dry. Past the grace, Settle returns with the world as settled as
+  /// it can get (parked traces then resolve via protocol timeouts).
+  int settle_grace_ms = 10'000;
+
+  /// Supervisor restart backoff: first delay, then doubling per consecutive
+  /// failure up to the cap.
+  int restart_backoff_initial_ms = 50;
+  int restart_backoff_max_ms = 2'000;
+
+  /// Restarts the supervisor will attempt per site before giving up and
+  /// leaving the site permanently down (the heartbeat/park machinery then
+  /// degrades gracefully, as for any dark peer). Zero = never restart.
+  int max_restarts = 8;
+
+  /// When true (default) a site process snapshots its durable state (heap
+  /// image, ref tables, back info, incarnation) after every step that
+  /// changed it, write-temp-then-rename, so a kill -9 loses at most the
+  /// in-flight step — which the insert-resend/refresh machinery repairs.
+  /// When false a restarted site comes back empty, as Site::CrashRestart
+  /// models.
+  bool snapshot_each_step = true;
 };
 
 struct NetworkConfig {
@@ -307,6 +357,27 @@ struct NetworkConfig {
   /// (TransportCounters::inbox_overflows) — the counter is the back-pressure
   /// signal. Zero = unbounded (nothing counted).
   std::size_t transport_queue_capacity = 0;
+
+  /// Knobs for TransportKind::kSocket (ignored by the in-process backends).
+  SocketConfig socket;
 };
+
+/// Derives the reliable-delivery protocol timeouts exactly as System does
+/// (see CollectorConfig::back_call_timeout): with retransmission a lost call
+/// is a latency event, so "no timeout" would strand a trace forever behind
+/// the one message whose retransmit budget ran out. Shared so SocketWorld's
+/// coordinator derives the same values System would for the same configs —
+/// a precondition for the sim-vs-socket differential.
+inline void DeriveReliabilityTimeouts(CollectorConfig& collector,
+                                      const NetworkConfig& net) {
+  if (!net.reliable_delivery) return;
+  const SimTime unit = net.latency + net.latency_jitter + net.batch_window + 1;
+  if (collector.back_call_timeout == 0) {
+    collector.back_call_timeout = 20 * unit;
+  }
+  if (collector.report_timeout == 0) {
+    collector.report_timeout = 10 * collector.back_call_timeout;
+  }
+}
 
 }  // namespace dgc

@@ -94,7 +94,8 @@ std::string DescribeSite(const Site& site) {
     os << "  transport: " << site.stats().transport_handoffs
        << " inbox handoffs, " << site.stats().transport_staged_sends
        << " staged sends, queue peak " << site.stats().transport_queue_peak
-       << " (contention " << site.stats().transport_queue_contention << ")\n";
+       << " (contention " << site.stats().transport_queue_contention
+       << ", overflows " << site.stats().transport_queue_overflows << ")\n";
   }
   os << "  ref tables: " << site.stats().table_slot_capacity
      << " slots (occupancy " << site.stats().table_occupancy << "), "

@@ -72,6 +72,7 @@ void MetricsRecorder::Capture(const System& system) {
   sample.transport_staged = transport.staged_sends;
   sample.transport_queue_peak = transport.inbox_peak_depth;
   sample.transport_queue_contention = transport.inbox_contention;
+  sample.transport_queue_overflows = transport.inbox_overflows;
   sample.table_occupancy =
       sample.table_slot_capacity == 0
           ? 1.0
@@ -103,7 +104,7 @@ std::string MetricsRecorder::ToCsv() const {
         "table_slot_capacity,table_occupancy,transport_timesteps,"
         "transport_phases,transport_site_steps,transport_handoffs,"
         "transport_staged,transport_queue_peak,"
-        "transport_queue_contention\n";
+        "transport_queue_contention,transport_queue_overflows\n";
   for (const MetricsSample& s : samples_) {
     os << s.round << ',' << s.time << ',' << s.objects_stored << ','
        << s.objects_reclaimed << ',' << s.suspected_inrefs << ','
@@ -127,7 +128,8 @@ std::string MetricsRecorder::ToCsv() const {
        << s.transport_timesteps << ',' << s.transport_phases << ','
        << s.transport_site_steps << ',' << s.transport_handoffs << ','
        << s.transport_staged << ',' << s.transport_queue_peak << ','
-       << s.transport_queue_contention << '\n';
+       << s.transport_queue_contention << ','
+       << s.transport_queue_overflows << '\n';
   }
   return os.str();
 }

@@ -75,6 +75,7 @@ struct MetricsSample {
   std::uint64_t transport_staged = 0;     // site-thread sends replayed
   std::uint64_t transport_queue_peak = 0;
   std::uint64_t transport_queue_contention = 0;
+  std::uint64_t transport_queue_overflows = 0;  // pushes past soft capacity
 };
 
 class MetricsRecorder {

@@ -23,7 +23,8 @@ Site::Site(SiteId id, Transport& transport, const CollectorConfig& config)
   transport_.RegisterSite(id, [this](const Envelope& envelope) {
     HandleMessage(envelope);
   });
-  transport_.SetRecoveryListener(id, [this](SiteId peer) {
+  transport_.SetRecoveryListener(id, [this](SiteId peer, bool restarted) {
+    if (restarted) back_tracer_.OnPeerRestarted(peer);
     back_tracer_.OnPeerRecovered(peer);
   });
 }
@@ -597,7 +598,8 @@ void Site::CrashRestart() {
   transport_.NoteSiteRestarted(id_);
   // Dead-lettering dropped the old incarnation's recovery listener with the
   // rest of its connection state; the new incarnation subscribes afresh.
-  transport_.SetRecoveryListener(id_, [this](SiteId peer) {
+  transport_.SetRecoveryListener(id_, [this](SiteId peer, bool restarted) {
+    if (restarted) back_tracer_.OnPeerRestarted(peer);
     back_tracer_.OnPeerRecovered(peer);
   });
   // Volatile state dies with the process.
@@ -617,6 +619,10 @@ void Site::CrashRestart() {
   deferred_inserts_.clear();
   app_roots_.clear();  // local sessions died with the site
   // Pins represent running client / in-flight insert state: all volatile.
+  ReannounceOutrefs();
+}
+
+void Site::ReannounceOutrefs() {
   // Re-register every persistent outref with its owner (idempotent) so
   // source lists lost to crashed-out insert messages heal. Call this after
   // the network link is restored or the re-registrations are lost too.

@@ -78,6 +78,7 @@ struct SiteStats {
   std::uint64_t transport_staged_sends = 0;
   std::uint64_t transport_queue_peak = 0;
   std::uint64_t transport_queue_contention = 0;
+  std::uint64_t transport_queue_overflows = 0;
 };
 
 class Site {
@@ -109,6 +110,7 @@ class Site {
     stats_.transport_staged_sends = transport.staged_sends;
     stats_.transport_queue_peak = transport.queue_peak_depth;
     stats_.transport_queue_contention = transport.queue_contention;
+    stats_.transport_queue_overflows = transport.queue_overflows;
     return stats_;
   }
   [[nodiscard]] const CollectorConfig& config() const { return config_; }
@@ -164,6 +166,23 @@ class Site {
   /// RPC continuations. Call Network::SetSiteDown around the outage window;
   /// call this at the moment of the crash.
   void CrashRestart();
+
+  // --- Snapshot restore (socket-mode site persistence) ------------------
+
+  /// Installs restored back information. The snapshot stores only the
+  /// inref-outset view; the inverse index is recomputed rather than
+  /// trusted (SiteBackInfo keeps them exact inverses by construction).
+  void RestoreBackInfo(OutsetMap inref_outsets) {
+    back_info_.inref_outsets = std::move(inref_outsets);
+    back_info_.RecomputeInsets();
+  }
+
+  /// Re-registers every outref with its owner — the same idempotent
+  /// recovery-time InsertMsg resends CrashRestart performs — and zeroes
+  /// pins (volatile client state). The snapshot-restore path calls this
+  /// once heap, tables, and back info are loaded, so owner source lists
+  /// and distance info lost with the crashed incarnation heal.
+  void ReannounceOutrefs();
 
   // --- Barriers and reference arrival (Section 6.1) --------------------
 

@@ -30,21 +30,11 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
       pool_(PoolWorkersFor(collector_config)),
       trace_executor_(pool_, collector_config.trace_threads) {
   DGC_CHECK(site_count >= 1);
-  if (network_config.reliable_delivery) {
-    // With retransmission, "0 disables timeouts" would let one exhausted
-    // retransmit budget strand a trace forever; derive protocol timeouts
-    // from the network's timing instead (see config.h for the rule).
-    const SimTime unit = network_config.latency +
-                         network_config.latency_jitter +
-                         network_config.batch_window + 1;
-    if (collector_config_.back_call_timeout == 0) {
-      collector_config_.back_call_timeout = 20 * unit;
-    }
-    if (collector_config_.report_timeout == 0) {
-      collector_config_.report_timeout =
-          10 * collector_config_.back_call_timeout;
-    }
-  }
+  // With retransmission, "0 disables timeouts" would let one exhausted
+  // retransmit budget strand a trace forever; derive protocol timeouts
+  // from the network's timing instead (shared with SocketWorld so both
+  // coordinators compute identical values — see config.h for the rule).
+  DeriveReliabilityTimeouts(collector_config_, network_config);
   sites_.reserve(site_count);
   for (std::size_t i = 0; i < site_count; ++i) {
     sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i),
@@ -361,6 +351,7 @@ BackTracerStats System::AggregateBackTracerStats() const {
     total.timeouts += stats.timeouts;
     total.inrefs_flagged += stats.inrefs_flagged;
     total.records_expired += stats.records_expired;
+    total.records_scrubbed += stats.records_scrubbed;
     total.verdicts_recorded += stats.verdicts_recorded;
     total.cache_hits += stats.cache_hits;
     total.cache_misses += stats.cache_misses;

@@ -445,6 +445,15 @@ void Network::NoteSiteRestarted(SiteId site) {
     incarnations_.resize(static_cast<std::size_t>(site) + 1, 0);
   }
   ++incarnations_[site];
+  // If the restart happened inside a tracked outage, tag the fault record:
+  // the eventual recovery notification then tells observers the peer is a
+  // new incarnation (everything volatile it held is gone for certain).
+  if (failure_detection_enabled()) {
+    const auto it = site_fault_records_.find(site);
+    if (it != site_fault_records_.end() && it->second.down) {
+      it->second.restarted_during_outage = true;
+    }
+  }
   // The dead incarnation's recovery subscription dies with the rest of its
   // connection state — without this, a long run with restarting sites grows
   // the listener map with stale closures. The new incarnation re-registers
@@ -559,29 +568,33 @@ void Network::HealRecord(FaultRecord& record, SiteId a, SiteId b) {
   record.down = false;
   record.healed_at = now;
   record.last_stretch = now - record.down_since;
+  const bool restarted = record.restarted_during_outage;
+  record.restarted_during_outage = false;
   if (record.last_stretch < SuspectAfter()) return;  // never detected
   // The outage was long enough that every detector suspected it (any call
   // parked on it was parked *because* suspicion had set in, which implies
   // the stretch outlasted the heartbeat timeout). Recovery becomes visible
   // one heartbeat period + round trip after heal.
   ++stats_.fd_suspicions;
-  scheduler_.After(RecoverDelay(), [this, a, b] { NotifyRecovered(a, b); });
+  scheduler_.After(RecoverDelay(),
+                   [this, a, b, restarted] { NotifyRecovered(a, b, restarted); });
 }
 
-void Network::NotifyRecovered(SiteId a, SiteId b) {
+void Network::NotifyRecovered(SiteId a, SiteId b, bool restarted) {
   ++stats_.fd_recoveries;
   if (b == kInvalidSite) {
     // Site heal: every observer learns `a` is back.
     for (const auto& [observer, listener] : recovery_listeners_) {
-      if (observer != a) listener(a);
+      if (observer != a) listener(a, restarted);
     }
     return;
   }
-  // Link heal: only the endpoints' view of each other changed.
+  // Link heal: only the endpoints' view of each other changed (and neither
+  // process died — a severed link never loses volatile state).
   const auto a_it = recovery_listeners_.find(a);
-  if (a_it != recovery_listeners_.end()) a_it->second(b);
+  if (a_it != recovery_listeners_.end()) a_it->second(b, restarted);
   const auto b_it = recovery_listeners_.find(b);
-  if (b_it != recovery_listeners_.end()) b_it->second(a);
+  if (b_it != recovery_listeners_.end()) b_it->second(a, restarted);
 }
 
 // --- Delivery --------------------------------------------------------------

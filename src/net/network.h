@@ -119,8 +119,12 @@ class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
   /// Invoked (per observer site) when the failure detector reports a
-  /// previously suspected peer healed.
-  using RecoveryListener = std::function<void(SiteId peer)>;
+  /// previously suspected peer healed. `restarted` is true when the peer
+  /// crashed and came back as a new incarnation during the outage — its
+  /// volatile state (activation frames, in particular) is certainly gone,
+  /// so observers may scrub trace state rooted at the old incarnation
+  /// instead of waiting out report timeouts.
+  using RecoveryListener = std::function<void(SiteId peer, bool restarted)>;
   /// Delivery interposer (see set_dispatcher).
   using Dispatcher = std::function<void(Envelope&&)>;
 
@@ -355,6 +359,10 @@ class Network {
     SimTime down_since = 0;
     SimTime healed_at = -1;
     SimTime last_stretch = 0;  // duration of the last completed outage
+    /// The site restarted (incarnation bump) while this outage was open;
+    /// carried into the recovery notification so observers learn the peer
+    /// they see again is a replacement, not the process they lost.
+    bool restarted_during_outage = false;
   };
   [[nodiscard]] SimTime SuspectAfter() const {
     return config_.heartbeat_timeout > 0 ? config_.heartbeat_timeout
@@ -369,7 +377,7 @@ class Network {
   /// Marks a fault record healed; if the outage was long enough to have
   /// been detected, schedules the recovery notification.
   void HealRecord(FaultRecord& record, SiteId a, SiteId b);
-  void NotifyRecovered(SiteId a, SiteId b);
+  void NotifyRecovered(SiteId a, SiteId b, bool restarted);
 
   struct PendingBatch {
     std::vector<Envelope> envelopes;

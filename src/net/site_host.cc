@@ -1,0 +1,549 @@
+#include "net/site_host.h"
+
+#include <stdio.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "core/site.h"
+#include "refs/tables.h"
+
+namespace dgc {
+namespace {
+
+using wire::FrameType;
+using wire::IoStatus;
+using wire::WireReader;
+using wire::WireWriter;
+
+/// Snapshot file magic ("DGCS") and version, distinct from the socket
+/// protocol's so a snapshot can never be mistaken for a frame.
+constexpr std::uint32_t kSnapshotMagic = 0x44474353;
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Snapshot capture / apply.
+
+SiteSnapshot CaptureSiteSnapshot(const Site& site, std::uint32_t incarnation) {
+  SiteSnapshot snap;
+  snap.site = site.id();
+  snap.incarnation = incarnation;
+  snap.heap = site.heap().CaptureImage();
+  for (const auto& [ref, entry] : site.tables().inrefs()) {
+    SiteSnapshot::InrefImage image;
+    image.ref = ref;
+    for (const auto& [source, info] : entry.sources) {
+      image.sources.push_back({source, info.distance, info.refreshed_at});
+    }
+    image.garbage_flagged = entry.garbage_flagged;
+    image.clean_override = entry.clean_override;
+    image.back_threshold = entry.back_threshold;
+    snap.inrefs.push_back(std::move(image));
+  }
+  for (const auto& [ref, entry] : site.tables().outrefs()) {
+    SiteSnapshot::OutrefImage image;
+    image.ref = ref;
+    image.distance = entry.distance;
+    image.traced_clean = entry.traced_clean;
+    image.clean_override = entry.clean_override;
+    image.last_reported = entry.last_reported;
+    image.back_threshold = entry.back_threshold;
+    snap.outrefs.push_back(image);
+  }
+  for (const auto& [inref, outset] : site.back_info().inref_outsets) {
+    snap.inref_outsets.emplace_back(inref, outset);
+  }
+  return snap;
+}
+
+void ApplySiteSnapshot(Site& site, const SiteSnapshot& snapshot) {
+  DGC_CHECK(snapshot.site == site.id());
+  site.heap().RestoreImage(snapshot.heap);
+  for (const auto& image : snapshot.inrefs) {
+    InrefEntry& entry = site.tables().EnsureInref(image.ref);
+    for (const auto& source : image.sources) {
+      site.tables().AddInrefSource(image.ref, source.site, source.distance,
+                                   source.refreshed_at);
+    }
+    entry.garbage_flagged = image.garbage_flagged;
+    entry.clean_override = image.clean_override;
+    entry.back_threshold = image.back_threshold;
+  }
+  for (const auto& image : snapshot.outrefs) {
+    auto [entry, created] = site.tables().EnsureOutref(image.ref);
+    (void)created;
+    entry->distance = image.distance;
+    entry->traced_clean = image.traced_clean;
+    entry->clean_override = image.clean_override;
+    entry->last_reported = image.last_reported;
+    entry->back_threshold = image.back_threshold;
+    entry->pin_count = 0;  // pins are volatile; the crash released them
+  }
+  OutsetMap outsets;
+  for (const auto& [inref, outset] : snapshot.inref_outsets) {
+    outsets[inref] = outset;
+  }
+  site.RestoreBackInfo(std::move(outsets));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec. Reuses the wire primitives; same defensive posture (every
+// count guarded, trailing bytes rejected) because a half-written or stale
+// file must fail cleanly, not crash the replacement process.
+
+std::vector<std::uint8_t> EncodeSiteSnapshot(const SiteSnapshot& snapshot) {
+  WireWriter w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u32(snapshot.site);
+  w.u32(snapshot.incarnation);
+
+  const HeapImage& heap = snapshot.heap;
+  w.u64(heap.slots.size());
+  for (const HeapImage::SlotImage& slot : heap.slots) {
+    w.u32(slot.generation);
+    w.boolean(slot.live);
+    if (!slot.live) continue;
+    w.u32(static_cast<std::uint32_t>(slot.slots.size()));
+    for (const ObjectId& id : slot.slots) w.object_id(id);
+  }
+  w.u32(static_cast<std::uint32_t>(heap.free_slots.size()));
+  for (std::uint32_t slot : heap.free_slots) w.u32(slot);
+  w.u32(static_cast<std::uint32_t>(heap.persistent_roots.size()));
+  for (const ObjectId& id : heap.persistent_roots) w.object_id(id);
+  w.u64(heap.stats.allocated);
+  w.u64(heap.stats.reclaimed);
+
+  w.u32(static_cast<std::uint32_t>(snapshot.inrefs.size()));
+  for (const SiteSnapshot::InrefImage& in : snapshot.inrefs) {
+    w.object_id(in.ref);
+    w.u32(static_cast<std::uint32_t>(in.sources.size()));
+    for (const SiteSnapshot::InrefSource& source : in.sources) {
+      w.u32(source.site);
+      w.u32(source.distance);
+      w.i64(source.refreshed_at);
+    }
+    w.boolean(in.garbage_flagged);
+    w.boolean(in.clean_override);
+    w.u32(in.back_threshold);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.outrefs.size()));
+  for (const SiteSnapshot::OutrefImage& out : snapshot.outrefs) {
+    w.object_id(out.ref);
+    w.u32(out.distance);
+    w.boolean(out.traced_clean);
+    w.boolean(out.clean_override);
+    w.u32(out.last_reported);
+    w.u32(out.back_threshold);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.inref_outsets.size()));
+  for (const auto& [inref, outset] : snapshot.inref_outsets) {
+    w.object_id(inref);
+    w.u32(static_cast<std::uint32_t>(outset.size()));
+    for (const ObjectId& id : outset) w.object_id(id);
+  }
+  return w.take();
+}
+
+bool DecodeSiteSnapshot(const std::vector<std::uint8_t>& bytes,
+                        SiteSnapshot& out) {
+  WireReader r(bytes);
+  if (r.u32() != kSnapshotMagic || r.u16() != kSnapshotVersion) return false;
+  out.site = r.u32();
+  out.incarnation = r.u32();
+
+  const std::uint64_t slot_count = r.u64();
+  // Each slot image needs at least 5 bytes (generation + live flag); divide
+  // rather than multiply so a garbage count cannot overflow the check.
+  if (slot_count > r.remaining() / 5) return false;
+  out.heap.slots.resize(static_cast<std::size_t>(slot_count));
+  for (HeapImage::SlotImage& slot : out.heap.slots) {
+    slot.generation = r.u32();
+    slot.live = r.boolean();
+    if (!slot.live) continue;
+    const std::uint32_t n = r.seq_count(12);
+    slot.slots.resize(n);
+    for (ObjectId& id : slot.slots) id = r.object_id();
+  }
+  const std::uint32_t free_count = r.seq_count(4);
+  out.heap.free_slots.resize(free_count);
+  for (std::uint32_t& slot : out.heap.free_slots) slot = r.u32();
+  const std::uint32_t root_count = r.seq_count(12);
+  out.heap.persistent_roots.resize(root_count);
+  for (ObjectId& id : out.heap.persistent_roots) id = r.object_id();
+  out.heap.stats.allocated = r.u64();
+  out.heap.stats.reclaimed = r.u64();
+
+  const std::uint32_t inref_count = r.seq_count(12);
+  out.inrefs.resize(inref_count);
+  for (SiteSnapshot::InrefImage& in : out.inrefs) {
+    in.ref = r.object_id();
+    const std::uint32_t sources = r.seq_count(16);
+    in.sources.resize(sources);
+    for (SiteSnapshot::InrefSource& source : in.sources) {
+      source.site = r.u32();
+      source.distance = r.u32();
+      source.refreshed_at = r.i64();
+    }
+    in.garbage_flagged = r.boolean();
+    in.clean_override = r.boolean();
+    in.back_threshold = r.u32();
+  }
+  const std::uint32_t outref_count = r.seq_count(12);
+  out.outrefs.resize(outref_count);
+  for (SiteSnapshot::OutrefImage& image : out.outrefs) {
+    image.ref = r.object_id();
+    image.distance = r.u32();
+    image.traced_clean = r.boolean();
+    image.clean_override = r.boolean();
+    image.last_reported = r.u32();
+    image.back_threshold = r.u32();
+  }
+  const std::uint32_t outset_count = r.seq_count(12);
+  out.inref_outsets.resize(outset_count);
+  for (auto& [inref, outset] : out.inref_outsets) {
+    inref = r.object_id();
+    const std::uint32_t n = r.seq_count(12);
+    outset.resize(n);
+    for (ObjectId& id : outset) id = r.object_id();
+  }
+  return r.exhausted();
+}
+
+bool WriteSnapshotFile(const std::string& path, const SiteSnapshot& snapshot) {
+  const std::vector<std::uint8_t> bytes = EncodeSiteSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      bytes.empty() || fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  // No fsync: the failure model is PROCESS death (kill -9), which the page
+  // cache survives. The write-temp-then-rename keeps the snapshot atomic;
+  // durability across host crashes is out of scope and fsync-per-step on a
+  // disk-backed state dir would dominate step latency.
+  const bool flushed = fflush(f) == 0;
+  fclose(f);
+  if (!wrote || !flushed) {
+    remove(tmp.c_str());
+    return false;
+  }
+  return rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool ReadSnapshotFile(const std::string& path, SiteSnapshot& out) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[64 * 1024];
+  std::size_t n = 0;
+  while ((n = fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  fclose(f);
+  return DecodeSiteSnapshot(bytes, out);
+}
+
+// ---------------------------------------------------------------------------
+// Process main loop.
+
+namespace {
+
+int DialOnce(const std::string& path) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Retries the dial until the budget elapses — the coordinator may still be
+/// binding (first start) or busy accepting other sites (restart storm).
+int DialWithRetry(const SiteHostOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options.dial_timeout_ms);
+  for (;;) {
+    const int fd = DialOnce(options.socket_path);
+    if (fd >= 0) return fd;
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.dial_retry_ms));
+  }
+}
+
+/// Sends the Hello and reads the ack. Returns false on any transport or
+/// protocol failure; `ack` is valid (with a possibly rejecting verdict)
+/// only on true. `carry` is the connection's persistent receive buffer:
+/// the coordinator pipelines the first request right behind the HelloAck,
+/// so one recv may pull both frames — the surplus must survive this call.
+bool PerformHandshake(int fd, SiteId site, std::uint32_t incarnation,
+                      const SiteHostOptions& options,
+                      std::vector<std::uint8_t>& carry,
+                      wire::HelloAckFrame& ack) {
+  wire::HelloFrame hello;
+  hello.site = site;
+  hello.incarnation = incarnation;
+  WireWriter w;
+  wire::EncodeHello(w, hello);
+  if (wire::WriteFrame(fd, FrameType::kHello, w.data()) != IoStatus::kOk) {
+    return false;
+  }
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> body;
+  if (wire::ReadFrameBuffered(fd, options.dial_timeout_ms, carry, type,
+                              body) != IoStatus::kOk ||
+      type != FrameType::kHelloAck) {
+    return false;
+  }
+  WireReader r(body);
+  return wire::DecodeHelloAck(r, ack);
+}
+
+}  // namespace
+
+int RunSiteProcess(const SiteHostOptions& options) {
+  DGC_CHECK(options.site != kInvalidSite);
+  // The coordinator may vanish mid-write (severed socket chaos, coordinator
+  // crash); that must surface as EPIPE, not kill this process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // A replacement process finds its predecessor's snapshot and runs as the
+  // next incarnation; a first-start finds nothing and runs as incarnation 0.
+  std::uint32_t incarnation = 0;
+  SiteSnapshot snapshot;
+  bool have_snapshot = false;
+  if (!options.snapshot_path.empty() &&
+      ReadSnapshotFile(options.snapshot_path, snapshot) &&
+      snapshot.site == options.site) {
+    have_snapshot = true;
+    incarnation = snapshot.incarnation + 1;
+  }
+
+  int fd = DialWithRetry(options);
+  if (fd < 0) return 2;
+  // Receive carry buffer for the life of each connection: frames the kernel
+  // hands us together with an earlier frame's bytes wait here. Reset on
+  // redial — a new connection is a new stream.
+  std::vector<std::uint8_t> carry;
+  wire::HelloAckFrame ack;
+  if (!PerformHandshake(fd, options.site, incarnation, options, carry, ack)) {
+    close(fd);
+    return 3;
+  }
+  if (!wire::HandshakeAccepted(ack.verdict)) {
+    close(fd);
+    return 3;
+  }
+
+  SiteAgentTransport agent(options.site, ack.failure_detection_enabled);
+  Site site(options.site, agent, ack.config);
+  if (have_snapshot) {
+    ApplySiteSnapshot(site, snapshot);
+    // The tail of Site::CrashRestart: stage the re-registration InsertMsgs.
+    // They ride to the coordinator in the first reply after the handshake
+    // (which issues a resync step to every newly accepted connection).
+    site.ReannounceOutrefs();
+  }
+  // Catch the site clock up to the coordinator (a restart joins mid-run).
+  // Constructor-scheduled periodic timers fire compressed into this catch-up;
+  // their sends are staged like any others.
+  agent.RunUntilTime(ack.now);
+
+  const auto maybe_snapshot = [&] {
+    if (options.snapshot_path.empty() || !options.snapshot_each_step) return;
+    // Failure to persist is not fatal to the running site; the next crash
+    // simply restores an older image and re-announces from further back.
+    (void)WriteSnapshotFile(options.snapshot_path,
+                            CaptureSiteSnapshot(site, incarnation));
+  };
+  if (have_snapshot) maybe_snapshot();  // persist the new incarnation
+
+  for (;;) {
+    FrameType type = FrameType::kHello;
+    std::vector<std::uint8_t> body;
+    const IoStatus status =
+        wire::ReadFrameBuffered(fd, /*timeout_ms=*/-1, carry, type, body);
+    if (status == IoStatus::kClosed) {
+      // Severed socket: the process (and its state) survives; redial at the
+      // SAME incarnation so the coordinator classifies a reconnect, not a
+      // restart. Unsent staged traffic is retained and ships after resync.
+      close(fd);
+      carry.clear();
+      fd = DialWithRetry(options);
+      if (fd < 0) return 2;
+      if (!PerformHandshake(fd, options.site, incarnation, options, carry,
+                            ack) ||
+          !wire::HandshakeAccepted(ack.verdict)) {
+        close(fd);
+        return 3;
+      }
+      continue;
+    }
+    if (status != IoStatus::kOk) {
+      close(fd);
+      return 4;
+    }
+    WireReader r(body);
+    switch (type) {
+      case FrameType::kStepRequest: {
+        wire::StepRequestFrame req;
+        if (!wire::DecodeStepRequest(r, req)) {
+          close(fd);
+          return 4;
+        }
+        agent.SetSuspected(std::move(req.suspected));
+        // Restart notices first: a peer in both lists must scrub the dead
+        // incarnation's traces before parked calls resume toward it.
+        for (SiteId peer : req.restarted) {
+          agent.NotifyRecovered(peer, /*restarted=*/true);
+        }
+        for (SiteId peer : req.recovered) {
+          agent.NotifyRecovered(peer, /*restarted=*/false);
+        }
+        // Mirror ThreadedTransport::SiteStep: own timers first, then the
+        // delivered envelopes, then anything the handlers scheduled at <= t.
+        agent.RunUntilTime(req.target_time);
+        for (const Envelope& env : req.envelopes) agent.Deliver(env);
+        agent.RunUntilTime(req.target_time);
+        agent.NoteStep();
+
+        wire::StepReplyFrame reply;
+        reply.seq = req.seq;
+        reply.next_event_time = agent.control_scheduler().next_event_time();
+        reply.handled = req.envelopes.size();
+        reply.staged = agent.TakeStaged();
+        WireWriter out;
+        wire::EncodeStepReply(out, reply);
+        // Persist BEFORE acknowledging: once the reply is on the wire the
+        // coordinator treats the step as done (delivered envelopes are
+        // forgotten), so a kill -9 in an ack-then-persist gap would strand
+        // state the rest of the world believes exists. Dying after the
+        // snapshot but before the reply is safe — the coordinator times the
+        // step out and resyncs the replacement from the post-step image.
+        maybe_snapshot();
+        if (wire::WriteFrame(fd, FrameType::kStepReply, out.data()) !=
+            IoStatus::kOk) {
+          // Severed mid-step: keep the sends for the post-reconnect resync
+          // reply; the read at the top of the loop observes the close.
+          agent.Restage(std::move(reply.staged));
+          break;
+        }
+        break;
+      }
+      case FrameType::kBuildOp: {
+        wire::BuildOpFrame op;
+        if (!wire::DecodeBuildOp(r, op)) {
+          close(fd);
+          return 4;
+        }
+        agent.RunUntilTime(op.time);
+        ObjectId result = kInvalidObject;
+        switch (op.op) {
+          case wire::BuildOpKind::kNewObject:
+            result = site.heap().Allocate(static_cast<std::size_t>(op.n));
+            break;
+          case wire::BuildOpKind::kSetRoot:
+            site.heap().AddPersistentRoot(op.a);
+            break;
+          case wire::BuildOpKind::kWireLocal:
+            site.heap().SetSlot(op.a, op.slot, op.b);
+            break;
+          case wire::BuildOpKind::kWireSource: {
+            // Source half of Site::WireSlotTo: write the slot, ensure the
+            // outref at distance 1.
+            site.heap().SetSlot(op.a, op.slot, op.b);
+            auto [entry, created] = site.tables().EnsureOutref(op.b);
+            if (created) entry->distance = 1;
+            break;
+          }
+          case wire::BuildOpKind::kWireTarget: {
+            // Target half: register the inref for local object b held by
+            // source site a.site (a's index is unused).
+            InrefEntry& inref = site.tables().EnsureInref(op.b);
+            if (!inref.sources.contains(op.a.site)) {
+              inref.sources.emplace(op.a.site, SourceInfo{1, agent.now()});
+            }
+            break;
+          }
+          case wire::BuildOpKind::kUnwire:
+            site.heap().SetSlot(op.a, op.slot, kInvalidObject);
+            break;
+          case wire::BuildOpKind::kStartTrace:
+            if (!site.trace_in_flight()) site.StartLocalTrace();
+            break;
+        }
+        wire::BuildReplyFrame reply;
+        reply.seq = op.seq;
+        reply.result = result;
+        reply.next_event_time = agent.control_scheduler().next_event_time();
+        reply.staged = agent.TakeStaged();
+        WireWriter out;
+        wire::EncodeBuildReply(out, reply);
+        // Persist-then-ack, as in the step path: an acknowledged mutation
+        // (an Unwire severing a cycle, say) must survive a kill -9 landing
+        // right after the ack — the driver will never reissue it.
+        maybe_snapshot();
+        if (wire::WriteFrame(fd, FrameType::kBuildReply, out.data()) !=
+            IoStatus::kOk) {
+          agent.Restage(std::move(reply.staged));
+          break;
+        }
+        break;
+      }
+      case FrameType::kQuery: {
+        wire::QueryFrame query;
+        if (!wire::DecodeQuery(r, query)) {
+          close(fd);
+          return 4;
+        }
+        agent.RunUntilTime(query.time);
+        wire::QueryReplyFrame reply;
+        reply.seq = query.seq;
+        site.heap().ForEach([&](ObjectId id, const Object& /*object*/) {
+          reply.survivors.push_back(id);
+        });
+        std::sort(reply.survivors.begin(), reply.survivors.end());
+        reply.objects = reply.survivors.size();
+        reply.reclaimed = site.heap().stats().reclaimed;
+        const BackTracerStats& stats = site.back_tracer().stats();
+        reply.traces_started = stats.traces_started;
+        reply.traces_garbage = stats.traces_completed_garbage;
+        reply.traces_live = stats.traces_completed_live;
+        reply.trace_in_flight = site.trace_in_flight();
+        reply.incarnation = incarnation;
+        WireWriter out;
+        wire::EncodeQueryReply(out, reply);
+        (void)wire::WriteFrame(fd, FrameType::kQueryReply, out.data());
+        break;
+      }
+      case FrameType::kShutdown: {
+        WireWriter out;
+        (void)wire::WriteFrame(fd, FrameType::kShutdownAck, out.data());
+        close(fd);
+        return 0;
+      }
+      default:
+        close(fd);
+        return 4;
+    }
+  }
+}
+
+}  // namespace dgc

@@ -1,0 +1,249 @@
+// The site-process side of the socket transport.
+//
+// Under `--transport socket` every site is its own OS process. The process
+// hosts one ordinary Site over a SiteAgentTransport — a Transport whose
+// "network" is the coordinator at the far end of a Unix-domain socket: sends
+// are staged locally and shipped back in the next StepReply/BuildReply, and
+// the failure-detector queries answer from suspicion state the coordinator
+// ships inside each StepRequest (the site process has no Network of its own).
+//
+// Crash durability: after every step the host serializes the site's durable
+// state — heap image, ref tables, back-info outsets, incarnation — to a
+// snapshot file (write-temp-then-rename, so a kill -9 mid-write leaves the
+// previous snapshot intact). A replacement process restores the snapshot,
+// dials in at incarnation + 1 (the handshake classifies it kAcceptRestart,
+// which triggers PR 4's NoteSiteRestarted stale-traffic fencing coordinator-
+// side), and re-announces its outrefs exactly like Site::CrashRestart does:
+// volatile state — in-flight traces, barriers, pins, visited marks — is
+// gone, and the re-registration InsertMsgs rebuild the distributed picture.
+//
+// A severed socket (the process survives, only the connection drops) redials
+// at the *same* incarnation and resumes: kAcceptReconnect, no fencing.
+//
+// The snapshot codec and SiteAgentTransport are exposed separately from the
+// process main loop so net_test can exercise capture/encode/decode/apply
+// round-trips without forking.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/config.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/scheduler.h"
+#include "store/heap.h"
+
+namespace dgc {
+
+class Site;
+
+/// Transport implementation a site process runs its Site over. Single
+/// threaded: the host's frame loop calls RunUntilTime / handler / TakeStaged
+/// in strict alternation, so no synchronization is needed anywhere.
+class SiteAgentTransport final : public Transport {
+ public:
+  SiteAgentTransport(SiteId site, bool failure_detection)
+      : site_(site),
+        failure_detection_(failure_detection),
+        stub_network_(scheduler_, NetworkConfig{}, Rng(0)) {}
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kSocket;
+  }
+  /// The stub exists only so the accessor has a referent; nothing in the
+  /// site-side protocol path consults it (fault switches, channels and
+  /// incarnations all live in the coordinator's real Network).
+  [[nodiscard]] Network& network() override { return stub_network_; }
+  [[nodiscard]] const Network& network() const override {
+    return stub_network_;
+  }
+  [[nodiscard]] Scheduler& control_scheduler() override { return scheduler_; }
+  [[nodiscard]] Scheduler& SchedulerFor(SiteId /*site*/) override {
+    return scheduler_;
+  }
+
+  void RegisterSite(SiteId site, Network::Handler handler) override {
+    DGC_CHECK(site == site_);
+    handler_ = std::move(handler);
+  }
+  /// Stages the send for the next reply to the coordinator, self-sends
+  /// included (they take a network round trip in every backend).
+  void Send(SiteId from, SiteId to, Payload payload) override {
+    DGC_CHECK(from == site_);
+    staged_.push_back(Envelope{from, to, std::move(payload)});
+    ++counters_.staged_sends;
+  }
+
+  void SetRecoveryListener(SiteId observer,
+                           Network::RecoveryListener l) override {
+    DGC_CHECK(observer == site_);
+    recovery_listener_ = std::move(l);
+  }
+  /// Incarnations are coordinator state; a site process never restarts
+  /// in-process (a crash is a real process death), so this cannot be
+  /// reached from the hosted Site.
+  void NoteSiteRestarted(SiteId /*site*/) override {}
+  [[nodiscard]] bool IsPeerSuspected(SiteId observer,
+                                     SiteId peer) const override {
+    DGC_CHECK(observer == site_);
+    return std::binary_search(suspected_.begin(), suspected_.end(), peer);
+  }
+  [[nodiscard]] bool failure_detection_enabled() const override {
+    return failure_detection_;
+  }
+
+  [[nodiscard]] SimTime now() const override { return scheduler_.now(); }
+  void RunUntilTime(SimTime t) override { scheduler_.RunUntil(t); }
+  void Settle() override { scheduler_.RunUntilIdle(); }
+  [[nodiscard]] TransportCounters counters() const override {
+    return counters_;
+  }
+  [[nodiscard]] SiteTransportCounters site_counters(
+      SiteId /*site*/) const override {
+    SiteTransportCounters c;
+    c.handoffs = counters_.handoffs;
+    c.staged_sends = counters_.staged_sends;
+    c.steps = counters_.site_steps;
+    return c;
+  }
+
+  // --- Host-facing surface ----------------------------------------------
+
+  /// Installs the suspected-peer set shipped in a StepRequest (sorted).
+  void SetSuspected(std::vector<SiteId> suspected) {
+    suspected_ = std::move(suspected);
+    std::sort(suspected_.begin(), suspected_.end());
+  }
+  /// Fires the site's recovery listener (park/unpark machinery) for a peer
+  /// the coordinator reports as recovered; `restarted` marks the peer a new
+  /// incarnation (the site scrubs the dead incarnation's traces first).
+  void NotifyRecovered(SiteId peer, bool restarted) {
+    if (recovery_listener_) recovery_listener_(peer, restarted);
+  }
+  /// Hands one coordinator-delivered envelope to the site's handler.
+  void Deliver(const Envelope& env) {
+    DGC_CHECK(handler_ != nullptr);
+    ++counters_.handoffs;
+    handler_(env);
+  }
+  [[nodiscard]] std::vector<Envelope> TakeStaged() {
+    return std::exchange(staged_, {});
+  }
+  /// Puts taken sends back at the FRONT of the staged queue — used when the
+  /// reply carrying them could not be written (socket severed mid-step), so
+  /// they ship after the reconnect instead of being silently dropped.
+  void Restage(std::vector<Envelope> envelopes) {
+    envelopes.insert(envelopes.end(),
+                     std::make_move_iterator(staged_.begin()),
+                     std::make_move_iterator(staged_.end()));
+    staged_ = std::move(envelopes);
+  }
+  void NoteStep() {
+    ++counters_.site_steps;
+    ++counters_.timesteps;
+  }
+
+ private:
+  SiteId site_;
+  bool failure_detection_;
+  Scheduler scheduler_;
+  Network stub_network_;
+  Network::Handler handler_;
+  Network::RecoveryListener recovery_listener_;
+  std::vector<SiteId> suspected_;  // sorted
+  std::vector<Envelope> staged_;
+  TransportCounters counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Durable snapshot: exactly the state Site::CrashRestart preserves.
+
+struct SiteSnapshot {
+  SiteId site = kInvalidSite;
+  /// Incarnation the snapshotting process ran as; a replacement process
+  /// dials in at incarnation + 1.
+  std::uint32_t incarnation = 0;
+  HeapImage heap;
+
+  struct InrefSource {
+    SiteId site = kInvalidSite;
+    Distance distance = 1;
+    SimTime refreshed_at = 0;
+  };
+  struct InrefImage {
+    ObjectId ref;
+    std::vector<InrefSource> sources;
+    bool garbage_flagged = false;
+    bool clean_override = false;
+    Distance back_threshold = 0;
+    // `visited` is deliberately absent: trace marks are volatile.
+  };
+  struct OutrefImage {
+    ObjectId ref;
+    Distance distance = kDistanceInfinity;
+    bool traced_clean = false;
+    bool clean_override = false;
+    Distance last_reported = kDistanceInfinity;
+    Distance back_threshold = 0;
+    // pin_count is volatile (pins die with the mutator sessions).
+  };
+  std::vector<InrefImage> inrefs;    // table iteration order (sorted by id)
+  std::vector<OutrefImage> outrefs;  // likewise
+
+  /// Back info: the suspected-inref outsets; insets are recomputed on
+  /// restore (they are always the exact inverse).
+  std::vector<std::pair<ObjectId, std::vector<ObjectId>>> inref_outsets;
+};
+
+[[nodiscard]] SiteSnapshot CaptureSiteSnapshot(const Site& site,
+                                               std::uint32_t incarnation);
+[[nodiscard]] std::vector<std::uint8_t> EncodeSiteSnapshot(
+    const SiteSnapshot& snapshot);
+[[nodiscard]] bool DecodeSiteSnapshot(const std::vector<std::uint8_t>& bytes,
+                                      SiteSnapshot& out);
+/// Restores a snapshot into a freshly constructed Site (heap, tables, back
+/// info). Does NOT re-announce outrefs — callers decide when the
+/// re-registration traffic flows (the host does it right after the restart
+/// handshake, mirroring the tail of Site::CrashRestart).
+void ApplySiteSnapshot(Site& site, const SiteSnapshot& snapshot);
+
+/// Write-temp-then-rename so a crash mid-write never corrupts the previous
+/// snapshot. Returns false on I/O failure.
+[[nodiscard]] bool WriteSnapshotFile(const std::string& path,
+                                     const SiteSnapshot& snapshot);
+[[nodiscard]] bool ReadSnapshotFile(const std::string& path,
+                                    SiteSnapshot& out);
+
+// ---------------------------------------------------------------------------
+// Process main loop.
+
+struct SiteHostOptions {
+  std::string socket_path;
+  SiteId site = kInvalidSite;
+  /// Durable snapshot location; empty runs the site without crash
+  /// durability (a restart then rejoins empty, like a disk-less node).
+  std::string snapshot_path;
+  /// Re-serialize the snapshot after every step/build op. Off trades crash
+  /// fidelity for throughput.
+  bool snapshot_each_step = true;
+  /// Budget for the initial dial and for each redial after a severed
+  /// socket, retried every dial_retry_ms until the budget runs out.
+  int dial_timeout_ms = 10'000;
+  int dial_retry_ms = 20;
+};
+
+/// Runs a site process to completion: dial, handshake, optional snapshot
+/// restore, then the frame loop until Shutdown or a dead coordinator.
+/// Returns the process exit code (0 = clean shutdown, 2 = could not dial,
+/// 3 = handshake rejected, 4 = protocol error).
+int RunSiteProcess(const SiteHostOptions& options);
+
+}  // namespace dgc

@@ -1,0 +1,642 @@
+#include "net/socket_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dgc {
+
+using wire::FrameType;
+using wire::IoStatus;
+using wire::WireReader;
+using wire::WireWriter;
+
+SocketTransport::SocketTransport(std::size_t site_count, Scheduler& control,
+                                 NetworkConfig config, Rng rng,
+                                 std::string socket_path)
+    : control_(control),
+      network_(control, config, rng),
+      socket_config_(config.socket),
+      socket_path_(std::move(socket_path)) {
+  DGC_CHECK(site_count > 0);
+  conns_.resize(site_count);
+  for (SiteId s = 0; s < site_count; ++s) {
+    // Placeholder handler: the Network's delivery path insists every
+    // destination is registered, but the dispatcher below intercepts every
+    // finished delivery before a handler would run.
+    network_.RegisterSite(s, [](const Envelope&) {});
+    InstallRecoveryListener(s);
+  }
+  network_.set_dispatcher([this](Envelope&& envelope) {
+    DGC_CHECK(envelope.to < conns_.size());
+    conns_[envelope.to].outbound.push_back(std::move(envelope));
+  });
+  BindListener();
+}
+
+SocketTransport::~SocketTransport() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) close(conn.fd);
+    conn.fd = -1;
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  unlink(socket_path_.c_str());
+}
+
+void SocketTransport::BindListener() {
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  DGC_CHECK_MSG(listen_fd_ >= 0, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DGC_CHECK_MSG(socket_path_.size() < sizeof addr.sun_path,
+                "socket path too long: " << socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  unlink(socket_path_.c_str());
+  DGC_CHECK_MSG(bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr) == 0,
+                "bind(" << socket_path_ << ") failed");
+  DGC_CHECK_MSG(listen(listen_fd_, 64) == 0, "listen failed");
+  // Non-blocking accepts let the engine poll for redials at its own pace;
+  // accepted connections stay blocking (frame I/O uses poll timeouts).
+  const int flags = fcntl(listen_fd_, F_GETFL, 0);
+  fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SocketTransport::InstallRecoveryListener(SiteId site) {
+  network_.SetRecoveryListener(site, [this, site](SiteId peer, bool restarted) {
+    conns_[site].recovered_pending.push_back(peer);
+    if (restarted) QueueRestartNotice(conns_[site], peer);
+  });
+}
+
+void SocketTransport::QueueRestartNotice(Conn& conn, SiteId peer) {
+  if (std::find(conn.restarted_pending.begin(), conn.restarted_pending.end(),
+                peer) == conn.restarted_pending.end()) {
+    conn.restarted_pending.push_back(peer);
+  }
+}
+
+void SocketTransport::RegisterSite(SiteId /*site*/,
+                                   Network::Handler /*handler*/) {
+  DGC_CHECK_MSG(false,
+                "socket transport sites are separate processes; there is "
+                "nothing to register in the coordinator");
+}
+
+void SocketTransport::Send(SiteId from, SiteId to, Payload payload) {
+  network_.Send(from, to, std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Connection management.
+
+void SocketTransport::AcceptPending() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / EWOULDBLOCK: nothing pending
+    CompleteHandshake(fd);
+  }
+}
+
+void SocketTransport::CompleteHandshake(int fd) {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> body;
+  // A dialing site writes its Hello immediately; a short bounded read keeps
+  // a wedged dialer from stalling the engine.
+  if (wire::ReadFrame(fd, /*timeout_ms=*/1000, type, body) != IoStatus::kOk ||
+      type != FrameType::kHello) {
+    ++socket_counters_.handshakes_rejected;
+    close(fd);
+    return;
+  }
+  wire::HelloFrame hello;
+  WireReader r(body);
+  if (!wire::DecodeHello(r, hello)) {
+    ++socket_counters_.handshakes_rejected;
+    close(fd);
+    return;
+  }
+  const bool known = hello.site < conns_.size();
+  const wire::HandshakeVerdict verdict = wire::EvaluateHandshake(
+      hello, conns_.size(), known ? conns_[hello.site].incarnation : 0,
+      known && conns_[hello.site].seen_before);
+
+  wire::HelloAckFrame ack;
+  ack.verdict = verdict;
+  ack.site_count = static_cast<std::uint32_t>(conns_.size());
+  ack.now = global_now_;
+  ack.failure_detection_enabled = network_.failure_detection_enabled();
+  ack.config = site_config_;
+  WireWriter w;
+  wire::EncodeHelloAck(w, ack);
+  const IoStatus wrote = wire::WriteFrame(fd, FrameType::kHelloAck, w.data());
+
+  if (!wire::HandshakeAccepted(verdict) || wrote != IoStatus::kOk) {
+    ++socket_counters_.handshakes_rejected;
+    close(fd);
+    return;
+  }
+
+  Conn& conn = conns_[hello.site];
+  if (conn.fd >= 0) close(conn.fd);  // stale link superseded by the redial
+  conn.fd = fd;
+  conn.seen_before = true;
+  conn.responsive = true;
+  conn.needs_resync = true;
+  conn.awaiting_seq = 0;
+  conn.rx.clear();
+  conn.cached_next = Scheduler::kNoPendingEvent;
+  ++socket_counters_.handshakes_accepted;
+
+  switch (verdict) {
+    case wire::HandshakeVerdict::kAcceptNew:
+      break;
+    case wire::HandshakeVerdict::kAcceptReconnect:
+      // Same process, new socket: everything in flight is still valid.
+      ++socket_counters_.reconnects;
+      break;
+    case wire::HandshakeVerdict::kAcceptRestart:
+      // A replacement process. Deliveries addressed to the dead incarnation
+      // died with it; the Network fences its stale traffic and dead-letters
+      // its channels, and forgets its recovery listener (re-armed here for
+      // the new incarnation).
+      conn.incarnation = hello.incarnation;
+      conn.outbound.clear();
+      conn.recovered_pending.clear();
+      // Pending notices were addressed to the dead incarnation; the
+      // replacement restored from a snapshot and holds no volatile trace
+      // state that a restart notice could scrub.
+      conn.restarted_pending.clear();
+      network_.NoteSiteRestarted(hello.site);
+      InstallRecoveryListener(hello.site);
+      // Tell every surviving site directly that this peer is a replacement.
+      // The Network's fault-record path carries the same fact only when the
+      // outage spanned enough *sim* time to be detected — a kill-to-redial
+      // that completes within one simulated instant (the common case here:
+      // restarts run on the real-time supervisor clock) would never be
+      // reported, leaving survivors to wait out report_timeout before the
+      // dead incarnation's traces release their visited marks.
+      for (SiteId s = 0; s < conns_.size(); ++s) {
+        if (s != hello.site && conns_[s].seen_before) {
+          QueueRestartNotice(conns_[s], hello.site);
+        }
+      }
+      ++socket_counters_.restarts_accepted;
+      break;
+    default:
+      DGC_CHECK(false);
+  }
+  network_.SetSiteDown(hello.site, false);
+}
+
+void SocketTransport::Disconnect(Conn& conn, SiteId site) {
+  if (conn.fd >= 0) close(conn.fd);
+  conn.fd = -1;
+  conn.rx.clear();
+  conn.awaiting_seq = 0;
+  conn.responsive = false;
+  ++socket_counters_.disconnects;
+  // Keep `outbound`: a severed-but-alive process reconnects at the same
+  // incarnation and should still receive it; a genuine restart clears it in
+  // CompleteHandshake. Mark the site down meanwhile so the heartbeat /
+  // suspicion machinery sees the outage.
+  network_.SetSiteDown(site, true);
+}
+
+void SocketTransport::AbsorbLateReplies() {
+  for (SiteId s = 0; s < conns_.size(); ++s) {
+    Conn& conn = conns_[s];
+    if (conn.fd < 0 || conn.awaiting_seq == 0 || conn.responsive) continue;
+    FrameType type = FrameType::kStepReply;
+    std::vector<std::uint8_t> body;
+    const IoStatus status =
+        wire::ReadFrameBuffered(conn.fd, /*timeout_ms=*/0, conn.rx, type,
+                                body);
+    if (status == IoStatus::kTimeout) continue;  // still dark
+    if (status != IoStatus::kOk || type != conn.awaiting_type) {
+      Disconnect(conn, s);
+      continue;
+    }
+    WireReader r(body);
+    bool ok = false;
+    // The owed reply finally arrived (the process was resumed). Its staged
+    // sends enter the Network now — from the world's point of view the
+    // paused site's work happens late, which is exactly what a stalled
+    // process looks like to its peers.
+    if (conn.awaiting_type == FrameType::kStepReply) {
+      wire::StepReplyFrame reply;
+      ok = wire::DecodeStepReply(r, reply) && reply.seq == conn.awaiting_seq;
+      if (ok) {
+        conn.cached_next = reply.next_event_time;
+        ReplayStaged(conn, std::move(reply.staged));
+      }
+    } else if (conn.awaiting_type == FrameType::kBuildReply) {
+      wire::BuildReplyFrame reply;
+      ok = wire::DecodeBuildReply(r, reply) && reply.seq == conn.awaiting_seq;
+      if (ok) {
+        conn.cached_next = reply.next_event_time;
+        ReplayStaged(conn, std::move(reply.staged));
+      }
+    } else if (conn.awaiting_type == FrameType::kQueryReply) {
+      wire::QueryReplyFrame reply;
+      ok = wire::DecodeQueryReply(r, reply) && reply.seq == conn.awaiting_seq;
+    }
+    if (!ok) {
+      Disconnect(conn, s);
+      continue;
+    }
+    conn.awaiting_seq = 0;
+    conn.responsive = true;
+    ++socket_counters_.late_replies;
+    network_.SetSiteDown(s, false);
+  }
+}
+
+void SocketTransport::DetectPeerFailures() {
+  // A site that owes us nothing is never read by the engine, so a kill -9
+  // between steps would otherwise go unnoticed until the next request.
+  // A zero-timeout poll surfaces the hangup immediately, which flips the
+  // site to disconnected and keeps Settle patient while the supervisor
+  // arranges the replacement. (Awaiting conns are AbsorbLateReplies' job.)
+  for (SiteId s = 0; s < conns_.size(); ++s) {
+    Conn& conn = conns_[s];
+    if (conn.fd < 0 || conn.awaiting_seq != 0) continue;
+    pollfd p{conn.fd, POLLIN, 0};
+    if (poll(&p, 1, 0) <= 0) continue;
+    if ((p.revents & (POLLHUP | POLLERR)) != 0) {
+      Disconnect(conn, s);
+      continue;
+    }
+    if ((p.revents & POLLIN) == 0) continue;
+    // Readable while nothing is owed: either EOF (dead peer) or a protocol
+    // violation; a zero-timeout read distinguishes a partial frame (left in
+    // the carry) from either.
+    FrameType type = FrameType::kHello;
+    std::vector<std::uint8_t> body;
+    const IoStatus status =
+        wire::ReadFrameBuffered(conn.fd, /*timeout_ms=*/0, conn.rx, type,
+                                body);
+    if (status == IoStatus::kTimeout) continue;  // partial frame, keep
+    Disconnect(conn, s);  // EOF, or an unsolicited frame — both fatal
+  }
+}
+
+bool SocketTransport::PollIo() {
+  const std::uint64_t accepted = socket_counters_.handshakes_accepted;
+  const std::uint64_t late = socket_counters_.late_replies;
+  const std::uint64_t dropped = socket_counters_.disconnects;
+  AcceptPending();
+  AbsorbLateReplies();
+  DetectPeerFailures();
+  bool changed = socket_counters_.handshakes_accepted != accepted ||
+                 socket_counters_.late_replies != late ||
+                 socket_counters_.disconnects != dropped;
+  if (hooks_.poll && hooks_.poll()) changed = true;
+  return changed;
+}
+
+bool SocketTransport::WaitForAllConnected(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    PollIo();
+    const bool all = std::all_of(conns_.begin(), conns_.end(),
+                                 [](const Conn& c) { return c.fd >= 0; });
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+std::vector<SiteId> SocketTransport::SuspectedBy(SiteId site) const {
+  std::vector<SiteId> suspected;
+  if (!network_.failure_detection_enabled()) return suspected;
+  for (SiteId peer = 0; peer < conns_.size(); ++peer) {
+    if (peer != site && network_.IsPeerSuspected(site, peer)) {
+      suspected.push_back(peer);
+    }
+  }
+  return suspected;
+}
+
+SimTime SocketTransport::NextEventTime() const {
+  SimTime next = control_.next_event_time();
+  for (const Conn& conn : conns_) {
+    // Down or paused sites cannot act; their timers resume mattering when
+    // the process rejoins (PollIo marks them responsive again).
+    if (conn.fd < 0 || !conn.responsive || conn.awaiting_seq != 0) continue;
+    if (conn.needs_resync || !conn.outbound.empty()) {
+      next = std::min(next, global_now_);
+    } else {
+      next = std::min(next, conn.cached_next);
+    }
+  }
+  return next;
+}
+
+void SocketTransport::SendStepRequest(SiteId site, SimTime t) {
+  Conn& conn = conns_[site];
+  wire::StepRequestFrame req;
+  req.seq = next_seq_++;
+  req.target_time = t;
+  req.suspected = SuspectedBy(site);
+  req.recovered = std::move(conn.recovered_pending);
+  conn.recovered_pending.clear();
+  req.restarted = std::move(conn.restarted_pending);
+  conn.restarted_pending.clear();
+  req.envelopes = std::move(conn.outbound);
+  conn.outbound.clear();
+
+  WireWriter w;
+  wire::EncodeStepRequest(w, req);
+  if (wire::WriteFrame(conn.fd, FrameType::kStepRequest, w.data()) !=
+      IoStatus::kOk) {
+    // Link died as we wrote. Re-queue the deliveries for after the redial
+    // (a restarting site drops them in CompleteHandshake anyway).
+    conn.outbound = std::move(req.envelopes);
+    conn.recovered_pending = std::move(req.recovered);
+    conn.restarted_pending = std::move(req.restarted);
+    Disconnect(conn, site);
+    return;
+  }
+  if (conn.needs_resync) {
+    conn.needs_resync = false;
+    ++socket_counters_.resync_steps;
+  }
+  conn.awaiting_seq = req.seq;
+  conn.awaiting_type = FrameType::kStepReply;
+  conn.handoffs += req.envelopes.size();
+  counters_.handoffs += req.envelopes.size();
+  ++conn.steps;
+  ++socket_counters_.step_requests;
+}
+
+void SocketTransport::ReplayStaged(Conn& conn, std::vector<Envelope> staged) {
+  for (Envelope& env : staged) {
+    ++counters_.staged_sends;
+    ++conn.staged_sends;
+    network_.Send(env.from, env.to, std::move(env.payload));
+  }
+}
+
+void SocketTransport::AwaitStepReply(SiteId site) {
+  Conn& conn = conns_[site];
+  if (conn.fd < 0 || conn.awaiting_seq == 0) return;  // write already failed
+  FrameType type = FrameType::kStepReply;
+  std::vector<std::uint8_t> body;
+  const IoStatus status = wire::ReadFrameBuffered(
+      conn.fd, socket_config_.step_timeout_ms, conn.rx, type, body);
+  if (status == IoStatus::kTimeout) {
+    // The process is dark but (as far as we know) alive — SIGSTOP chaos or
+    // a real stall. Leave the request outstanding; the reply is absorbed
+    // whenever it surfaces. Meanwhile the site is down to the failure
+    // detector, exactly like a crashed site, and the world moves on.
+    ++socket_counters_.step_timeouts;
+    conn.responsive = false;
+    network_.SetSiteDown(site, true);
+    return;
+  }
+  if (status != IoStatus::kOk || type != FrameType::kStepReply) {
+    Disconnect(conn, site);
+    return;
+  }
+  wire::StepReplyFrame reply;
+  WireReader r(body);
+  if (!wire::DecodeStepReply(r, reply) || reply.seq != conn.awaiting_seq) {
+    Disconnect(conn, site);
+    return;
+  }
+  conn.awaiting_seq = 0;
+  conn.cached_next = reply.next_event_time;
+  ReplayStaged(conn, std::move(reply.staged));
+}
+
+void SocketTransport::AdvanceWorldTo(SimTime t) {
+  DGC_CHECK(t >= global_now_);
+  global_now_ = t;
+  ++counters_.timesteps;
+  std::uint64_t phases_this_step = 0;
+  for (;;) {
+    // Control phase: deliveries (into outbound buffers via the dispatcher),
+    // retransmit timers, fault-plan hooks — single-threaded, same as the
+    // threaded backend's coordinator.
+    control_.RunUntil(t);
+
+    involved_.clear();
+    for (SiteId s = 0; s < conns_.size(); ++s) {
+      const Conn& conn = conns_[s];
+      if (conn.fd < 0 || !conn.responsive || conn.awaiting_seq != 0) continue;
+      if (conn.needs_resync || !conn.outbound.empty() ||
+          conn.cached_next <= t) {
+        involved_.push_back(s);
+      }
+    }
+    if (involved_.empty()) break;  // quiescent at t
+
+    DGC_CHECK_MSG(++phases_this_step <= kMaxPhasesPerTimestep,
+                  "transport livelock: " << phases_this_step
+                                         << " phases at t=" << t);
+    ++counters_.parallel_phases;
+    counters_.site_steps += involved_.size();
+
+    // Fan the requests out first (sites compute concurrently for real),
+    // then collect replies in site order — which also fixes the order their
+    // staged sends enter the Network, the same determinism contract the
+    // threaded backend's replay loop provides.
+    for (SiteId s : involved_) SendStepRequest(s, t);
+    for (SiteId s : involved_) AwaitStepReply(s);
+  }
+}
+
+void SocketTransport::SyncClocksTo(SimTime t) {
+  control_.RunUntil(t);
+  global_now_ = t;
+  // Site clocks catch up from the next frame each receives (step, build, or
+  // query frames all carry the instant).
+}
+
+void SocketTransport::RunUntilTime(SimTime t) {
+  DGC_CHECK(t >= global_now_);
+  for (;;) {
+    PollIo();
+    const SimTime next = NextEventTime();
+    if (next > t) break;  // covers kNoPendingEvent
+    AdvanceWorldTo(std::max(next, global_now_));
+  }
+  SyncClocksTo(t);
+}
+
+bool SocketTransport::ExternalProgressPossible() const {
+  for (const Conn& conn : conns_) {
+    if (conn.fd < 0) return true;  // a redial or restart may arrive
+    if (conn.awaiting_seq != 0 && !conn.responsive) return true;  // owed
+  }
+  if (hooks_.restart_pending && hooks_.restart_pending()) return true;
+  return false;
+}
+
+void SocketTransport::Settle() {
+  // Simulated work first; when the visible world is idle, grant bounded
+  // real time for external progress — supervisor restart backoff, a paused
+  // process resuming, a severed process redialing. Any observed progress
+  // resets the patience.
+  int waited_ms = 0;
+  while (true) {
+    const bool changed = PollIo();
+    if (changed) waited_ms = 0;
+    const SimTime next = NextEventTime();
+    if (next != Scheduler::kNoPendingEvent) {
+      AdvanceWorldTo(std::max(next, global_now_));
+      waited_ms = 0;
+      continue;
+    }
+    if (!ExternalProgressPossible()) break;
+    if (waited_ms >= socket_config_.settle_grace_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    waited_ms += 2;
+  }
+  SyncClocksTo(global_now_);
+}
+
+// ---------------------------------------------------------------------------
+// God-mode operations (SocketWorld).
+
+bool SocketTransport::RunBuildOp(SiteId site, wire::BuildOpFrame op,
+                                 wire::BuildReplyFrame& out) {
+  PollIo();
+  Conn& conn = conns_[site];
+  if (conn.fd < 0 || !conn.responsive || conn.awaiting_seq != 0) return false;
+  op.seq = next_seq_++;
+  op.time = global_now_;
+  WireWriter w;
+  wire::EncodeBuildOp(w, op);
+  if (wire::WriteFrame(conn.fd, FrameType::kBuildOp, w.data()) !=
+      IoStatus::kOk) {
+    Disconnect(conn, site);
+    return false;
+  }
+  FrameType type = FrameType::kBuildReply;
+  std::vector<std::uint8_t> body;
+  const IoStatus status = wire::ReadFrameBuffered(
+      conn.fd, socket_config_.step_timeout_ms, conn.rx, type, body);
+  if (status == IoStatus::kTimeout) {
+    // The process went dark mid-op (SIGSTOP chaos). Same handling as a step
+    // timeout: mark it paused, remember the owed reply; AbsorbLateReplies
+    // replays its staged sends whenever it resumes.
+    ++socket_counters_.step_timeouts;
+    conn.responsive = false;
+    conn.awaiting_seq = op.seq;
+    conn.awaiting_type = FrameType::kBuildReply;
+    network_.SetSiteDown(site, true);
+    return false;
+  }
+  if (status != IoStatus::kOk || type != FrameType::kBuildReply) {
+    Disconnect(conn, site);
+    return false;
+  }
+  WireReader r(body);
+  if (!wire::DecodeBuildReply(r, out) || out.seq != op.seq) {
+    Disconnect(conn, site);
+    return false;
+  }
+  ++socket_counters_.build_ops;
+  conn.cached_next = out.next_event_time;
+  ReplayStaged(conn, std::move(out.staged));
+  return true;
+}
+
+bool SocketTransport::RunQuery(SiteId site, wire::QueryReplyFrame& out) {
+  PollIo();
+  Conn& conn = conns_[site];
+  if (conn.fd < 0 || !conn.responsive || conn.awaiting_seq != 0) return false;
+  wire::QueryFrame query;
+  query.seq = next_seq_++;
+  query.time = global_now_;
+  WireWriter w;
+  wire::EncodeQuery(w, query);
+  if (wire::WriteFrame(conn.fd, FrameType::kQuery, w.data()) !=
+      IoStatus::kOk) {
+    Disconnect(conn, site);
+    return false;
+  }
+  FrameType type = FrameType::kQueryReply;
+  std::vector<std::uint8_t> body;
+  const IoStatus status = wire::ReadFrameBuffered(
+      conn.fd, socket_config_.step_timeout_ms, conn.rx, type, body);
+  if (status == IoStatus::kTimeout) {
+    ++socket_counters_.step_timeouts;
+    conn.responsive = false;
+    conn.awaiting_seq = query.seq;
+    conn.awaiting_type = FrameType::kQueryReply;
+    network_.SetSiteDown(site, true);
+    return false;
+  }
+  if (status != IoStatus::kOk || type != FrameType::kQueryReply) {
+    Disconnect(conn, site);
+    return false;
+  }
+  WireReader r(body);
+  if (!wire::DecodeQueryReply(r, out) || out.seq != query.seq) {
+    Disconnect(conn, site);
+    return false;
+  }
+  ++socket_counters_.queries;
+  return true;
+}
+
+void SocketTransport::SeverConnection(SiteId site) {
+  DGC_CHECK(site < conns_.size());
+  Conn& conn = conns_[site];
+  if (conn.fd < 0) return;
+  ++socket_counters_.severed;
+  Disconnect(conn, site);
+}
+
+void SocketTransport::ShutdownAll() {
+  for (SiteId s = 0; s < conns_.size(); ++s) {
+    Conn& conn = conns_[s];
+    if (conn.fd < 0) continue;
+    WireWriter w;
+    if (wire::WriteFrame(conn.fd, FrameType::kShutdown, w.data()) ==
+        IoStatus::kOk) {
+      FrameType type = FrameType::kShutdownAck;
+      std::vector<std::uint8_t> body;
+      (void)wire::ReadFrameBuffered(conn.fd, /*timeout_ms=*/500, conn.rx,
+                                    type, body);
+    }
+    close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+TransportCounters SocketTransport::counters() const {
+  return counters_;
+}
+
+SiteTransportCounters SocketTransport::site_counters(SiteId site) const {
+  DGC_CHECK(site < conns_.size());
+  const Conn& conn = conns_[site];
+  SiteTransportCounters out;
+  out.handoffs = conn.handoffs;
+  out.staged_sends = conn.staged_sends;
+  out.steps = conn.steps;
+  return out;
+}
+
+}  // namespace dgc

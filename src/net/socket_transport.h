@@ -1,0 +1,250 @@
+// Coordinator side of the socket transport: real-process sites over
+// Unix-domain stream sockets.
+//
+// The engine is ThreadedTransport's conservative time-stepped fixpoint with
+// the parallel phase replaced by StepRequest/StepReply round trips: the
+// coordinator owns the control Scheduler and the ONE Network (so the whole
+// reliable-delivery / incarnation / failure-detector machinery from PR 4
+// applies to real links unchanged), intercepts finished deliveries with the
+// Network dispatcher into per-site outbound buffers, ships them to the site
+// processes inside StepRequests, and replays the staged sends that come back
+// in StepReplies into the Network in site order — the same fixed,
+// interleaving-free order the threaded backend uses, so seeded runs under
+// the default jitter-free network produce verdicts and reclaim sets
+// identical to SimTransport.
+//
+// Failure handling is where this backend earns its keep:
+//
+//   * step timeout, process alive  -> the site is PAUSED (SIGSTOP chaos, GC
+//     stall): it is marked down in the Network (heartbeat/suspicion
+//     machinery degrades gracefully), excluded from the involved set, its
+//     outbound is retained, and its owed reply is absorbed whenever it
+//     arrives — strictly one outstanding request per site, so a resumed
+//     process never sees interleaved frames;
+//   * EOF / dead process           -> CRASHED: outbound to the dead
+//     incarnation is dropped, the supervisor restarts the process with
+//     backoff, and the replacement dials back in at incarnation + 1 — the
+//     handshake classifies kAcceptRestart, NoteSiteRestarted fences stale
+//     traffic and dead-letters the old channels, and a resync step collects
+//     the restored site's re-registration InsertMsgs;
+//   * severed socket, process alive-> the site redials at the SAME
+//     incarnation (kAcceptReconnect): no fencing, outbound retained.
+//
+// Addressing is a single Unix-domain listening socket; nothing in the
+// protocol depends on it (frames are a plain byte stream, TCP-ready).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/scheduler.h"
+
+namespace dgc {
+
+struct SocketCounters {
+  std::uint64_t handshakes_accepted = 0;
+  std::uint64_t handshakes_rejected = 0;  // bad magic/version/site/stale
+  std::uint64_t reconnects = 0;           // same-incarnation re-dials
+  std::uint64_t restarts_accepted = 0;    // incarnation+1 replacements
+  std::uint64_t step_requests = 0;
+  std::uint64_t step_timeouts = 0;  // replies not received in time
+  std::uint64_t late_replies = 0;   // owed replies absorbed after a timeout
+  std::uint64_t resync_steps = 0;   // first step after a (re)connection
+  std::uint64_t build_ops = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t severed = 0;      // connections closed by chaos
+  std::uint64_t disconnects = 0;  // EOF/EPIPE observed on a site link
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Binds the listening socket at `socket_path` (must not exist yet; the
+  /// caller owns the directory). Site processes are spawned by the caller
+  /// and dial in; WaitForAllConnected gates the first engine call.
+  SocketTransport(std::size_t site_count, Scheduler& control,
+                  NetworkConfig config, Rng rng, std::string socket_path);
+  ~SocketTransport() override;
+
+  // --- Transport interface ----------------------------------------------
+
+  [[nodiscard]] TransportKind kind() const override {
+    return TransportKind::kSocket;
+  }
+  [[nodiscard]] Network& network() override { return network_; }
+  [[nodiscard]] const Network& network() const override { return network_; }
+  [[nodiscard]] Scheduler& control_scheduler() override { return control_; }
+  /// There are no in-process sites; every site-side scheduler lives in its
+  /// own process. God-mode callers get the control scheduler.
+  [[nodiscard]] Scheduler& SchedulerFor(SiteId /*site*/) override {
+    return control_;
+  }
+
+  /// Sites are remote processes; nothing in this process may register one.
+  void RegisterSite(SiteId site, Network::Handler handler) override;
+
+  /// God-mode send from the coordinator: straight into the Network, same as
+  /// the other backends between engine calls.
+  void Send(SiteId from, SiteId to, Payload payload) override;
+
+  [[nodiscard]] SimTime now() const override { return global_now_; }
+  void RunUntilTime(SimTime t) override;
+  void Settle() override;
+
+  [[nodiscard]] TransportCounters counters() const override;
+  [[nodiscard]] SiteTransportCounters site_counters(
+      SiteId site) const override;
+
+  // --- Coordinator surface (SocketWorld) --------------------------------
+
+  /// Hooks into the process supervisor. `poll` reaps exits and executes due
+  /// restarts (returns true when anything changed); `restart_pending` is
+  /// true while a replacement process is scheduled or a site may still come
+  /// back — it keeps Settle patient across real-time restart backoff.
+  struct ExternalHooks {
+    std::function<bool()> poll;
+    std::function<bool()> restart_pending;
+  };
+  void set_hooks(ExternalHooks hooks) { hooks_ = std::move(hooks); }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+  /// The CollectorConfig shipped in every HelloAck (sites build their Site
+  /// from it, so coordinator and site must agree on derived timeouts).
+  void set_site_config(const CollectorConfig& config) {
+    site_config_ = config;
+  }
+
+  /// Accepts handshakes until every site is connected (or the real-time
+  /// budget runs out). Returns false on timeout.
+  [[nodiscard]] bool WaitForAllConnected(int timeout_ms);
+
+  /// Accepts pending connections (handshakes), absorbs owed late replies,
+  /// and runs the supervisor poll hook. Called internally at every engine
+  /// boundary; exposed so the world can pump between god-mode calls.
+  /// Returns true when anything changed (Settle's patience resets).
+  bool PollIo();
+
+  /// Applies one god-mode operation on a remote site and replays the sends
+  /// it staged. Returns false without applying when the site is down,
+  /// paused, or goes dark mid-op (the owed late reply is then absorbed by
+  /// PollIo like a step timeout's).
+  [[nodiscard]] bool RunBuildOp(SiteId site, wire::BuildOpFrame op,
+                                wire::BuildReplyFrame& out);
+
+  /// Fetches a site's census. Returns false when the site is not currently
+  /// answerable (down, paused, restart pending).
+  [[nodiscard]] bool RunQuery(SiteId site, wire::QueryReplyFrame& out);
+
+  /// Chaos: closes the coordinator end of the site's connection mid-run.
+  /// The surviving process redials and reconnects at the same incarnation.
+  void SeverConnection(SiteId site);
+
+  /// Clean shutdown: sends Shutdown to every connected site and closes.
+  void ShutdownAll();
+
+  [[nodiscard]] const SocketCounters& socket_counters() const {
+    return socket_counters_;
+  }
+  /// Incarnation currently registered for a site (bumped by accepted
+  /// restart handshakes, in lockstep with the Network's).
+  [[nodiscard]] std::uint32_t incarnation(SiteId site) const {
+    return conns_[site].incarnation;
+  }
+  [[nodiscard]] bool connected(SiteId site) const {
+    return conns_[site].fd >= 0;
+  }
+  [[nodiscard]] bool responsive(SiteId site) const {
+    return conns_[site].fd >= 0 && conns_[site].responsive;
+  }
+
+  /// Phase-alternation budget per timestep (same livelock guard as the
+  /// threaded backend).
+  static constexpr std::uint64_t kMaxPhasesPerTimestep = 1'000'000;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool seen_before = false;  // ever completed a handshake
+    std::uint32_t incarnation = 0;
+    bool responsive = true;
+    bool needs_resync = false;  // first step after a (re)connect
+    /// Outstanding request the site owes a reply for (0 = none). Strictly
+    /// one outstanding frame per site, so a paused process resumes into a
+    /// clean request/reply cadence.
+    std::uint64_t awaiting_seq = 0;
+    wire::FrameType awaiting_type = wire::FrameType::kStepReply;
+    /// Deliveries finished by the Network, awaiting shipment.
+    std::vector<Envelope> outbound;
+    /// Site's next pending timer instant from its last reply.
+    SimTime cached_next = Scheduler::kNoPendingEvent;
+    /// Peers whose recovery the site must be told about (queued by the
+    /// coordinator's per-site Network recovery listener).
+    std::vector<SiteId> recovered_pending;
+    /// Peers that rejoined as a new incarnation; shipped in the next
+    /// StepRequest so the site scrubs back traces the dead incarnation
+    /// initiated (queued directly from the restart handshake — the
+    /// fault-record path can miss restarts that heal within a sim instant).
+    std::vector<SiteId> restarted_pending;
+    /// Receive carry buffer: partial frames survive poll timeouts.
+    std::vector<std::uint8_t> rx;
+    // Per-site accounting (mirrors into SiteStats via site_counters()).
+    std::uint64_t handoffs = 0;
+    std::uint64_t staged_sends = 0;
+    std::uint64_t steps = 0;
+  };
+
+  void BindListener();
+  void AcceptPending();
+  /// Reads the Hello off a fresh connection, classifies it, replies, and on
+  /// acceptance installs the fd into the site's Conn.
+  void CompleteHandshake(int fd);
+  void InstallRecoveryListener(SiteId site);
+  /// Queues "peer restarted" for `conn`'s next StepRequest (deduplicated: a
+  /// peer flapping between two of the observer's steps is one notice).
+  static void QueueRestartNotice(Conn& conn, SiteId peer);
+  void Disconnect(Conn& conn, SiteId site);
+  void AbsorbLateReplies();
+  /// Zero-timeout poll over idle connections: surfaces kill -9 hangups the
+  /// moment they happen instead of at the next request to that site.
+  void DetectPeerFailures();
+
+  [[nodiscard]] SimTime NextEventTime() const;
+  void AdvanceWorldTo(SimTime t);
+  /// Ships a StepRequest at time t (envelopes + FD state) to one site.
+  void SendStepRequest(SiteId site, SimTime t);
+  /// Awaits the site's owed StepReply; classifies timeout (paused) vs EOF
+  /// (crashed/severed) and replays staged sends on success.
+  void AwaitStepReply(SiteId site);
+  /// Replays a reply's staged sends into the Network, in call order.
+  void ReplayStaged(Conn& conn, std::vector<Envelope> staged);
+  void SyncClocksTo(SimTime t);
+  [[nodiscard]] std::vector<SiteId> SuspectedBy(SiteId site) const;
+  /// True while any real-time external event may still produce simulated
+  /// work: a pending restart, a disconnected-but-recoverable site, or an
+  /// owed late reply.
+  [[nodiscard]] bool ExternalProgressPossible() const;
+
+  Scheduler& control_;
+  Network network_;
+  SocketConfig socket_config_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  CollectorConfig site_config_;
+  ExternalHooks hooks_;
+  std::vector<Conn> conns_;
+  std::uint64_t next_seq_ = 1;
+  SimTime global_now_ = 0;
+  std::vector<SiteId> involved_;  // scratch for the phase loop
+  TransportCounters counters_;
+  SocketCounters socket_counters_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,177 @@
+#include "net/supervisor.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dgc {
+
+Supervisor::Supervisor(Options options) : options_(options) {
+  // A site process dying mid-write must surface as EPIPE on the socket, not
+  // kill the coordinator.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+Supervisor::~Supervisor() { TerminateAll(); }
+
+SiteId Supervisor::AddSite(SiteSpec spec) {
+  DGC_CHECK(spec.run || !spec.exec_argv.empty());
+  SiteState state;
+  state.spec = std::move(spec);
+  sites_.push_back(std::move(state));
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+void Supervisor::Spawn(SiteState& state) {
+  const pid_t pid = fork();
+  DGC_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child. Default signal dispositions back (the parent ignores SIGPIPE
+    // for its own writes; the child's SiteHost does the same for itself).
+    if (!state.spec.exec_argv.empty()) {
+      std::vector<char*> argv;
+      argv.reserve(state.spec.exec_argv.size() + 1);
+      for (std::string& arg : state.spec.exec_argv) {
+        argv.push_back(arg.data());
+      }
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed
+    }
+    // _exit, not exit: the child must not run the parent's atexit state
+    // (gtest teardown, leak checkers) — it is a site process, not a test.
+    _exit(state.spec.run());
+  }
+  state.status.pid = pid;
+  state.status.running = true;
+  state.status.restart_pending = false;
+  ++counters_.spawns;
+}
+
+void Supervisor::Start(SiteId site) {
+  DGC_CHECK(site < sites_.size());
+  SiteState& state = sites_[site];
+  DGC_CHECK(!state.status.running);
+  state.next_backoff_ms = options_.backoff_initial_ms;
+  Spawn(state);
+}
+
+void Supervisor::StartAll() {
+  for (SiteId site = 0; site < sites_.size(); ++site) {
+    if (!sites_[site].status.running) Start(site);
+  }
+}
+
+bool Supervisor::Poll() {
+  bool changed = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (SiteState& state : sites_) {
+    if (state.status.running) {
+      int wstatus = 0;
+      const pid_t reaped = waitpid(state.status.pid, &wstatus, WNOHANG);
+      if (reaped == state.status.pid) {
+        state.status.running = false;
+        state.status.pid = -1;
+        changed = true;
+        if (state.terminated) continue;  // expected shutdown
+        ++counters_.exits;
+        if (state.status.restarts >= options_.max_restarts) {
+          state.status.gave_up = true;
+          state.status.restart_pending = false;  // Kill() may have set it
+          ++counters_.gave_up;
+          continue;
+        }
+        state.status.restart_pending = true;
+        state.restart_due =
+            now + std::chrono::milliseconds(state.next_backoff_ms);
+        state.next_backoff_ms =
+            std::min(state.next_backoff_ms * 2, options_.backoff_max_ms);
+      }
+      continue;
+    }
+    if (state.status.restart_pending && now >= state.restart_due) {
+      ++state.status.restarts;
+      ++counters_.restarts;
+      Spawn(state);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool Supervisor::AnyRestartPending() const {
+  for (const SiteState& state : sites_) {
+    if (state.status.restart_pending) return true;
+  }
+  return false;
+}
+
+const Supervisor::SiteStatus& Supervisor::status(SiteId site) const {
+  DGC_CHECK(site < sites_.size());
+  return sites_[site].status;
+}
+
+const Supervisor::Counters& Supervisor::counters() const { return counters_; }
+
+bool Supervisor::Kill(SiteId site) {
+  DGC_CHECK(site < sites_.size());
+  SiteState& state = sites_[site];
+  if (!state.status.running) return false;
+  ++counters_.kills;
+  if (kill(state.status.pid, SIGKILL) != 0) return false;
+  // The death is certain but the reap is asynchronous: flag the restart NOW
+  // so AnyRestartPending() keeps Settle patient through the reap + backoff
+  // window instead of declaring the world quiescent microseconds after the
+  // signal. Poll()'s reap path schedules the actual due time (or withdraws
+  // the flag when the budget is exhausted).
+  if (!state.terminated && state.status.restarts < options_.max_restarts) {
+    state.status.restart_pending = true;
+  }
+  return true;
+}
+
+bool Supervisor::Pause(SiteId site) {
+  DGC_CHECK(site < sites_.size());
+  SiteState& state = sites_[site];
+  if (!state.status.running) return false;
+  ++counters_.pauses;
+  return kill(state.status.pid, SIGSTOP) == 0;
+}
+
+bool Supervisor::Resume(SiteId site) {
+  DGC_CHECK(site < sites_.size());
+  SiteState& state = sites_[site];
+  if (!state.status.running) return false;
+  ++counters_.resumes;
+  return kill(state.status.pid, SIGCONT) == 0;
+}
+
+void Supervisor::Terminate(SiteId site) {
+  DGC_CHECK(site < sites_.size());
+  SiteState& state = sites_[site];
+  state.terminated = true;
+  state.status.restart_pending = false;
+  if (!state.status.running) return;
+  // SIGCONT first: a paused child cannot act on SIGKILL's reap path until
+  // resumed (SIGKILL works on stopped processes, but be explicit about the
+  // pair so a paused-then-terminated site never lingers).
+  kill(state.status.pid, SIGCONT);
+  kill(state.status.pid, SIGKILL);
+  int wstatus = 0;
+  while (waitpid(state.status.pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  state.status.running = false;
+  state.status.pid = -1;
+}
+
+void Supervisor::TerminateAll() {
+  for (SiteId site = 0; site < sites_.size(); ++site) Terminate(site);
+}
+
+}  // namespace dgc

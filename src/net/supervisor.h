@@ -1,0 +1,129 @@
+// Process supervisor for socket-transport site processes.
+//
+// The supervisor owns the fork/exec of every site process, reaps exits with
+// waitpid(WNOHANG) at engine boundaries (no SIGCHLD handler — the engine
+// polls at well-defined points, so child state never changes under its
+// feet), and schedules replacement processes with exponential backoff up to
+// a restart budget. It deliberately knows nothing about sockets or the
+// protocol: a restarted process dials the coordinator and performs the
+// incarnation handshake on its own; the supervisor only guarantees that a
+// process is (re)running or that the budget is exhausted.
+//
+// Two spawn modes:
+//   * callback mode (tests): the child runs `spec.run()` after fork and
+//     _exit()s with its result — no exec, so gtest children never re-enter
+//     the test runner;
+//   * exec mode (dgcsim): fork + execv of `spec.exec_argv`, the real
+//     separate-binary deployment shape.
+//
+// Chaos helpers deliver real signals: Kill (SIGKILL — the monitor then
+// restarts it like any crash), Pause/Resume (SIGSTOP/SIGCONT).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dgc {
+
+class Supervisor {
+ public:
+  struct SiteSpec {
+    /// Callback mode: runs in the forked child; its return value becomes
+    /// the child's exit code. Ignored when exec_argv is non-empty.
+    std::function<int()> run;
+    /// Exec mode: argv for the replacement process (argv[0] = binary).
+    std::vector<std::string> exec_argv;
+  };
+
+  struct Options {
+    int backoff_initial_ms = 50;
+    int backoff_max_ms = 2'000;
+    /// Restarts attempted per site before giving up. Zero = never restart.
+    int max_restarts = 8;
+  };
+
+  struct SiteStatus {
+    pid_t pid = -1;
+    bool running = false;
+    /// Replacement processes spawned after an unexpected exit.
+    int restarts = 0;
+    /// A replacement is scheduled but its backoff has not elapsed yet.
+    bool restart_pending = false;
+    /// The restart budget ran out; the site stays down for good.
+    bool gave_up = false;
+  };
+
+  struct Counters {
+    std::uint64_t spawns = 0;
+    std::uint64_t exits = 0;   // unexpected child exits observed
+    std::uint64_t restarts = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t pauses = 0;
+    std::uint64_t resumes = 0;
+    std::uint64_t gave_up = 0;
+  };
+
+  explicit Supervisor(Options options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Registers a site's spawn recipe. Sites are dense, in registration
+  /// order; the returned id matches the protocol SiteId by construction
+  /// (callers register sites 0..N-1 in order).
+  SiteId AddSite(SiteSpec spec);
+
+  void Start(SiteId site);
+  void StartAll();
+
+  /// Reaps dead children and executes due restarts. Call at engine
+  /// boundaries; cheap when nothing changed. Returns true when any child
+  /// was reaped or respawned.
+  bool Poll();
+
+  /// True while any site awaits a scheduled (or due) restart — Settle's
+  /// signal that real-time patience may still produce simulated work.
+  [[nodiscard]] bool AnyRestartPending() const;
+
+  [[nodiscard]] const SiteStatus& status(SiteId site) const;
+  [[nodiscard]] const Counters& counters() const;
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  // --- Chaos ------------------------------------------------------------
+
+  /// SIGKILL: the monitor observes the death on the next Poll and restarts
+  /// with backoff, exactly as for a spontaneous crash.
+  bool Kill(SiteId site);
+  bool Pause(SiteId site);   // SIGSTOP
+  bool Resume(SiteId site);  // SIGCONT
+
+  /// Clean-shutdown kill: the site is expected to exit and is NOT
+  /// restarted. Used after the protocol-level Shutdown frame.
+  void Terminate(SiteId site);
+  void TerminateAll();
+
+ private:
+  struct SiteState {
+    SiteSpec spec;
+    SiteStatus status;
+    bool terminated = false;  // clean shutdown requested: never restart
+    int next_backoff_ms = 0;
+    std::chrono::steady_clock::time_point restart_due;
+  };
+
+  void Spawn(SiteState& state);
+
+  Options options_;
+  std::vector<SiteState> sites_;
+  Counters counters_;
+};
+
+}  // namespace dgc

@@ -84,14 +84,22 @@ class Transport {
   /// to Network::Send.
   virtual void Send(SiteId from, SiteId to, Payload payload) = 0;
 
-  void SetRecoveryListener(SiteId observer, Network::RecoveryListener l) {
+  // Virtual so a site-process agent (net/site_host.h) can answer them from
+  // failure-detector state shipped by the coordinator instead of a local
+  // Network. The defaults forward to network(), which both in-process
+  // backends share.
+  virtual void SetRecoveryListener(SiteId observer,
+                                   Network::RecoveryListener l) {
     network().SetRecoveryListener(observer, std::move(l));
   }
-  void NoteSiteRestarted(SiteId site) { network().NoteSiteRestarted(site); }
-  [[nodiscard]] bool IsPeerSuspected(SiteId observer, SiteId peer) const {
+  virtual void NoteSiteRestarted(SiteId site) {
+    network().NoteSiteRestarted(site);
+  }
+  [[nodiscard]] virtual bool IsPeerSuspected(SiteId observer,
+                                             SiteId peer) const {
     return network().IsPeerSuspected(observer, peer);
   }
-  [[nodiscard]] bool failure_detection_enabled() const {
+  [[nodiscard]] virtual bool failure_detection_enabled() const {
     return network().failure_detection_enabled();
   }
 

@@ -60,6 +60,37 @@ FaultPlan& FaultPlan::LatencySpike(SimTime at, SimTime duration,
   return *this;
 }
 
+FaultPlan& FaultPlan::KillProcess(SimTime at, SiteId site) {
+  DGC_CHECK(at >= 0);
+  Event event;
+  event.kind = Kind::kKillProcess;
+  event.at = at;
+  event.site = site;
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::PauseProcess(SimTime at, SiteId site, SimTime duration) {
+  DGC_CHECK(at >= 0 && duration > 0);
+  Event event;
+  event.kind = Kind::kPauseProcess;
+  event.at = at;
+  event.duration = duration;
+  event.site = site;
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::SeverSocket(SimTime at, SiteId site) {
+  DGC_CHECK(at >= 0);
+  Event event;
+  event.kind = Kind::kSeverSocket;
+  event.at = at;
+  event.site = site;
+  events_.push_back(event);
+  return *this;
+}
+
 SimTime FaultPlan::horizon() const {
   SimTime horizon = 0;
   for (const Event& event : events_) {
@@ -117,6 +148,24 @@ void FaultPlan::Schedule(Scheduler& scheduler, FaultHooks hooks) const {
         });
         scheduler.At(event.at + event.duration, [shared] {
           if (shared->end_latency_spike) shared->end_latency_spike();
+        });
+        break;
+      case Kind::kKillProcess:
+        scheduler.At(event.at, [shared, site = event.site] {
+          if (shared->kill_process) shared->kill_process(site);
+        });
+        break;
+      case Kind::kPauseProcess:
+        scheduler.At(event.at, [shared, site = event.site] {
+          if (shared->pause_process) shared->pause_process(site);
+        });
+        scheduler.At(event.at + event.duration, [shared, site = event.site] {
+          if (shared->resume_process) shared->resume_process(site);
+        });
+        break;
+      case Kind::kSeverSocket:
+        scheduler.At(event.at, [shared, site = event.site] {
+          if (shared->sever_socket) shared->sever_socket(site);
         });
         break;
     }

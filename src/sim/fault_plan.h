@@ -36,6 +36,16 @@ struct FaultHooks {
   std::function<void()> end_drop_burst;
   std::function<void(SimTime)> begin_latency_spike;
   std::function<void()> end_latency_spike;
+  // Process-level faults (socket transport only; System leaves these empty
+  // and the events are skipped). kill_process sends SIGKILL — the supervisor
+  // then restarts the site with backoff and it rejoins via the incarnation
+  // handshake. pause/resume bracket a SIGSTOP window. sever_socket closes
+  // the coordinator's end of the site's connection mid-run; the site redials
+  // and reconnects at the same incarnation.
+  std::function<void(SiteId)> kill_process;
+  std::function<void(SiteId)> pause_process;
+  std::function<void(SiteId)> resume_process;
+  std::function<void(SiteId)> sever_socket;
 };
 
 class FaultPlan {
@@ -45,6 +55,9 @@ class FaultPlan {
     kLinkFlap,
     kDropBurst,
     kLatencySpike,
+    kKillProcess,    // SIGKILL the site's process at `at`
+    kPauseProcess,   // SIGSTOP at `at`, SIGCONT at `at + duration`
+    kSeverSocket,    // close the site's connection at `at`
   };
 
   struct Event {
@@ -69,6 +82,16 @@ class FaultPlan {
   FaultPlan& DropBurst(SimTime at, SimTime duration, double drop_probability);
   /// Every transmission takes extra_latency longer during [at, at+duration).
   FaultPlan& LatencySpike(SimTime at, SimTime duration, SimTime extra_latency);
+
+  // Process-level chaos (effective only under hooks that arm them — the
+  // socket transport's; in-process transports skip these events).
+
+  /// kill -9 the site's process at `at`. Recovery is the supervisor's job.
+  FaultPlan& KillProcess(SimTime at, SiteId site);
+  /// SIGSTOP the site's process during [at, at + duration).
+  FaultPlan& PauseProcess(SimTime at, SiteId site, SimTime duration);
+  /// Sever the site's socket at `at` (the process survives and redials).
+  FaultPlan& SeverSocket(SimTime at, SiteId site);
 
   /// Arms every event against the scheduler. The hooks are copied into the
   /// scheduled closures; the plan itself need not outlive the call.

@@ -110,6 +110,52 @@ void Heap::RemovePersistentRoot(ObjectId id) {
   MarkDirtySlot(SlotOf(id.index));
 }
 
+HeapImage Heap::CaptureImage() const {
+  HeapImage image;
+  image.slots.resize(used_slots_);
+  for (std::uint64_t slot = 0; slot < used_slots_; ++slot) {
+    HeapImage::SlotImage& s = image.slots[slot];
+    s.generation = generation_[slot];
+    s.live = live_[slot] != 0;
+    if (s.live) s.slots = ObjectAt(slot).slots;
+  }
+  image.free_slots = free_slots_;
+  image.persistent_roots = persistent_roots_;
+  image.stats = stats_;
+  return image;
+}
+
+void Heap::RestoreImage(const HeapImage& image) {
+  DGC_CHECK_MSG(used_slots_ == 0 && live_count_ == 0,
+                "RestoreImage requires a virgin heap");
+  const std::uint64_t slots = image.slots.size();
+  while (slabs_.size() * kSlabSize < slots) {
+    slabs_.push_back(std::make_unique<Slab>());
+  }
+  const std::size_t capacity = slabs_.size() * kSlabSize;
+  mark_epoch_.assign(capacity, 0);
+  clean_epoch_.assign(capacity, 0);
+  generation_.assign(capacity, 0);
+  live_.assign(capacity, 0);
+  dirty_bits_.assign(capacity / 64, 0);
+  slab_dirty_.assign(slabs_.size(), 0);
+  used_slots_ = slots;
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    const HeapImage::SlotImage& s = image.slots[slot];
+    generation_[slot] = s.generation;
+    if (!s.live) continue;
+    live_[slot] = 1;
+    ObjectAt(slot).slots = s.slots;
+    ++live_count_;
+  }
+  free_slots_ = image.free_slots;
+  persistent_roots_ = image.persistent_roots;
+  stats_ = image.stats;
+  // The restored state is conservatively all-dirty, exactly as after a
+  // crash-restart's InvalidateDirtyTracking.
+  InvalidateDirtyTracking();
+}
+
 void Heap::MarkDirty(ObjectId id) {
   ++mutation_epoch_;
   if (Exists(id)) MarkDirtySlot(SlotOf(id.index));

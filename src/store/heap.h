@@ -49,6 +49,26 @@ struct HeapStats {
   std::uint64_t reclaimed = 0;
 };
 
+/// A structural copy of a heap's durable state: every used storage slot
+/// (generation, liveness, reference slots), the free list in its LIFO order,
+/// the persistent roots, and the allocation stats. Capturing and restoring
+/// an image preserves ObjectIds exactly — slot positions, generations, and
+/// the recycling order all round-trip — so a site process restarted from a
+/// snapshot allocates the same ids the crashed incarnation would have.
+/// Epoch stamps and dirty tracking are volatile trace-acceleration state and
+/// are deliberately NOT part of the image.
+struct HeapImage {
+  struct SlotImage {
+    std::uint32_t generation = 0;
+    bool live = false;
+    std::vector<ObjectId> slots;  // empty unless live
+  };
+  std::vector<SlotImage> slots;           // indexed by storage slot
+  std::vector<std::uint32_t> free_slots;  // LIFO order preserved
+  std::vector<ObjectId> persistent_roots;
+  HeapStats stats;
+};
+
 /// Observer for the heap's structural mutations, fired synchronously from the
 /// mutating call. Allocate/Free report object lifetimes; SetSlot reports the
 /// edge-level delta (previous target severed, new target linked). A listener
@@ -224,6 +244,17 @@ class Heap {
 
   [[nodiscard]] std::size_t object_count() const { return live_count_; }
   [[nodiscard]] const HeapStats& stats() const { return stats_; }
+
+  // --- Snapshot / restore (socket-transport site persistence) -----------
+
+  /// Copies the durable state out (see HeapImage).
+  [[nodiscard]] HeapImage CaptureImage() const;
+
+  /// Rebuilds this heap from an image. Only valid on a heap that has never
+  /// allocated — the restore path constructs a fresh Site and loads into it.
+  /// Epochs come back zeroed and the restored contents are conservatively
+  /// all-dirty (the snapshot carries no trustworthy dirty record).
+  void RestoreImage(const HeapImage& image);
 
   // --- Mutation-driven dirty tracking (incremental local traces) --------
 
