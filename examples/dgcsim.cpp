@@ -24,6 +24,7 @@
 //   dgcsim --sites 4 --cycle 3 --rounds 20 --csv > series.csv
 //   dgcsim --sites 8 --cycle 4x2 --rounds 20 --transport threaded
 //   dgcsim --sites 4 --cycle 3 --rounds 12 --transport socket --crash 1
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,20 +38,9 @@
 #include "net/socket_world.h"
 #include "workload/builders.h"
 #include "workload/churn.h"
+#include "workload/scripted.h"
 
 namespace {
-
-const char* TransportName(dgc::TransportKind kind) {
-  switch (kind) {
-    case dgc::TransportKind::kSim:
-      return "sim";
-    case dgc::TransportKind::kThreaded:
-      return "threaded";
-    case dgc::TransportKind::kSocket:
-      return "socket";
-  }
-  return "?";
-}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
@@ -68,8 +58,9 @@ int Usage(const char* argv0) {
                "  --transport threaded runs each site on its own thread;\n"
                "  --transport socket runs each site as its own OS process\n"
                "  (both deterministic at the protocol level; default sim).\n"
-               "  --churn is sim-only: its mutator sessions script the\n"
-               "  shared clock event-to-event. --role site is the process\n"
+               "  --churn runs under every backend: the transactional\n"
+               "  driver under sim/threaded, the scripted generator over\n"
+               "  the socket god-mode surface. --role site is the process\n"
                "  the socket coordinator spawns — not for interactive use.\n",
                argv0, argv0);
   return 2;
@@ -121,8 +112,9 @@ int RunSiteRole(int argc, char** argv) {
 /// to a real kill -9 plus supervised restart.
 int RunSocketCoordinator(const char* argv0, std::size_t sites,
                          std::size_t cycle_sites, std::size_t cycle_objects,
-                         std::size_t rounds, dgc::Distance threshold,
-                         int crash_site, std::uint64_t seed) {
+                         std::size_t churn_steps, std::size_t rounds,
+                         dgc::Distance threshold, int crash_site,
+                         std::uint64_t seed) {
   using namespace dgc;
   SocketWorldOptions options;
   options.site_count = sites;
@@ -152,6 +144,23 @@ int RunSocketCoordinator(const char* argv0, std::size_t sites,
     std::printf(
         "built a %zu-site garbage ring (%zu objects) and cut its tether\n",
         cycle_sites, ring.size());
+  }
+
+  if (churn_steps > 0) {
+    // Mutator churn against real site processes: the scripted generator
+    // drives the same god-mode surface the sim-vs-socket differential uses,
+    // with every random draw on the coordinator (site processes stay
+    // deterministic replayers). One scripted round is roughly ten
+    // transactional steps' worth of ring/local traffic.
+    SocketGodWorld god(world);
+    ScriptedChurnSpec churn_spec;
+    churn_spec.rounds = std::max<std::size_t>(1, churn_steps / 10);
+    const ScriptedChurnResult churn =
+        RunScriptedChurn(god, seed, churn_spec);
+    std::printf(
+        "ran %zu scripted churn rounds: %zu rings, %zu locals, %zu cuts\n",
+        churn_spec.rounds, churn.rings.size(), churn.locals.size(),
+        churn.cuts);
   }
 
   const std::uint64_t before = world.TotalObjects();
@@ -295,18 +304,6 @@ int main(int argc, char** argv) {
     }
   }
   if (sites < 1 || (cycle_sites > sites)) return Usage(argv[0]);
-  // One rejection path for every non-sim backend: the transactional churn
-  // driver's mutator sessions script the shared simulator clock
-  // event-to-event, which only the sim transport has.
-  if (churn_steps > 0 && transport != TransportKind::kSim) {
-    std::fprintf(stderr,
-                 "dgcsim: --churn is incompatible with --transport %s: the "
-                 "churn driver's mutator sessions script the shared "
-                 "simulator clock event-to-event, which only exists under "
-                 "the sim transport. Drop --churn or use --transport sim.\n",
-                 TransportName(transport));
-    return 2;
-  }
   if (transport == TransportKind::kSocket) {
     if (hypertext_docs > 0 || dump || dot || csv) {
       std::fprintf(stderr,
@@ -315,7 +312,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     return RunSocketCoordinator(argv[0], sites, cycle_sites, cycle_objects,
-                                rounds, threshold, crash_site, seed);
+                                churn_steps, rounds, threshold, crash_site,
+                                seed);
   }
 
   CollectorConfig config;

@@ -462,16 +462,111 @@ def check_scale(path):
 MIN_TRANSPORT_SPEEDUP = 1.0
 MIN_CPUS_FOR_TRANSPORT_SPEEDUP = 4
 
+# Staged-send replay is one slice of the engine's wall, so its sharded-vs-
+# serial ratio gets a noise-tolerant floor; the pipelined socket loop must at
+# least match lock-step on coordinator wall per step. Both floors are only
+# judged on hosts with cores to overlap on.
+MIN_REPLAY_SPEEDUP = 0.9
+MIN_PIPELINE_STEP_SPEEDUP = 1.0
+
+
+def _check_replay_row(name, row):
+    """Problems for a BM_Transport_ReplayShard row (sharded vs serial replay).
+
+    Equality of the two replay modes' verdicts is unconditional. The sharded
+    run must actually have taken the parallel branch (parallel_replays > 0)
+    and must clear MIN_REPLAY_SPEEDUP — but only on hosts with enough cores:
+    on a small host the replay pool auto-sizes to zero workers and the engine
+    legitimately falls back to serial commit.
+    """
+    severed = float(row.get("serial_cycles_severed", 0.0))
+    collected = float(row.get("serial_cycles_collected", 0.0))
+    reclaimed = float(row.get("serial_reclaimed", 0.0))
+    problems = []
+    if severed <= 0:
+        problems.append("vacuous_run")
+    if float(row.get("verdicts_match", 0.0)) != 1.0:
+        problems.append("verdicts_match")
+    sharded = (float(row.get("sharded_cycles_severed", -1.0)),
+               float(row.get("sharded_cycles_collected", -1.0)),
+               float(row.get("sharded_reclaimed", -1.0)))
+    if (severed, collected, reclaimed) != sharded:
+        problems.append("serial_sharded_equality")
+    speedup = float(row.get("replay_speedup", 0.0))
+    host_cpus = float(row.get("host_cpus", 0.0))
+    gate = host_cpus >= MIN_CPUS_FOR_TRANSPORT_SPEEDUP
+    if gate and float(row.get("parallel_replays", 0.0)) <= 0:
+        problems.append("parallel_replays")
+    if gate and speedup < MIN_REPLAY_SPEEDUP:
+        problems.append("replay_speedup")
+    note = (f"replay_speedup {speedup:.2f}x (min {MIN_REPLAY_SPEEDUP:g}x), "
+            f"parallel_replays {float(row.get('parallel_replays', 0.0)):g}"
+            if gate else
+            f"replay_speedup {speedup:.2f}x (info: host_cpus {host_cpus:g} < "
+            f"{MIN_CPUS_FOR_TRANSPORT_SPEEDUP})")
+    ok = not problems
+    print(f"{'ok' if ok else 'FAIL':>10}  {name}: "
+          f"serial {severed:g}/{collected:g}/{reclaimed:g} vs "
+          f"sharded {sharded[0]:g}/{sharded[1]:g}/{sharded[2]:g} "
+          f"(severed/collected/reclaimed), {note}")
+    return problems
+
+
+def _check_pipeline_row(name, row):
+    """Problems for a BM_Transport_SocketPipeline row (pipelined vs lock-step).
+
+    Both modes run the identical seeded op stream, so verdicts AND the number
+    of StepRequests issued must match exactly. The coordinator-wall-per-step
+    ratio gets a floor only on hosts with cores for the site processes to
+    overlap on; on one core the sites serialise anyway and the ratio is noise.
+    """
+    severed = float(row.get("lockstep_cycles_severed", 0.0))
+    collected = float(row.get("lockstep_cycles_collected", 0.0))
+    reclaimed = float(row.get("lockstep_reclaimed", 0.0))
+    problems = []
+    if severed <= 0:
+        problems.append("vacuous_run")
+    if float(row.get("verdicts_match", 0.0)) != 1.0:
+        problems.append("verdicts_match")
+    piped = (float(row.get("pipelined_cycles_severed", -1.0)),
+             float(row.get("pipelined_cycles_collected", -1.0)),
+             float(row.get("pipelined_reclaimed", -1.0)))
+    if (severed, collected, reclaimed) != piped:
+        problems.append("lockstep_pipelined_equality")
+    lock_steps = float(row.get("lockstep_step_requests", 0.0))
+    pipe_steps = float(row.get("pipelined_step_requests", -1.0))
+    if lock_steps != pipe_steps:
+        problems.append("step_count_equality")
+    speedup = float(row.get("pipeline_step_speedup", 0.0))
+    host_cpus = float(row.get("host_cpus", 0.0))
+    gate = host_cpus >= MIN_CPUS_FOR_TRANSPORT_SPEEDUP
+    if gate and speedup < MIN_PIPELINE_STEP_SPEEDUP:
+        problems.append("pipeline_step_speedup")
+    note = (f"pipeline_step_speedup {speedup:.2f}x "
+            f"(min {MIN_PIPELINE_STEP_SPEEDUP:g}x)" if gate else
+            f"pipeline_step_speedup {speedup:.2f}x (info: host_cpus "
+            f"{host_cpus:g} < {MIN_CPUS_FOR_TRANSPORT_SPEEDUP})")
+    ok = not problems
+    print(f"{'ok' if ok else 'FAIL':>10}  {name}: "
+          f"lockstep {severed:g}/{collected:g}/{reclaimed:g} vs "
+          f"pipelined {piped[0]:g}/{piped[1]:g}/{piped[2]:g} "
+          f"(severed/collected/reclaimed), steps {lock_steps:g}/{pipe_steps:g},"
+          f" {note}")
+    return problems
+
 
 def check_transport(path):
     """Gate BENCH_transport.json: every backend == sim verdicts.
 
-    Rows come in two shapes, keyed by which backend counters they carry.
+    Rows come in four shapes, keyed by which backend counters they carry.
     Threaded rows (threaded_* counters) are gated on equality plus a
     wall-clock speedup floor enforced only when host_cpus suffices. Socket
     rows (socket_* counters, from the real-process backend) are gated on
     equality only — site processes pay real fork/socket syscalls, so their
-    wall-clock is reported as information, never enforced.
+    wall-clock is reported as information, never enforced. Replay rows
+    (replay_speedup) compare sharded against serial staged-send replay, and
+    pipeline rows (pipeline_step_speedup) compare the pipelined socket step
+    loop against lock-step — both delegate to their _check_*_row helper.
 
     The equality leg (same severed/collected/reclaimed figures, row-level
     verdicts_match flag covering the survivor census) is unconditional for
@@ -483,6 +578,16 @@ def check_transport(path):
     checked = 0
     for name in sorted(rows):
         row = rows[name]
+        if "replay_speedup" in row:
+            checked += 1
+            failures.extend(
+                f"{name} ({p})" for p in _check_replay_row(name, row))
+            continue
+        if "pipeline_step_speedup" in row:
+            checked += 1
+            failures.extend(
+                f"{name} ({p})" for p in _check_pipeline_row(name, row))
+            continue
         if "verdicts_match" not in row or "sim_cycles_severed" not in row:
             continue
         checked += 1
@@ -632,6 +737,32 @@ _FIXTURE_TRANSPORT = {
          "socket_cycles_severed": 8.0, "socket_cycles_collected": 8.0,
          "socket_reclaimed": 32.0, "handshakes": 4.0,
          "step_requests": 165.0, "build_ops": 168.0, "step_timeouts": 0.0},
+        # Replay rows compare the threaded engine against itself with the
+        # sharded staged-send replay forced off; equality is unconditional,
+        # the floor and the proof-of-parallel-branch only bind with cores.
+        {"name": "BM_Transport_ReplayShard/10/2000/iterations:1",
+         "run_type": "iteration", "real_time": 1900.0, "host_cpus": 8.0,
+         "sites": 10.0, "objects": 20000.0, "serial_wall_ms": 1000.0,
+         "sharded_wall_ms": 800.0, "replay_speedup": 1.25,
+         "parallel_replays": 120.0, "staged_sends": 40000.0,
+         "verdicts_match": 1.0, "serial_cycles_severed": 4200.0,
+         "serial_cycles_collected": 3600.0, "serial_reclaimed": 12600.0,
+         "sharded_cycles_severed": 4200.0,
+         "sharded_cycles_collected": 3600.0, "sharded_reclaimed": 12600.0},
+        # Pipeline rows compare the socket engine's two step loops on the
+        # same seeded op stream: verdicts and StepRequest counts must match
+        # exactly, the per-step wall ratio only binds with cores.
+        {"name": "BM_Transport_SocketPipeline/8/iterations:1",
+         "run_type": "iteration", "real_time": 400.0, "host_cpus": 8.0,
+         "sites": 8.0, "lockstep_wall_ms": 260.0, "pipelined_wall_ms": 140.0,
+         "lockstep_step_requests": 330.0, "pipelined_step_requests": 330.0,
+         "lockstep_wall_per_step_ms": 0.79,
+         "pipelined_wall_per_step_ms": 0.42,
+         "pipeline_step_speedup": 1.86, "step_timeouts": 0.0,
+         "verdicts_match": 1.0, "lockstep_cycles_severed": 8.0,
+         "lockstep_cycles_collected": 8.0, "lockstep_reclaimed": 32.0,
+         "pipelined_cycles_severed": 8.0, "pipelined_cycles_collected": 8.0,
+         "pipelined_reclaimed": 32.0},
     ]
 }
 
@@ -886,6 +1017,65 @@ def _self_test():
     socket_slow["benchmarks"][2]["socket_wall_ms"] = 99999.0
     assert transport_with(socket_slow) == 0, \
         "socket wall-clock is informational, not gated"
+
+    # Replay rows: the two replay modes diverging on reclaim counts fails
+    # even with the row-level flag intact...
+    replay_diverged = copy.deepcopy(_FIXTURE_TRANSPORT)
+    replay_diverged["benchmarks"][3]["sharded_reclaimed"] = 12599.0
+    assert transport_with(replay_diverged) == 1, \
+        "serial-vs-sharded replay divergence must fail"
+
+    # ...as does a census mismatch flagged by the row itself.
+    replay_census = copy.deepcopy(_FIXTURE_TRANSPORT)
+    replay_census["benchmarks"][3]["verdicts_match"] = 0.0
+    assert transport_with(replay_census) == 1, \
+        "replay census divergence must fail"
+
+    # A sharded run that never took the parallel branch fails on a big host
+    # (the row exists to prove the sharded path, not the fallback)...
+    replay_fallback = copy.deepcopy(_FIXTURE_TRANSPORT)
+    replay_fallback["benchmarks"][3]["parallel_replays"] = 0.0
+    assert transport_with(replay_fallback) == 1, \
+        "sharded replay must actually run on a big host"
+
+    # ...and a sharded replay slower than the noise floor fails there too.
+    replay_slow = copy.deepcopy(_FIXTURE_TRANSPORT)
+    replay_slow["benchmarks"][3]["replay_speedup"] = 0.5
+    assert transport_with(replay_slow) == 1, \
+        "sharded replay below the noise floor must fail on a big host"
+
+    # On one core the replay pool has no workers: fallback and a flat ratio
+    # are both legitimate, so neither is gated.
+    replay_one_cpu = copy.deepcopy(replay_slow)
+    replay_one_cpu["benchmarks"][3]["parallel_replays"] = 0.0
+    replay_one_cpu["benchmarks"][3]["host_cpus"] = 1.0
+    assert transport_with(replay_one_cpu) == 0, \
+        "replay floor and parallel proof must not bind without the cores"
+
+    # Pipeline rows: a verdict divergence between the two step loops fails
+    # on any host...
+    pipeline_diverged = copy.deepcopy(_FIXTURE_TRANSPORT)
+    pipeline_diverged["benchmarks"][4]["pipelined_reclaimed"] = 31.0
+    pipeline_diverged["benchmarks"][4]["host_cpus"] = 1.0
+    assert transport_with(pipeline_diverged) == 1, \
+        "lockstep-vs-pipelined divergence must fail even on one core"
+
+    # ...and so does a StepRequest count mismatch (identical op streams must
+    # produce identical waves).
+    pipeline_steps = copy.deepcopy(_FIXTURE_TRANSPORT)
+    pipeline_steps["benchmarks"][4]["pipelined_step_requests"] = 331.0
+    assert transport_with(pipeline_steps) == 1, \
+        "pipelined step-count drift must fail"
+
+    # The per-step floor binds on a big host and not on one core.
+    pipeline_slow = copy.deepcopy(_FIXTURE_TRANSPORT)
+    pipeline_slow["benchmarks"][4]["pipeline_step_speedup"] = 0.8
+    assert transport_with(pipeline_slow) == 1, \
+        "pipelined loop slower per step on a big host must fail"
+    pipeline_one_cpu = copy.deepcopy(pipeline_slow)
+    pipeline_one_cpu["benchmarks"][4]["host_cpus"] = 1.0
+    assert transport_with(pipeline_one_cpu) == 0, \
+        "per-step floor must not bind without the cores"
 
     # Every gate must degrade with a clear message and exit code 2 — never a
     # Python traceback — when its input/baseline JSON does not exist.

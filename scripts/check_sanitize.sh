@@ -29,8 +29,11 @@
 #                                 # the listener-driven label plane), the
 #                                 # down-scaled open-loop scale smoke, and the
 #                                 # threaded-transport suite (the MPSC inbox
-#                                 # hammer and the two-site ping-pong smoke at
-#                                 # eight threads are its data-race probes).
+#                                 # hammer, the two-site ping-pong smoke at
+#                                 # eight threads, the mark_threads-by-transport
+#                                 # matrix with nested per-site mark pools, and
+#                                 # the sharded-vs-serial replay differential
+#                                 # are its data-race probes).
 #                                 # The socket label is deliberately absent:
 #                                 # its tests fork site processes (and kill -9
 #                                 # them mid-run), and TSan state does not

@@ -280,10 +280,28 @@ struct SocketConfig {
   int restart_backoff_initial_ms = 50;
   int restart_backoff_max_ms = 2'000;
 
+  /// A site incarnation that stays up this long is considered healthy: its
+  /// next crash restarts from restart_backoff_initial_ms again and with a
+  /// fresh max_restarts budget, so a process that crashes once an hour does
+  /// not march toward give-up forever. Crash loops (every life shorter than
+  /// the window) still exhaust the budget. Zero = never reset (every crash
+  /// over the process's whole history counts against one budget).
+  int restart_backoff_reset_ms = 30'000;
+
   /// Restarts the supervisor will attempt per site before giving up and
   /// leaving the site permanently down (the heartbeat/park machinery then
   /// degrades gracefully, as for any dark peer). Zero = never restart.
   int max_restarts = 8;
+
+  /// Pipelined stepping (default): the coordinator keeps a StepRequest in
+  /// flight to every live site simultaneously and absorbs the replies from a
+  /// poll() readiness loop, processing them in site order so the lock-step
+  /// determinism contract is untouched. Each site still gets the full
+  /// step_timeout_ms — measured from its own request — before it is marked
+  /// unresponsive. False restores the serial one-site-at-a-time
+  /// request/blocking-reply loop (the differential baseline in
+  /// bench_transport).
+  bool pipelined_steps = true;
 
   /// When true (default) a site process snapshots its durable state (heap
   /// image, ref tables, back info, incarnation) after every step that
@@ -350,6 +368,31 @@ struct NetworkConfig {
   /// Worker threads for TransportKind::kThreaded. Zero sizes the pool to
   /// hardware_concurrency (capped by the site count). Ignored under kSim.
   std::size_t transport_threads = 0;
+
+  /// Worker threads in the transport-owned pool that backs both site-level
+  /// stepping and the nested per-site parallelism (mark_threads shard
+  /// batches, sharded staged-send replay). Zero sizes it automatically:
+  /// transport_threads - 1 workers when no nested parallelism is requested
+  /// (the historical sizing), otherwise enough extra workers for
+  /// transport_nested_threads-way nesting, capped at
+  /// max(transport_threads, hardware_concurrency) so a round with 8 sites
+  /// and mark_threads = 8 does not balloon into 64 kernel threads.
+  std::size_t transport_pool_threads = 0;
+
+  /// Per-site nested parallelism the automatic pool sizing budgets for.
+  /// System fills this from CollectorConfig::mark_threads; leave 0 when
+  /// constructing a transport directly unless site code will fork nested
+  /// batches on the transport pool.
+  std::size_t transport_nested_threads = 0;
+
+  /// Forces staged sends to be replayed into the Network serially on the
+  /// coordinator even when the parallel sharded replay is eligible
+  /// (unreliable delivery, no batching window, no jitter, no drop
+  /// probability). The parallel path is bit-identical — prepared shards are
+  /// committed in sender site order — so this knob exists for the
+  /// sharded-vs-serial differential rows in bench_transport, not for
+  /// correctness.
+  bool transport_serial_replay = false;
 
   /// Soft capacity bound for each site's threaded-transport inbox. A hard
   /// bound would let a full inbox block the delivering coordinator and

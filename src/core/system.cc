@@ -19,13 +19,27 @@ std::size_t PoolWorkersFor(const CollectorConfig& config) {
   return want <= 1 ? 0 : want - 1;
 }
 
+/// Tells the transport how much nested per-site parallelism the sites will
+/// fork on its pool, so a pool-owning backend (ThreadedTransport) can size
+/// itself for mark_threads-way shard batches inside each site step.
+NetworkConfig WithNestedParallelism(NetworkConfig net,
+                                    const CollectorConfig& collector) {
+  if (net.transport_nested_threads == 0) {
+    net.transport_nested_threads =
+        std::max<std::size_t>(1, collector.mark_threads);
+  }
+  return net;
+}
+
 }  // namespace
 
 System::System(std::size_t site_count, const CollectorConfig& collector_config,
                const NetworkConfig& network_config, std::uint64_t seed)
     : collector_config_(collector_config),
       rng_(seed),
-      transport_(CreateTransport(site_count, scheduler_, network_config,
+      transport_(CreateTransport(site_count, scheduler_,
+                                 WithNestedParallelism(network_config,
+                                                       collector_config),
                                  rng_.Fork())),
       pool_(PoolWorkersFor(collector_config)),
       trace_executor_(pool_, collector_config.trace_threads) {
@@ -35,11 +49,18 @@ System::System(std::size_t site_count, const CollectorConfig& collector_config,
   // from the network's timing instead (shared with SocketWorld so both
   // coordinators compute identical values — see config.h for the rule).
   DeriveReliabilityTimeouts(collector_config_, network_config);
+  // A pool-owning transport (ThreadedTransport) hosts the sites' nested
+  // mark/sweep shard batches itself: site steps already run on its pool
+  // threads, and WorkerPool's caller-participates nesting makes the
+  // fork-from-a-pool-task shape deadlock-free. Everything else (sim) keeps
+  // the System pool, bit for bit.
+  WorkerPool* site_pool = transport_->site_worker_pool();
+  if (site_pool == nullptr) site_pool = &pool_;
   sites_.reserve(site_count);
   for (std::size_t i = 0; i < site_count; ++i) {
     sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i),
                                             *transport_, collector_config_));
-    sites_.back()->set_worker_pool(&pool_);
+    sites_.back()->set_worker_pool(site_pool);
   }
 }
 

@@ -1,11 +1,18 @@
 // Blocking-style wait loop for mutator clients, with idempotent retry.
 //
-// The clients' blocking wrappers drive the scheduler until their operation
-// completes. Under message loss a request or its reply may vanish; when the
-// scheduler drains with the operation still pending, the client retries
-// (every RPC and insert in the system is idempotent and every ack path is
-// duplicate-tolerant). A retry cap turns a permanently unreachable peer
-// into a crisp invariant failure instead of a silent hang.
+// The clients' blocking wrappers drive the world until their operation
+// completes — one Transport::StepOne at a time, which is one event under the
+// sim transport (the historical RunOne, bit for bit) and one engine timestep
+// under the threaded and socket backends, where deliveries land in site
+// inboxes that only the engine drains. The continuation's `done` write
+// happens on whatever thread runs the destination site's handler; the
+// engine's fork/join (or reply-absorb) barrier orders it before StepOne
+// returns, so the loop's read is race-free. Under message loss a request or
+// its reply may vanish; when the world drains with the operation still
+// pending, the client retries (every RPC and insert in the system is
+// idempotent and every ack path is duplicate-tolerant). A retry cap turns a
+// permanently unreachable peer into a crisp invariant failure instead of a
+// silent hang.
 #pragma once
 
 #include <functional>
@@ -20,7 +27,7 @@ inline void PumpUntil(System& system, const bool& done,
                       int max_retries = 64) {
   int retries = 0;
   while (!done) {
-    if (system.scheduler().RunOne()) continue;
+    if (system.transport().StepOne()) continue;
     // World went idle with the operation still pending: a message was lost.
     DGC_CHECK_MSG(retry != nullptr && retries < max_retries,
                   "mutator operation stalled (peer unreachable?) after "

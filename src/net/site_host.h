@@ -102,6 +102,7 @@ class SiteAgentTransport final : public Transport {
 
   [[nodiscard]] SimTime now() const override { return scheduler_.now(); }
   void RunUntilTime(SimTime t) override { scheduler_.RunUntil(t); }
+  bool StepOne() override { return scheduler_.RunOne(); }
   void Settle() override { scheduler_.RunUntilIdle(); }
   [[nodiscard]] TransportCounters counters() const override {
     return counters_;

@@ -41,6 +41,16 @@ SocketTransport::SocketTransport(std::size_t site_count, Scheduler& control,
     DGC_CHECK(envelope.to < conns_.size());
     conns_[envelope.to].outbound.push_back(std::move(envelope));
   });
+  serial_replay_ = config.transport_serial_replay;
+  std::size_t replay_workers = config.transport_pool_threads;
+  if (replay_workers == 0) {
+    // The coordinator is otherwise idle while sites compute, so size the
+    // replay pool to the machine but never past useful sender parallelism.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    replay_workers = std::min(hw, site_count) - 1;
+  }
+  replay_pool_ = std::make_unique<WorkerPool>(replay_workers);
   BindListener();
 }
 
@@ -362,7 +372,9 @@ void SocketTransport::SendStepRequest(SiteId site, SimTime t) {
 
   WireWriter w;
   wire::EncodeStepRequest(w, req);
-  if (wire::WriteFrame(conn.fd, FrameType::kStepRequest, w.data()) !=
+  // writev: header + body gathered in one syscall, no frame-buffer copy of
+  // what may be a large envelope batch.
+  if (wire::WriteFrameV(conn.fd, FrameType::kStepRequest, w.data()) !=
       IoStatus::kOk) {
     // Link died as we wrote. Re-queue the deliveries for after the redial
     // (a restarting site drops them in CompleteHandshake anyway).
@@ -424,6 +436,136 @@ void SocketTransport::AwaitStepReply(SiteId site) {
   ReplayStaged(conn, std::move(reply.staged));
 }
 
+void SocketTransport::CollectStepReplies() {
+  reply_state_.assign(conns_.size(), ReplySlot::kIdle);
+  reply_frames_.resize(conns_.size());
+  std::vector<SiteId> pending;
+  pending.reserve(involved_.size());
+  for (SiteId s : involved_) {
+    const Conn& conn = conns_[s];
+    if (conn.fd >= 0 && conn.awaiting_seq != 0) {
+      reply_state_[s] = ReplySlot::kPending;
+      pending.push_back(s);
+    }
+  }
+  // One deadline for the whole wave: every request is already in flight, so
+  // each site enjoys the full step_timeout_ms of real computing time — what
+  // the serial loop only granted site k after sites 0..k-1 answered.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(socket_config_.step_timeout_ms);
+  std::vector<pollfd> pfds;
+  while (!pending.empty()) {
+    // Drain pass, non-blocking: complete frames (including any already
+    // sitting in a carry buffer) decode now; partial frames stay pending
+    // with their bytes kept in the carry.
+    for (std::size_t i = 0; i < pending.size();) {
+      const SiteId s = pending[i];
+      Conn& conn = conns_[s];
+      FrameType type = FrameType::kStepReply;
+      std::vector<std::uint8_t> body;
+      const IoStatus status = wire::ReadFrameBuffered(
+          conn.fd, /*timeout_ms=*/0, conn.rx, type, body);
+      if (status == IoStatus::kTimeout) {
+        ++i;
+        continue;
+      }
+      bool ok = false;
+      if (status == IoStatus::kOk && type == FrameType::kStepReply) {
+        WireReader r(body);
+        ok = wire::DecodeStepReply(r, reply_frames_[s]) &&
+             reply_frames_[s].seq == conn.awaiting_seq;
+      }
+      reply_state_[s] = ok ? ReplySlot::kOk : ReplySlot::kFailed;
+      pending[i] = pending.back();
+      pending.pop_back();
+    }
+    if (pending.empty()) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int wait = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() +
+        1);
+    pfds.clear();
+    for (SiteId s : pending) pfds.push_back({conns_[s].fd, POLLIN, 0});
+    const int rc = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), wait);
+    if (rc < 0 && errno != EINTR) break;
+  }
+  // Whatever is still pending missed the shared deadline; ResolveStepReplies
+  // applies the serial loop's exact timeout handling.
+}
+
+void SocketTransport::ResolveStepReplies() {
+  bool all_ok = true;
+  std::size_t busy_senders = 0;
+  for (SiteId s : involved_) {
+    const ReplySlot slot = reply_state_[s];
+    if (slot == ReplySlot::kIdle) continue;  // write failed; no reply owed
+    if (slot != ReplySlot::kOk) {
+      all_ok = false;
+    } else if (!reply_frames_[s].staged.empty()) {
+      ++busy_senders;
+    }
+  }
+  // Sharded replay only for fault-free waves: a timeout or disconnect in
+  // the wave mutates fault state between earlier and later sites' replays
+  // under the serial contract, which a parallel prepare would not observe.
+  const bool parallel = all_ok && !serial_replay_ && busy_senders >= 2 &&
+                        replay_pool_->worker_threads() > 0 &&
+                        network_.SupportsParallelReplay();
+  if (parallel) {
+    network_.ReserveSenderShards(conns_.size());
+    if (replay_shards_.size() < conns_.size()) {
+      replay_shards_.resize(conns_.size());
+    }
+    replay_pool_->RunBatch(
+        involved_.size(),
+        [this](std::size_t i) {
+          const SiteId s = involved_[i];
+          if (reply_state_[s] != ReplySlot::kOk) return;
+          Network::ReplayShard& shard = replay_shards_[s];
+          for (Envelope& env : reply_frames_[s].staged) {
+            network_.PrepareSend(env.from, env.to, std::move(env.payload),
+                                 shard);
+          }
+        },
+        involved_.size());
+    ++counters_.parallel_replays;
+  }
+  for (SiteId s : involved_) {
+    Conn& conn = conns_[s];
+    switch (reply_state_[s]) {
+      case ReplySlot::kIdle:
+        break;
+      case ReplySlot::kOk:
+        conn.awaiting_seq = 0;
+        conn.cached_next = reply_frames_[s].next_event_time;
+        if (parallel) {
+          const std::size_t n = reply_frames_[s].staged.size();
+          counters_.staged_sends += n;
+          conn.staged_sends += n;
+          network_.CommitPrepared(replay_shards_[s]);
+        } else {
+          ReplayStaged(conn, std::move(reply_frames_[s].staged));
+        }
+        break;
+      case ReplySlot::kFailed:
+        Disconnect(conn, s);
+        break;
+      case ReplySlot::kPending:
+        // Exact serial-timeout semantics: the process is dark but (as far
+        // as we know) alive. Leave the request outstanding for
+        // AbsorbLateReplies; the failure detector sees the site down.
+        ++socket_counters_.step_timeouts;
+        conn.responsive = false;
+        network_.SetSiteDown(s, true);
+        break;
+    }
+    reply_frames_[s] = wire::StepReplyFrame{};  // release envelope buffers
+  }
+}
+
 void SocketTransport::AdvanceWorldTo(SimTime t) {
   DGC_CHECK(t >= global_now_);
   global_now_ = t;
@@ -452,12 +594,19 @@ void SocketTransport::AdvanceWorldTo(SimTime t) {
     ++counters_.parallel_phases;
     counters_.site_steps += involved_.size();
 
-    // Fan the requests out first (sites compute concurrently for real),
-    // then collect replies in site order — which also fixes the order their
-    // staged sends enter the Network, the same determinism contract the
-    // threaded backend's replay loop provides.
+    // Fan the requests out first (sites compute concurrently for real).
+    // Replies are then either collected in arrival order and applied in
+    // site order (pipelined, the default) or awaited one site at a time
+    // (serial, the differential baseline) — both fix the order staged
+    // sends enter the Network to involved-site order, the same determinism
+    // contract the threaded backend's replay loop provides.
     for (SiteId s : involved_) SendStepRequest(s, t);
-    for (SiteId s : involved_) AwaitStepReply(s);
+    if (socket_config_.pipelined_steps) {
+      CollectStepReplies();
+      ResolveStepReplies();
+    } else {
+      for (SiteId s : involved_) AwaitStepReply(s);
+    }
   }
 }
 
@@ -477,6 +626,14 @@ void SocketTransport::RunUntilTime(SimTime t) {
     AdvanceWorldTo(std::max(next, global_now_));
   }
   SyncClocksTo(t);
+}
+
+bool SocketTransport::StepOne() {
+  PollIo();
+  const SimTime next = NextEventTime();
+  if (next == Scheduler::kNoPendingEvent) return false;
+  AdvanceWorldTo(std::max(next, global_now_));
+  return true;
 }
 
 bool SocketTransport::ExternalProgressPossible() const {

@@ -13,6 +13,16 @@
 // the default jitter-free network produce verdicts and reclaim sets
 // identical to SimTransport.
 //
+// The step loop is PIPELINED by default (socket.pipelined_steps): one
+// StepRequest is in flight to every involved site simultaneously, replies
+// are absorbed in whatever order they arrive under a single shared
+// real-time deadline, and the wave is applied in involved-site order — so
+// N sites overlap their computing instead of serializing behind the
+// slowest, while the Network still observes the serial loop's exact
+// mutation order. Fault-free waves additionally shard staged-send replay
+// across senders on a coordinator worker pool (Network::PrepareSend /
+// CommitPrepared), committing per site in order.
+//
 // Failure handling is where this backend earns its keep:
 //
 //   * step timeout, process alive  -> the site is PAUSED (SIGSTOP chaos, GC
@@ -36,11 +46,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/worker_pool.h"
 #include "net/network.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -95,6 +107,10 @@ class SocketTransport final : public Transport {
 
   [[nodiscard]] SimTime now() const override { return global_now_; }
   void RunUntilTime(SimTime t) override;
+  /// One engine timestep: poll I/O, then advance to the earliest pending
+  /// instant (coordinator timer or a site's cached next event). Returns
+  /// false when the visible world is idle.
+  bool StepOne() override;
   void Settle() override;
 
   [[nodiscard]] TransportCounters counters() const override;
@@ -221,8 +237,27 @@ class SocketTransport final : public Transport {
   /// Ships a StepRequest at time t (envelopes + FD state) to one site.
   void SendStepRequest(SiteId site, SimTime t);
   /// Awaits the site's owed StepReply; classifies timeout (paused) vs EOF
-  /// (crashed/severed) and replays staged sends on success.
+  /// (crashed/severed) and replays staged sends on success. The serial
+  /// (one-site-at-a-time) collection path; the pipelined engine uses
+  /// CollectStepReplies + ResolveStepReplies instead.
   void AwaitStepReply(SiteId site);
+  /// Pipelined collection: with a StepRequest already in flight to every
+  /// involved site, polls all owed connections under ONE shared real-time
+  /// deadline (step_timeout_ms for the whole wave — fair, since the
+  /// requests fanned out together), draining readable fds without blocking
+  /// so replies absorb as they land, in any arrival order. Decoded frames
+  /// park in per-site slots; nothing touches the Network here.
+  void CollectStepReplies();
+  /// Applies the collected wave strictly in involved-site order — success
+  /// (clear awaiting, cache next event, replay staged), protocol failure
+  /// (Disconnect), or still-pending at the deadline (exact serial timeout
+  /// handling: the site is paused, its owed reply absorbs late). Site-order
+  /// replay keeps scheduler insertion order — and therefore verdicts and
+  /// reclaim sets — bit-identical to the serial loop. Fault-free waves with
+  /// two or more busy senders prepare their sends in parallel on the replay
+  /// pool and commit per site in order (the threaded backend's sharded
+  /// replay, reused over the wire).
+  void ResolveStepReplies();
   /// Replays a reply's staged sends into the Network, in call order.
   void ReplayStaged(Conn& conn, std::vector<Envelope> staged);
   void SyncClocksTo(SimTime t);
@@ -243,6 +278,23 @@ class SocketTransport final : public Transport {
   std::uint64_t next_seq_ = 1;
   SimTime global_now_ = 0;
   std::vector<SiteId> involved_;  // scratch for the phase loop
+
+  /// Per-site outcome of a pipelined collection wave.
+  enum class ReplySlot : std::uint8_t {
+    kIdle,     // nothing owed (write failed before the wave)
+    kPending,  // no complete reply by the shared deadline: paused
+    kOk,       // decoded reply parked in reply_frames_
+    kFailed,   // EOF / garbage / seq mismatch: disconnect
+  };
+  std::vector<ReplySlot> reply_state_;             // scratch, per site
+  std::vector<wire::StepReplyFrame> reply_frames_; // scratch, per site
+
+  bool serial_replay_ = false;
+  /// Shards staged-send replay across senders for fault-free waves; sized
+  /// from transport_pool_threads (auto: min(hardware, sites) - 1).
+  std::unique_ptr<WorkerPool> replay_pool_;
+  std::vector<Network::ReplayShard> replay_shards_;
+
   TransportCounters counters_;
   SocketCounters socket_counters_;
 };

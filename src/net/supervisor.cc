@@ -51,6 +51,7 @@ void Supervisor::Spawn(SiteState& state) {
   state.status.pid = pid;
   state.status.running = true;
   state.status.restart_pending = false;
+  state.spawned_at = std::chrono::steady_clock::now();
   ++counters_.spawns;
 }
 
@@ -81,7 +82,16 @@ bool Supervisor::Poll() {
         changed = true;
         if (state.terminated) continue;  // expected shutdown
         ++counters_.exits;
-        if (state.status.restarts >= options_.max_restarts) {
+        // A long-lived incarnation proves the site was healthy: its death
+        // is a fresh incident, not the next step of a crash loop, so the
+        // backoff and the give-up budget start over.
+        if (options_.healthy_uptime_reset_ms > 0 &&
+            now - state.spawned_at >= std::chrono::milliseconds(
+                                          options_.healthy_uptime_reset_ms)) {
+          state.consecutive_restarts = 0;
+          state.next_backoff_ms = options_.backoff_initial_ms;
+        }
+        if (state.consecutive_restarts >= options_.max_restarts) {
           state.status.gave_up = true;
           state.status.restart_pending = false;  // Kill() may have set it
           ++counters_.gave_up;
@@ -97,6 +107,7 @@ bool Supervisor::Poll() {
     }
     if (state.status.restart_pending && now >= state.restart_due) {
       ++state.status.restarts;
+      ++state.consecutive_restarts;
       ++counters_.restarts;
       Spawn(state);
       changed = true;
@@ -130,7 +141,8 @@ bool Supervisor::Kill(SiteId site) {
   // window instead of declaring the world quiescent microseconds after the
   // signal. Poll()'s reap path schedules the actual due time (or withdraws
   // the flag when the budget is exhausted).
-  if (!state.terminated && state.status.restarts < options_.max_restarts) {
+  if (!state.terminated &&
+      state.consecutive_restarts < options_.max_restarts) {
     state.status.restart_pending = true;
   }
   return true;

@@ -45,14 +45,24 @@ class Supervisor {
   struct Options {
     int backoff_initial_ms = 50;
     int backoff_max_ms = 2'000;
-    /// Restarts attempted per site before giving up. Zero = never restart.
+    /// Consecutive-failure restarts attempted per site before giving up.
+    /// Zero = never restart.
     int max_restarts = 8;
+    /// An incarnation that stays up at least this long is healthy: its next
+    /// crash restarts with the initial backoff and a fresh max_restarts
+    /// budget, so a site that crashes once an hour never marches toward
+    /// give-up. Crash loops (every life shorter than the window) still
+    /// exhaust the budget. Zero = never reset (every crash over the
+    /// process's history counts against one budget).
+    int healthy_uptime_reset_ms = 0;
   };
 
   struct SiteStatus {
     pid_t pid = -1;
     bool running = false;
-    /// Replacement processes spawned after an unexpected exit.
+    /// Replacement processes spawned after an unexpected exit (cumulative
+    /// over the site's whole history; the give-up budget counts only
+    /// consecutive failures, see Options::healthy_uptime_reset_ms).
     int restarts = 0;
     /// A replacement is scheduled but its backoff has not elapsed yet.
     bool restart_pending = false;
@@ -115,7 +125,11 @@ class Supervisor {
     SiteSpec spec;
     SiteStatus status;
     bool terminated = false;  // clean shutdown requested: never restart
+    /// Restarts since the last healthy-uptime reset — the value the
+    /// max_restarts give-up check runs against.
+    int consecutive_restarts = 0;
     int next_backoff_ms = 0;
+    std::chrono::steady_clock::time_point spawned_at;
     std::chrono::steady_clock::time_point restart_due;
   };
 

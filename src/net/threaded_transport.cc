@@ -33,9 +33,25 @@ ThreadedTransport::ThreadedTransport(std::size_t site_count,
         site_count);
   }
   threads_ = std::max<std::size_t>(1, threads);
-  // The coordinator participates in every batch, so the pool only needs
-  // threads_ - 1 workers.
-  pool_ = std::make_unique<WorkerPool>(threads_ - 1);
+  serial_replay_ = config.transport_serial_replay;
+  // Pool sizing. The coordinator participates in every batch, so site-level
+  // stepping needs threads_ - 1 workers (the historical sizing). When the
+  // sites fork nested shard batches on this pool (mark_threads > 1, passed
+  // down as transport_nested_threads), over-provision for the nested level
+  // — capped at max(threads_, hardware_concurrency) total runners, so a
+  // round with 8 sites and mark_threads = 8 cannot balloon into 64 kernel
+  // threads. An explicit transport_pool_threads is honoured verbatim.
+  std::size_t workers = threads_ - 1;
+  const std::size_t nested =
+      std::max<std::size_t>(1, config.transport_nested_threads);
+  if (config.transport_pool_threads > 0) {
+    workers = config.transport_pool_threads;
+  } else if (nested > 1) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers = std::min(threads_ * nested, std::max(threads_, hw)) - 1;
+  }
+  pool_ = std::make_unique<WorkerPool>(workers);
 
   network_.set_dispatcher([this](Envelope&& envelope) {
     // Coordinator thread (all Network processing happens there). Route the
@@ -112,16 +128,19 @@ void ThreadedTransport::AdvanceWorldTo(SimTime t) {
     for (SiteId s : involved_) ++sites_[s]->steps;
 
     // Parallel phase: involved sites step concurrently. The RunBatch
-    // fork/join barrier orders this against all coordinator work.
+    // fork/join barrier orders this against all coordinator work. Capped at
+    // threads_ so pool workers past the transport_threads budget stay free
+    // to serve the sites' nested shard batches instead of running whole
+    // sites.
     pool_->RunBatch(
         involved_.size(),
         [this, t](std::size_t i) { SiteStep(involved_[i], t); },
-        involved_.size());
+        threads_);
 
     // Replay: staged sends enter the Network in site order — a fixed,
     // interleaving-independent order, which is what keeps seeded runs
     // reproducible across thread schedules.
-    for (SiteId s : involved_) ReplayStaged(*sites_[s]);
+    ReplayAllStaged();
   }
 }
 
@@ -154,6 +173,46 @@ void ThreadedTransport::ReplayStaged(SiteState& state) {
   state.staged.clear();
 }
 
+void ThreadedTransport::ReplayAllStaged() {
+  // Parallel prepare pays off only with >= 2 busy senders and real workers;
+  // eligibility is re-checked every phase because chaos plans flip the drop
+  // override (and with it the RNG-free guarantee) mid-run.
+  std::size_t busy_senders = 0;
+  for (SiteId s : involved_) {
+    if (!sites_[s]->staged.empty()) ++busy_senders;
+  }
+  const bool parallel = !serial_replay_ && busy_senders >= 2 &&
+                        pool_->worker_threads() > 0 &&
+                        network_.SupportsParallelReplay();
+  if (!parallel) {
+    for (SiteId s : involved_) ReplayStaged(*sites_[s]);
+    return;
+  }
+
+  network_.ReserveSenderShards(sites_.size());
+  // Each task prepares exactly one sender's staged list, touching only that
+  // sender's FIFO-clamp shard and ReplayShard scratch; the join barrier
+  // orders every write before the coordinator's serial commit.
+  pool_->RunBatch(
+      involved_.size(),
+      [this](std::size_t i) {
+        SiteState& state = *sites_[involved_[i]];
+        for (StagedSend& send : state.staged) {
+          network_.PrepareSend(send.from, send.to, std::move(send.payload),
+                               state.replay);
+        }
+      },
+      involved_.size());
+  ++counters_.parallel_replays;
+  for (SiteId s : involved_) {
+    SiteState& state = *sites_[s];
+    counters_.staged_sends += state.staged.size();
+    state.staged_sends += state.staged.size();
+    state.staged.clear();
+    network_.CommitPrepared(state.replay);
+  }
+}
+
 void ThreadedTransport::SyncClocksTo(SimTime t) {
   // No scheduler holds an event <= t here, so RunUntil only moves clocks.
   control_.RunUntil(t);
@@ -169,6 +228,13 @@ void ThreadedTransport::RunUntilTime(SimTime t) {
     AdvanceWorldTo(next);
   }
   SyncClocksTo(t);
+}
+
+bool ThreadedTransport::StepOne() {
+  const SimTime next = NextEventTime();
+  if (next == Scheduler::kNoPendingEvent) return false;
+  AdvanceWorldTo(std::max(next, global_now_));
+  return true;
 }
 
 void ThreadedTransport::Settle() {

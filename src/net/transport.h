@@ -30,6 +30,8 @@
 
 namespace dgc {
 
+class WorkerPool;
+
 /// Engine-level counters, all zero under SimTransport.
 struct TransportCounters {
   std::uint64_t timesteps = 0;        // distinct global instants processed
@@ -37,6 +39,7 @@ struct TransportCounters {
   std::uint64_t site_steps = 0;       // individual site executions
   std::uint64_t handoffs = 0;         // envelopes routed through an inbox
   std::uint64_t staged_sends = 0;     // sends staged on site threads
+  std::uint64_t parallel_replays = 0;  // phases replayed via sharded prepare
   std::uint64_t inbox_peak_depth = 0;     // max over all site inboxes
   std::uint64_t inbox_contention = 0;     // lock waits across all inboxes
   std::uint64_t inbox_overflows = 0;      // pushes past the soft capacity
@@ -118,6 +121,21 @@ class Transport {
   /// "drain the simulation to idle".
   virtual void Settle() = 0;
 
+  /// Runs the smallest unit of forward progress the backend has: one event
+  /// under SimTransport, one pending timestep (all phases at the next event
+  /// instant) under the engine backends. Returns false when no work is
+  /// pending anywhere. The transport-agnostic spelling of "RunOne" that the
+  /// mutator pump loops on.
+  virtual bool StepOne() = 0;
+
+  /// The pool nested per-site parallelism (mark_threads shard batches)
+  /// should fork on. Null means the transport owns no pool and the caller
+  /// should fall back to its own (SimTransport: System's shared pool).
+  /// Under ThreadedTransport the returned pool is the one the site threads
+  /// themselves run batches on — WorkerPool's caller-participates nesting
+  /// makes the fork-from-a-pool-task shape deadlock-free.
+  [[nodiscard]] virtual WorkerPool* site_worker_pool() { return nullptr; }
+
   [[nodiscard]] virtual TransportCounters counters() const = 0;
   [[nodiscard]] virtual SiteTransportCounters site_counters(
       SiteId site) const = 0;
@@ -149,6 +167,7 @@ class SimTransport final : public Transport {
   [[nodiscard]] SimTime now() const override { return scheduler_.now(); }
   void RunUntilTime(SimTime t) override { scheduler_.RunUntil(t); }
   void Settle() override { scheduler_.RunUntilIdle(); }
+  bool StepOne() override { return scheduler_.RunOne(); }
   [[nodiscard]] TransportCounters counters() const override { return {}; }
   [[nodiscard]] SiteTransportCounters site_counters(
       SiteId /*site*/) const override {

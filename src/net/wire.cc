@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -563,6 +564,56 @@ IoStatus WriteFrame(int fd, FrameType type,
   std::size_t off = 0;
   while (off < frame.size()) {
     const ssize_t n = write(fd, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto deadline = std::chrono::steady_clock::now();
+      if (WaitFd(fd, POLLOUT, -1, deadline, /*bounded=*/false) < 0) {
+        return IoStatus::kError;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return IoStatus::kClosed;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus WriteFrameV(int fd, FrameType type,
+                     const std::vector<std::uint8_t>& body) {
+  std::uint8_t header[kFrameHeaderBytes + 1];
+  const std::uint32_t length = static_cast<std::uint32_t>(1 + body.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  header[kFrameHeaderBytes] = static_cast<std::uint8_t>(type);
+  const std::size_t header_bytes = sizeof header;
+  const std::size_t total = header_bytes + body.size();
+  std::size_t off = 0;
+  while (off < total) {
+    struct iovec iov[2];
+    int iovcnt = 0;
+    if (off < header_bytes) {
+      iov[iovcnt].iov_base = header + off;
+      iov[iovcnt].iov_len = header_bytes - off;
+      ++iovcnt;
+      if (!body.empty()) {
+        iov[iovcnt].iov_base = const_cast<std::uint8_t*>(body.data());
+        iov[iovcnt].iov_len = body.size();
+        ++iovcnt;
+      }
+    } else {
+      const std::size_t body_off = off - header_bytes;
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(body.data()) + body_off;
+      iov[iovcnt].iov_len = body.size() - body_off;
+      ++iovcnt;
+    }
+    const ssize_t n = writev(fd, iov, iovcnt);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;

@@ -230,6 +230,12 @@ enum class IoStatus : std::uint8_t {
 IoStatus WriteFrame(int fd, FrameType type,
                     const std::vector<std::uint8_t>& body);
 
+/// WriteFrame without the concatenation copy: gathers the 5-byte header and
+/// the body into one writev(2), so a large StepRequest body never gets
+/// memcpy'd into a temporary frame buffer. Identical return contract.
+IoStatus WriteFrameV(int fd, FrameType type,
+                     const std::vector<std::uint8_t>& body);
+
 /// Reads one complete frame. timeout_ms < 0 blocks indefinitely; 0 polls.
 /// The timeout covers the whole frame, not each byte. A timeout discards
 /// any partial bytes read — use the buffered variant when the connection

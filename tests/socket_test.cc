@@ -17,13 +17,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "common/ids.h"
 #include "core/system.h"
 #include "net/socket_world.h"
+#include "net/supervisor.h"
 #include "sim/fault_plan.h"
 #include "workload/scripted.h"
 
@@ -163,6 +166,204 @@ TEST(SocketWorld, SimDifferentialTenSeeds) {
       }
     }
   }
+}
+
+// Socket column of the composition matrix (transport_test.cc carries the
+// TSan-able sim/threaded columns): mark_threads-way shard marking inside
+// each site PROCESS — every site owns a private worker pool in its own
+// address space — composed with incremental trace/distance maintenance
+// must reproduce the simulator bit for bit: same minted ids, same
+// per-object verdicts, same census and reclaim totals.
+TEST(SocketWorld, MarkThreadsAndIncrementalMatchSimTenSeeds) {
+  const ScriptedChurnSpec spec = SmallSpec();
+  CollectorConfig collector = TestCollector();
+  collector.mark_threads = 8;
+  collector.incremental_trace = true;
+  collector.incremental_distance = true;
+  std::uint64_t parallel_replays = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    System system(kSites, collector, NetworkConfig{}, seed);
+    SystemGodWorld sim_world(system);
+    const ScriptedChurnResult sim = RunScriptedChurn(sim_world, seed, spec);
+
+    SocketWorldOptions options = TestOptions(seed);
+    options.collector = collector;
+    SocketWorld socket(options);
+    SocketGodWorld proc_world(socket);
+    const ScriptedChurnResult proc = RunScriptedChurn(proc_world, seed, spec);
+
+    ASSERT_EQ(sim.rings.size(), proc.rings.size());
+    ASSERT_EQ(sim.locals, proc.locals);
+    ASSERT_EQ(sim.cuts, proc.cuts);
+    for (std::size_t i = 0; i < sim.rings.size(); ++i) {
+      ASSERT_EQ(sim.rings[i].objects, proc.rings[i].objects);
+      ASSERT_EQ(sim.rings[i].tether, proc.rings[i].tether);
+      ASSERT_EQ(sim.rings[i].cut, proc.rings[i].cut);
+    }
+    for (const ScriptedRing& ring : sim.rings) {
+      for (ObjectId obj : ring.objects) {
+        EXPECT_EQ(system.ObjectExists(obj), socket.ObjectExists(obj))
+            << "ring object " << obj.site << ":" << obj.index;
+      }
+      EXPECT_EQ(system.ObjectExists(ring.tether),
+                socket.ObjectExists(ring.tether));
+    }
+    for (ObjectId obj : sim.locals) {
+      EXPECT_EQ(system.ObjectExists(obj), socket.ObjectExists(obj));
+    }
+    EXPECT_EQ(system.TotalObjects(), socket.TotalObjects());
+    EXPECT_EQ(system.TotalObjectsReclaimed(), socket.TotalObjectsReclaimed());
+    parallel_replays += socket.transport().counters().parallel_replays;
+  }
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_GT(parallel_replays, 0u)
+        << "sharded replay never engaged across ten seeded runs";
+  }
+}
+
+// The pipelined step loop is a pure latency optimization: disabling it
+// (socket.pipelined_steps = false restores the serial one-site-at-a-time
+// collection) must change nothing observable on a seeded run.
+TEST(SocketWorld, PipelinedStepLoopMatchesSerialLoop) {
+  const ScriptedChurnSpec spec = SmallSpec();
+  for (const std::uint64_t seed : {3u, 8u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    SocketWorld pipelined(TestOptions(seed));
+    SocketGodWorld pipelined_world(pipelined);
+    const ScriptedChurnResult a = RunScriptedChurn(pipelined_world, seed, spec);
+
+    SocketWorldOptions serial_options = TestOptions(seed);
+    serial_options.network.socket.pipelined_steps = false;
+    SocketWorld serial(serial_options);
+    SocketGodWorld serial_world(serial);
+    const ScriptedChurnResult b = RunScriptedChurn(serial_world, seed, spec);
+
+    ASSERT_EQ(a.rings.size(), b.rings.size());
+    ASSERT_EQ(a.locals, b.locals);
+    ASSERT_EQ(a.cuts, b.cuts);
+    for (std::size_t i = 0; i < a.rings.size(); ++i) {
+      ASSERT_EQ(a.rings[i].objects, b.rings[i].objects);
+      ASSERT_EQ(a.rings[i].cut, b.rings[i].cut);
+    }
+    for (const ScriptedRing& ring : a.rings) {
+      for (ObjectId obj : ring.objects) {
+        EXPECT_EQ(pipelined.ObjectExists(obj), serial.ObjectExists(obj));
+      }
+    }
+    EXPECT_EQ(pipelined.TotalObjects(), serial.TotalObjects());
+    EXPECT_EQ(pipelined.TotalObjectsReclaimed(),
+              serial.TotalObjectsReclaimed());
+  }
+}
+
+// Chaos against the pipelined wave itself: one site SIGSTOPped (its slot
+// expires at the shared deadline while the rest of the wave completes) and
+// another kill -9'd with a StepRequest in flight (EOF mid-wave →
+// disconnect → supervised restart at incarnation + 1). The world must keep
+// stepping, absorb the late reply on resume, and still collect every
+// severed cycle.
+TEST(SocketWorld, PipelinedWaveSurvivesStopAndKillChaos) {
+  SocketWorldOptions options = TestOptions(/*seed=*/19);
+  options.network.socket.step_timeout_ms = 200;
+  // Settle would otherwise wait its full grace for the paused site's owed
+  // reply after every build op; the pause here is held across whole rounds,
+  // so keep the per-settle patience short (still >> the restart backoff).
+  options.network.socket.settle_grace_ms = 400;
+  SocketWorld world(options);
+
+  ObjectId tether0;
+  ObjectId tether1;
+  const std::vector<ObjectId> ring0 = BuildRing(world, 0, 3, tether0);
+  const std::vector<ObjectId> ring1 = BuildRing(world, 1, 4, tether1);
+  world.RunRounds(2);
+  world.Unwire(tether0, 0);
+  world.Unwire(tether1, 0);
+
+  world.PauseSite(3);  // every wave now carries a dark site
+  FaultPlan plan;
+  plan.KillProcess(world.control_scheduler().now() + 1, /*site=*/1);
+  world.ArmFaultPlan(plan);
+
+  world.RunRounds(4);  // waves with one paused and one dying site in flight
+  const SocketCounters& counters = world.transport().socket_counters();
+  EXPECT_GE(counters.step_timeouts, 1u) << "pause never hit a wave deadline";
+
+  world.ResumeSite(3);
+  world.SettleNetwork();  // absorbs the owed late reply + supervised restart
+  EXPECT_TRUE(world.transport().responsive(3));
+  EXPECT_GE(world.supervisor().counters().restarts, 1u);
+  EXPECT_GE(world.incarnation(1), 1u);
+
+  world.RunRounds(10);
+  for (ObjectId obj : ring0) {
+    EXPECT_FALSE(world.ObjectExists(obj)) << "severed cycle leaked";
+  }
+  for (ObjectId obj : ring1) {
+    EXPECT_FALSE(world.ObjectExists(obj)) << "severed cycle leaked";
+  }
+  EXPECT_TRUE(world.ObjectExists(tether0));
+  EXPECT_TRUE(world.ObjectExists(tether1));
+}
+
+// --- Supervisor backoff reset ----------------------------------------------
+
+// A site whose every incarnation lives past the healthy-uptime window must
+// never march toward give-up: each death is a fresh incident, restarted
+// with the initial backoff and a fresh budget.
+TEST(SupervisorTest, HealthyUptimeResetsTheRestartBudget) {
+  Supervisor::Options opts;
+  opts.backoff_initial_ms = 10;
+  opts.backoff_max_ms = 500;
+  opts.max_restarts = 2;
+  opts.healthy_uptime_reset_ms = 50;
+  Supervisor sup(opts);
+  Supervisor::SiteSpec spec;
+  spec.run = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    return 1;  // healthy life (80ms >= 50ms window), then an unexpected exit
+  };
+  const SiteId site = sup.AddSite(std::move(spec));
+  sup.Start(site);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         sup.status(site).restarts < opts.max_restarts + 2) {
+    sup.Poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(sup.status(site).restarts, opts.max_restarts + 2)
+      << "healthy uptime did not reset the give-up budget";
+  EXPECT_FALSE(sup.status(site).gave_up);
+  sup.Terminate(site);
+}
+
+// A genuine crash loop — every life shorter than the window — still
+// exhausts the budget exactly as before the reset knob existed.
+TEST(SupervisorTest, CrashLoopStillExhaustsBudgetDespiteHealthyWindow) {
+  Supervisor::Options opts;
+  opts.backoff_initial_ms = 10;
+  opts.backoff_max_ms = 100;
+  opts.max_restarts = 2;
+  opts.healthy_uptime_reset_ms = 50;
+  Supervisor sup(opts);
+  Supervisor::SiteSpec spec;
+  spec.run = [] { return 1; };  // dies instantly: never healthy
+  const SiteId site = sup.AddSite(std::move(spec));
+  sup.Start(site);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !sup.status(site).gave_up) {
+    sup.Poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(sup.status(site).gave_up);
+  EXPECT_EQ(sup.status(site).restarts, opts.max_restarts);
+  EXPECT_EQ(sup.counters().gave_up, 1u);
+  EXPECT_FALSE(sup.status(site).restart_pending);
 }
 
 // kill -9 a site that hosts members of severed cycles, mid-trace. The

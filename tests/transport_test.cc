@@ -14,6 +14,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "core/system.h"
 #include "net/mpsc_queue.h"
 #include "net/threaded_transport.h"
@@ -62,11 +63,16 @@ struct OpenLoopOutcome {
 /// collector-independent, so spawn/sever sets are identical by construction;
 /// completeness then pins the reclaim set too).
 OpenLoopOutcome RunOpenLoop(TransportKind kind, std::uint64_t seed,
-                            SimTime round_stagger) {
+                            SimTime round_stagger,
+                            std::size_t mark_threads = 1,
+                            bool incremental = false) {
   CollectorConfig config;
   config.suspicion_threshold = 2;
   config.estimated_cycle_length = 4;
   config.back_threshold_increment = 2;
+  config.mark_threads = mark_threads;
+  config.incremental_trace = incremental;
+  config.incremental_distance = incremental;
   NetworkConfig net;
   net.transport = kind;
   net.transport_threads = 4;
@@ -161,6 +167,114 @@ TEST(TransportDifferential, ThreadedIsReproducibleAcrossThreadCounts) {
   const auto one = run(1);
   EXPECT_EQ(one, run(2));
   EXPECT_EQ(one, run(8));
+}
+
+// The full composition matrix: shard marking inside the site step
+// (mark_threads-way nested fork/join on the transport pool), incremental
+// trace/distance maintenance, and the engine choice must all be
+// observationally invisible — every cell reproduces the sim/serial
+// baseline's verdicts, reclaim totals, and survivor census bit for bit.
+// (The socket column of this matrix lives in socket_test.cc; this binary
+// carries the TSan-able legs.)
+TEST(TransportDifferential, MarkThreadsByTransportByIncrementalMatrix) {
+  constexpr std::size_t kMarkCounts[] = {1, 2, 8};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const bool incremental : {false, true}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) +
+                   (incremental ? " incremental" : " baseline"));
+      const OpenLoopOutcome baseline =
+          RunOpenLoop(TransportKind::kSim, seed, /*round_stagger=*/3,
+                      /*mark_threads=*/1, incremental);
+      ASSERT_GT(baseline.severed, 0u);
+      ASSERT_TRUE(baseline.complete);
+      for (const std::size_t mark_threads : kMarkCounts) {
+        for (const TransportKind kind :
+             {TransportKind::kSim, TransportKind::kThreaded}) {
+          if (kind == TransportKind::kSim && mark_threads == 1) continue;
+          const OpenLoopOutcome cell = RunOpenLoop(
+              kind, seed, /*round_stagger=*/3, mark_threads, incremental);
+          ASSERT_EQ(baseline, cell)
+              << (kind == TransportKind::kSim ? "sim" : "threaded")
+              << " mark_threads=" << mark_threads;
+        }
+      }
+    }
+  }
+}
+
+// Sharded staged-send replay is a pure performance path: forcing the serial
+// replay loop (transport_serial_replay) must change nothing observable,
+// while the default path must actually take the sharded branch (counter
+// proof, so a silently disabled optimization fails the test).
+TEST(TransportDifferential, ShardedReplayMatchesSerialReplay) {
+  auto run = [](bool serial_replay) {
+    CollectorConfig config;
+    config.suspicion_threshold = 2;
+    NetworkConfig net = ThreadedNet(4);
+    net.transport_serial_replay = serial_replay;
+    System system(4, config, net, 23);
+    workload::ScaleTopologySpec topo;
+    topo.sites = 4;
+    topo.objects_per_site = 300;
+    topo.seed = 23;
+    workload::InstantiateScaleTopology(system,
+                                       workload::BuildScaleTopology(topo));
+    workload::ScaleDriverSpec drive;
+    drive.duration = 2'000;
+    drive.round_stagger = 0;  // same-instant rounds: many busy senders
+    drive.seed = 29;
+    workload::ScaleDriver driver(system, drive);
+    driver.Run();
+    driver.Quiesce();
+    return std::tuple{system.TotalObjectsReclaimed(),
+                      SurvivingObjects(system),
+                      system.transport().counters().staged_sends,
+                      system.transport().counters().parallel_replays};
+  };
+  const auto sharded = run(/*serial_replay=*/false);
+  const auto serial = run(/*serial_replay=*/true);
+  EXPECT_EQ(std::get<0>(sharded), std::get<0>(serial));
+  EXPECT_EQ(std::get<1>(sharded), std::get<1>(serial));
+  EXPECT_EQ(std::get<2>(sharded), std::get<2>(serial));
+  EXPECT_GT(std::get<3>(sharded), 0u) << "sharded path never taken";
+  EXPECT_EQ(std::get<3>(serial), 0u) << "knob did not force serial replay";
+}
+
+// The deadlock shape the per-transport pool exists to prevent: every site
+// thread forks a nested mark batch on the SAME pool. Caller participation
+// guarantees progress even when all workers are busy; free workers join
+// nested batches when the pool is over-provisioned.
+TEST(WorkerPoolTest, NestedRunBatchFromEveryPoolTaskCompletes) {
+  WorkerPool pool(3);  // fewer workers than outer tasks: full contention
+  std::atomic<int> executed{0};
+  pool.RunBatch(
+      8,
+      [&](std::size_t) {
+        pool.RunBatch(
+            16, [&](std::size_t) { executed.fetch_add(1); }, 16);
+      },
+      8);
+  EXPECT_EQ(executed.load(), 8 * 16);
+}
+
+// And the transport-shaped version of the same guarantee: a threaded engine
+// whose sites all fork mark_threads-way nested batches simultaneously
+// (same-instant rounds, pool auto-sized from the nested hint).
+TEST(WorkerPoolTest, ThreadedEngineWithNestedMarkBatchesCompletes) {
+  CollectorConfig config;
+  config.suspicion_threshold = 2;
+  config.mark_threads = 8;
+  System system(4, config, ThreadedNet(4), 31);
+  const auto ring = workload::BuildCycle(
+      system, {.sites = 4, .objects_per_site = 4, .first_site = 0});
+  for (int round = 0; round < 12; ++round) {
+    system.RunRoundStaggered(/*stagger=*/0);
+    if (system.CheckCompleteness().empty()) break;
+  }
+  for (const ObjectId id : ring.objects) {
+    EXPECT_FALSE(system.ObjectExists(id)) << id;
+  }
+  EXPECT_TRUE(system.CheckSafety().empty()) << system.CheckSafety();
 }
 
 // --- Chaos on the threaded backend -----------------------------------------
